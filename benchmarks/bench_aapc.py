@@ -1,0 +1,53 @@
+"""AAPC substrate: phased decomposition construction and optimality.
+
+Not a table of the paper per se, but the paper's ordered-AAPC algorithm
+leans on Hinrichs et al.'s optimal N^3/8-phase torus AAPC; this bench
+certifies our replacement substrate: the Latin-product construction
+reaches exactly 64 phases on the 8x8 torus (== the routed link-load
+lower bound == the paper's figure), and reports construction times for
+a range of topologies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+
+from repro.aapc.bounds import torus_phase_optimum
+from repro.aapc.phases import build_aapc_decomposition
+from repro.topology.kary_ncube import KAryNCube
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+
+def test_torus8_reaches_paper_optimum(benchmark):
+    dec = once(benchmark, build_aapc_decomposition, Torus2D(8))
+    dec.validate()
+    print(f"\n8x8 torus AAPC: {dec.num_phases} phases "
+          f"(bound {dec.lower_bound()}, paper N^3/8 = {torus_phase_optimum(8)})")
+    assert dec.num_phases == torus_phase_optimum(8) == dec.lower_bound() == 64
+
+
+@pytest.mark.parametrize("topo_factory,label,slack", [
+    (lambda: Ring(8), "ring-8", 0),
+    (lambda: Torus2D(4), "torus-4x4", 1),
+    (lambda: Torus2D(6), "torus-6x6", 2),
+    (lambda: KAryNCube((4, 4, 4)), "torus-4x4x4", 2),
+], ids=["ring8", "torus4", "torus6", "cube444"])
+def test_decomposition_near_bound(benchmark, topo_factory, label, slack):
+    topo = topo_factory()
+    dec = once(benchmark, build_aapc_decomposition, topo)
+    dec.validate()
+    bound = dec.lower_bound()
+    print(f"\n{label}: {dec.num_phases} phases (bound {bound})")
+    assert dec.num_phases <= bound + slack
+
+
+def test_latin_solver_speed(benchmark):
+    """Time the backtracking search on a fresh (uncached) radix."""
+    from repro.aapc.ring_latin import solve_ring_latin, validate_ring_latin
+
+    phi = benchmark(solve_ring_latin, 6, seed=0)
+    assert phi is not None
+    validate_ring_latin(6, phi)

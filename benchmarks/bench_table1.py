@@ -1,0 +1,60 @@
+"""Table 1: multiplexing degree on random patterns (paper sec. 3.4).
+
+Regenerates the full sweep (100..4000 connections on the 8x8 torus) and
+checks the paper's shape claims: coloring <= greedy, ordered AAPC wins
+when dense (saturating at 64), and the combined algorithm's improvement
+over greedy grows from a few percent (sparse) to >25% (dense; paper:
+43.1%).  Also times each individual scheduler on a mid-density pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import full_protocol, once
+
+from repro.analysis import experiments as exp
+from repro.analysis.tables import format_table
+from repro.core.paths import route_requests
+from repro.core.registry import get_scheduler
+from repro.patterns.random_patterns import random_pattern
+
+
+def test_table1_sweep(benchmark, torus8, aapc_warm):
+    patterns = 100 if full_protocol() else 5
+    rows = once(benchmark, exp.table1, patterns_per_row=patterns, seed=0)
+
+    print()
+    print(format_table(
+        ["conns", "greedy", "coloring", "aapc", "combined", "improv%",
+         "paper g/c/a/comb"],
+        [
+            (
+                int(r["connections"]), r["greedy"], r["coloring"], r["aapc"],
+                r["combined"], r["improvement_pct"],
+                "/".join(str(v) for v in exp.PAPER_TABLE1[int(r["connections"])]),
+            )
+            for r in rows
+        ],
+        title=f"Table 1 (random patterns, {patterns}/row; paper used 100)",
+    ))
+
+    for r in rows:
+        n = int(r["connections"])
+        assert r["coloring"] <= r["greedy"]
+        assert r["combined"] <= min(r["coloring"], r["aapc"])
+        paper = exp.PAPER_TABLE1[n]
+        assert r["greedy"] == pytest.approx(paper[0], rel=0.15)
+        assert r["combined"] == pytest.approx(paper[3], rel=0.15)
+    dense = rows[-1]
+    assert dense["aapc"] == 64.0
+    assert dense["improvement_pct"] > 25.0
+
+
+@pytest.mark.parametrize("scheduler", ["greedy", "coloring", "aapc", "combined"])
+def test_scheduler_speed_1600_connections(benchmark, torus8, aapc_warm, scheduler):
+    """Time one scheduler run at the sweep's mid density."""
+    connections = route_requests(torus8, random_pattern(64, 1600, seed=42))
+    fn = get_scheduler(scheduler)
+    result = benchmark(fn, connections, torus8)
+    result.validate(connections)

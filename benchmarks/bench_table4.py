@@ -1,0 +1,52 @@
+"""Table 4: the static communication patterns of GS, TSCF and P3M.
+
+The paper's Table 4 is descriptive (pattern type and shape per
+application); this bench regenerates the inventory -- including the
+connection counts and data volumes our generators derive -- and checks
+the structural facts the paper states for each program.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.analysis import experiments as exp
+from repro.analysis.tables import format_table
+
+
+def test_table4_inventory(benchmark):
+    rows = once(benchmark, exp.table4, p3m_grid=64)
+
+    print()
+    print(format_table(
+        ["pattern", "type", "conns", "elements", "description"],
+        [
+            (r["pattern"], r["type"], r["connections"], r["elements"],
+             r["description"][:48])
+            for r in rows
+        ],
+        title="Table 4 (application patterns, P3M at 64^3)",
+    ))
+
+    by_name = {r["pattern"]: r for r in rows}
+    # GS: logical linear array, two adjacent partners per interior PE.
+    assert by_name["GS"]["type"] == "shared array ref."
+    assert by_name["GS"]["connections"] == 126
+    # TSCF: explicit send/receive hypercube.
+    assert by_name["TSCF"]["type"] == "explicit send/rec"
+    assert by_name["TSCF"]["connections"] == 384
+    # P3M 1-4: data redistributions; 2 and 3 are the same layout change.
+    for k in (1, 2, 3, 4):
+        assert by_name[f"P3M {k}"]["type"] == "data distrib."
+    assert by_name["P3M 2"]["connections"] == by_name["P3M 3"]["connections"]
+    assert by_name["P3M 2"]["connections"] == 4032  # dense all-to-all
+    # P3M 5: 26-neighbour ghost exchange on the logical 4x4x4 grid.
+    assert by_name["P3M 5"]["connections"] == 64 * 26
+
+
+def test_pattern_generation_speed(benchmark):
+    """Time regenerating the full application-pattern inventory."""
+    from repro.patterns.applications import application_patterns
+
+    pats = benchmark(application_patterns, p3m_grid=64)
+    assert len(pats) == 7

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (shape-
+checked against the paper's reference values from
+:mod:`repro.analysis.experiments`) and times the computation that
+produces it with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only           # quick settings
+    REPRO_FULL=1 pytest benchmarks/ --benchmark-only   # paper's sample counts
+
+The printed paper-vs-measured tables land in the captured output; use
+``-s`` to stream them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.topology.torus import Torus2D
+
+
+def full_protocol() -> bool:
+    """True when REPRO_FULL=1: run the paper's full sample counts."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def torus8() -> Torus2D:
+    return Torus2D(8)
+
+
+@pytest.fixture(scope="session")
+def aapc_warm(torus8):
+    """Pre-build the cached AAPC decomposition so scheduler benches
+    measure scheduling, not the one-off substrate construction."""
+    from repro.aapc.phases import aapc_decomposition
+
+    return aapc_decomposition(torus8)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (the experiment drivers are
+    deterministic and too heavy for statistical repetition)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Scenario: compiling the communication of an HPF-style redistribution.
+
+A data-parallel program redistributes a 64^3 array between phases --
+say from the (BLOCK, BLOCK, BLOCK) layout its FFT-less phases use to
+z-planes for a 1-D transform, and back.  The compiler sees both
+distributions, derives the exact (source PE, dest PE, element count)
+pattern, and schedules it off line.
+
+This example walks that pipeline: distribution specs -> communication
+pattern (with true message sizes) -> multiplexing degree -> compiled
+program with per-phase switch registers -> communication time, compared
+against run-time reservation control.
+
+Run:  python examples/data_redistribution.py
+"""
+
+from repro import SimParams, Torus2D, simulate_dynamic
+from repro.compiler import CommPhase, compile_program
+from repro.patterns import BlockCyclic, Distribution, redistribution_requests
+
+
+def main() -> None:
+    topo = Torus2D(8)
+    params = SimParams()
+    extents = (64, 64, 64)
+
+    # The two layouts, in HPF-ish notation:
+    #   blocks : (:block, :block, :block) on a 4x4x4 PE grid
+    #   planes : (:, :, :block)           one z-plane per PE
+    blocks = Distribution(extents, (
+        BlockCyclic(4, 16), BlockCyclic(4, 16), BlockCyclic(4, 16),
+    ))
+    planes = Distribution(extents, (
+        BlockCyclic(1, 1), BlockCyclic(1, 1), BlockCyclic(64, 1),
+    ))
+    print(f"source layout {blocks.notation()}, target layout {planes.notation()}")
+
+    forward = redistribution_requests(blocks, planes, name="scatter-to-planes")
+    backward = redistribution_requests(planes, blocks, name="gather-to-blocks")
+    volume = forward.total_elements()
+    print(f"forward pattern: {len(forward)} messages, {volume} elements "
+          f"({min(r.size for r in forward)}..{max(r.size for r in forward)} each)")
+
+    # Compile both phases: each gets its own multiplexing degree and its
+    # own switch-register image (the run-time artifact).
+    program = compile_program(topo, [
+        CommPhase("scatter", forward),
+        CommPhase("gather", backward),
+    ])
+    for phase in program.phases:
+        regs = phase.registers
+        print(f"phase {phase.phase.name!r}: degree {phase.degree}, "
+              f"{len(regs.words)} switches x {regs.degree} register words, "
+              f"{phase.makespan(params)} slots")
+    total = program.communication_time(params)
+    print(f"compiled program total: {total} slots")
+
+    # The dynamic alternative, at the degrees the paper evaluates.
+    print("\ndynamic control (forward phase only):")
+    for degree in (1, 2, 5, 10):
+        result = simulate_dynamic(topo, forward, degree, params)
+        print(f"  K = {degree:2d}: {result.completion_time:5d} slots, "
+              f"{result.total_retries} failed reservations")
+    fwd_compiled = program.phases[0].makespan(params)
+    print(f"\ncompiled forward phase: {fwd_compiled} slots -- "
+          "the off-line schedule wins at every fixed degree")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Scenario: life beyond static patterns -- failures and dynamic traffic.
+
+Two situations the basic compiled-communication story does not cover,
+both handled by this library's extensions:
+
+1. **A fiber fails.**  The compiler reroutes around the cut (YX order,
+   the long way round a ring, or a full detour) and reschedules; the
+   pattern's multiplexing degree degrades gracefully instead of the
+   network failing.  The link heatmap shows the traffic shifting.
+
+2. **Messages appear at run time.**  The paper sketches two mechanisms
+   built on statically compiled multiplexed sequences: keep the 64-slot
+   all-to-all frame standing (any pair can always talk), or embed a
+   logical hypercube (8-slot frame) and forward store-and-forward.
+   This example races them against the full run-time reservation
+   protocol on the same random message stream.
+
+Run:  python examples/resilience_and_dynamic_traffic.py
+"""
+
+from repro import SimParams, Torus2D
+from repro.analysis import format_table, render_link_heatmap
+from repro.core import combined_schedule, route_requests
+from repro.core.requests import Request, RequestSet
+from repro.dynamic_patterns import (
+    MultihopEmulation,
+    StandingAllToAll,
+    random_online_workload,
+)
+from repro.patterns import nearest_neighbour_2d
+from repro.simulator import simulate_dynamic, summarize
+from repro.topology import FaultyTopology
+
+
+def failures_demo() -> None:
+    print("=" * 64)
+    print("1. Fiber failures: reroute + reschedule")
+    print("=" * 64)
+    torus = Torus2D(8)
+    requests = nearest_neighbour_2d(8, 8)
+
+    healthy = combined_schedule(route_requests(torus, requests), torus)
+    print(f"healthy network: stencil degree K = {healthy.degree}")
+    print(render_link_heatmap(torus, healthy))
+
+    faulty = FaultyTopology(Torus2D(8))
+    cuts = [torus.transit_link(torus.node(x, 0), 0, True) for x in range(4)]
+    for link in cuts:
+        faulty.fail_link(link)
+    connections = route_requests(faulty, requests)
+    degraded = combined_schedule(connections, faulty)
+    degraded.validate(connections)
+    print(f"\nafter cutting 4 +x fibers in row 0: degree K = {degraded.degree}")
+    print(render_link_heatmap(torus, degraded))
+    print("(row 0's +x load moved onto detour rows; the schedule stays valid)")
+
+
+def dynamic_traffic_demo() -> None:
+    print()
+    print("=" * 64)
+    print("2. Dynamic traffic: compiled sequences vs run-time control")
+    print("=" * 64)
+    torus = Torus2D(8)
+    params = SimParams()
+    workload = random_online_workload(64, 400, mean_gap=2.0, size=4, seed=3)
+    span = workload[-1].arrival
+    print(f"workload: {len(workload)} x 4-element messages over ~{span} slots")
+
+    standing = StandingAllToAll(torus).simulate(workload, params)
+    multihop = MultihopEmulation(torus).simulate(workload, params)
+    requests = RequestSet(
+        [Request(r.src, r.dst, size=r.size, tag=i) for i, r in enumerate(workload)],
+        allow_duplicates=True,
+    )
+    reservation = simulate_dynamic(
+        torus, requests, 8, params, arrivals=[r.arrival for r in workload]
+    )
+
+    rows = []
+    for label, result_messages, extra in (
+        ("standing all-to-all", standing.messages, f"frame {standing.frame_length}"),
+        ("multihop hypercube", multihop.messages, f"frame {multihop.frame_length}"),
+        ("run-time reservation", reservation.messages,
+         f"K=8, {reservation.total_retries} retries"),
+    ):
+        s = summarize(result_messages)
+        rows.append((label, extra, s["makespan"], s["latency_mean"], s["latency_max"]))
+    print(format_table(
+        ["mechanism", "notes", "makespan", "mean lat", "max lat"],
+        rows,
+    ))
+    print("\nThe compiled sequences need no control plane at all; the "
+          "hypercube frame trades\nper-hop forwarding for an 8x shorter "
+          "frame than standing all-to-all.")
+
+
+if __name__ == "__main__":
+    failures_demo()
+    dynamic_traffic_demo()

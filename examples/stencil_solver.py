@@ -1,0 +1,67 @@
+"""Scenario: the communication plan of an iterative stencil solver.
+
+A Gauss-Seidel-style solver on a 256x256 grid over 64 PEs alternates
+two static patterns per iteration: a boundary-row exchange with the
+strip neighbours (the paper's GS pattern) and a hypercube allreduce for
+the convergence test.  Compiled communication gives each phase its own
+multiplexing degree -- 2 for the exchange, ~7 for the reduction -- and
+the network reconfigures between them by swapping preloaded register
+images, with no run-time control at all.
+
+The example also prints one switch's actual register words, the
+circular-shift-register contents the code generator emits.
+
+Run:  python examples/stencil_solver.py
+"""
+
+from repro import SimParams, Torus2D
+from repro.compiler import CommPhase, compile_program, decode_registers
+from repro.compiler.recognition import recognize
+
+
+def main() -> None:
+    topo = Torus2D(8)
+    params = SimParams()
+    grid = 256
+    iterations = 100
+
+    # What a compiler's pattern recognition would extract:
+    boundary = recognize({
+        "pattern": "pairs",
+        "pairs": [(i, i + 1) for i in range(63)] + [(i + 1, i) for i in range(63)],
+        "size": grid,  # one boundary row per neighbour
+    })
+    allreduce = recognize({"pattern": "hypercube", "nodes": 64, "size": 2})
+
+    program = compile_program(topo, [
+        CommPhase("boundary-exchange", boundary, repetitions=iterations),
+        CommPhase("convergence-allreduce", allreduce, repetitions=iterations),
+    ])
+
+    print(f"solver: {grid}x{grid} grid, {iterations} iterations on {topo.signature}")
+    for phase in program.phases:
+        print(f"  phase {phase.phase.name!r}: {len(phase.phase.requests)} "
+              f"connections, degree {phase.degree}, "
+              f"{phase.makespan(params)} slots/iteration")
+    total = program.communication_time(params)
+    print(f"total communication: {total} slots over {iterations} iterations")
+
+    # Peek at the run-time artifact: switch 9's register image for the
+    # boundary phase (one word per slot; -1 marks a dark input port).
+    phase = program.phases[0]
+    words = phase.registers.words[9]
+    print(f"\nswitch 9 register image for {phase.phase.name!r}:")
+    for slot, word in enumerate(words):
+        print(f"  slot {slot}: {word}")
+
+    # Audit: trace the light paths the registers establish and confirm
+    # they are exactly the scheduled boundary connections.
+    traced = decode_registers(phase.registers)
+    established = set().union(*traced)
+    assert established == set(boundary.pairs)
+    print(f"\nregister audit: {len(established)} circuits traced, "
+          "all match the compiled schedule")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,447 @@
+"""One driver per paper table/figure.
+
+Every driver returns plain dict/list data plus knows the paper's
+reference values, so benches can assert *shape* properties (who wins,
+monotonicity, saturation at the AAPC bound) and EXPERIMENTS.md can
+tabulate paper-vs-measured side by side.
+
+The paper averages Table 1 over 100 random patterns per row and Table 2
+over 500 redistributions; the drivers take ``seeds``/``samples``
+arguments so benches run quickly by default while
+``python -m repro.cli`` reproduces the full protocol.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from statistics import fmean
+
+import numpy as np
+
+from repro.core.coloring import coloring_schedule
+from repro.core.aapc_ordered import ordered_aapc_schedule
+from repro.core.packing import first_fit
+from repro.core.paths import route_requests
+from repro.core.registry import get_scheduler
+from repro.core.requests import RequestSet
+from repro.patterns.applications import gs_pattern, p3m_pattern, tscf_pattern
+from repro.patterns.classic import (
+    all_to_all_pattern,
+    hypercube_pattern,
+    nearest_neighbour_2d,
+    ring_pattern,
+    shuffle_exchange_pattern,
+)
+from repro.patterns.random_patterns import random_pattern
+from repro.patterns.redistribution import random_distribution, redistribution_requests
+from repro.simulator.compiled import compiled_completion_time
+from repro.simulator.dynamic import simulate_dynamic
+from repro.simulator.params import SimParams
+from repro.topology.torus import Torus2D
+
+
+def paper_torus() -> Torus2D:
+    """The 8x8 torus used throughout the paper's evaluation."""
+    return Torus2D(8)
+
+
+def randomized_greedy_degree(connections, rng: np.random.Generator, orders: int = 5) -> float:
+    """Mean greedy degree over random request orders.
+
+    The paper's greedy processes requests "in an arbitrary order"; its
+    Table 3 values (ring 3, nearest-neighbour 6, hypercube 9) match the
+    random-order average, not any structured order, so the drivers
+    report greedy this way.
+    """
+    degrees = []
+    for _ in range(orders):
+        order = rng.permutation(len(connections)).tolist()
+        degrees.append(first_fit(connections, order, scheduler="greedy").degree)
+    return fmean(degrees)
+
+
+def schedule_degrees(topology, requests: RequestSet, rng: np.random.Generator | None = None,
+                     *, greedy_orders: int = 5) -> dict[str, float]:
+    """Degrees of the paper's four algorithms on one pattern."""
+    connections = route_requests(topology, requests)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    greedy = randomized_greedy_degree(connections, rng, greedy_orders)
+    coloring = coloring_schedule(connections).degree
+    aapc = ordered_aapc_schedule(connections, topology).degree
+    combined = min(coloring, aapc)
+    return {
+        "greedy": greedy,
+        "coloring": float(coloring),
+        "aapc": float(aapc),
+        "combined": float(combined),
+        "improvement_pct": 100.0 * (greedy - combined) / greedy if greedy else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table 1: random patterns
+# ----------------------------------------------------------------------
+
+#: Paper Table 1 (connections -> greedy, coloring, AAPC, combined).
+PAPER_TABLE1 = {
+    100: (7.0, 6.7, 6.9, 6.6),
+    400: (16.5, 16.1, 16.5, 15.9),
+    800: (27.2, 25.9, 26.5, 25.6),
+    1200: (36.3, 34.5, 35.3, 34.2),
+    1600: (45.0, 43.5, 43.4, 42.8),
+    2000: (53.4, 50.4, 50.4, 49.7),
+    2400: (60.8, 57.5, 57.4, 56.7),
+    2800: (68.8, 64.4, 62.4, 62.4),
+    3200: (76.3, 70.8, 64.0, 64.0),
+    3600: (83.9, 76.8, 64.0, 64.0),
+    4000: (91.6, 83.0, 64.0, 64.0),
+}
+
+
+def table1(
+    *,
+    connection_counts: tuple[int, ...] = tuple(PAPER_TABLE1),
+    patterns_per_row: int = 10,
+    seed: int = 0,
+    topology: Torus2D | None = None,
+) -> list[dict[str, float]]:
+    """Random-pattern sweep (paper runs 100 patterns per row)."""
+    topo = topology or paper_torus()
+    rows = []
+    for n in connection_counts:
+        rng = np.random.default_rng(seed + n)
+        acc: dict[str, list[float]] = defaultdict(list)
+        for _ in range(patterns_per_row):
+            requests = random_pattern(topo.num_nodes, n, seed=rng)
+            for key, value in schedule_degrees(topo, requests, rng, greedy_orders=1).items():
+                acc[key].append(value)
+        row: dict[str, float] = {"connections": float(n)}
+        for key, values in acc.items():
+            row[key] = fmean(values)
+        from repro.analysis.stats import mean_std
+
+        for key in ("greedy", "coloring", "aapc", "combined"):
+            row[f"{key}_std"] = mean_std(acc[key])[1]
+        row["improvement_pct"] = (
+            100.0 * (row["greedy"] - row["combined"]) / row["greedy"]
+        )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2: random data redistributions
+# ----------------------------------------------------------------------
+
+#: Paper Table 2 bins: (low, high) -> (count, greedy, coloring, AAPC, combined).
+PAPER_TABLE2 = {
+    (0, 100): (34, 1.2, 1.2, 1.2, 1.2),
+    (101, 200): (50, 5.9, 4.9, 4.8, 4.6),
+    (201, 400): (54, 10.6, 9.7, 10.0, 9.5),
+    (401, 800): (105, 17.7, 15.9, 16.0, 15.5),
+    (801, 1200): (122, 31.7, 28.7, 28.6, 27.6),
+    (1601, 2000): (15, 46.3, 42.8, 35.1, 35.1),
+    (2001, 2400): (77, 55.5, 51.5, 51.9, 50.4),
+    (4032, 4032): (43, 92.0, 83.0, 64.0, 64.0),
+}
+
+TABLE2_BINS = (
+    (0, 100), (101, 200), (201, 400), (401, 800), (801, 1200),
+    (1201, 1600), (1601, 2000), (2001, 2400), (2401, 4031), (4032, 4032),
+)
+
+
+def table2(
+    *,
+    samples: int = 100,
+    seed: int = 0,
+    extents: tuple[int, int, int] = (64, 64, 64),
+    topology: Torus2D | None = None,
+) -> list[dict[str, float]]:
+    """Random-redistribution sweep (paper runs 500 samples)."""
+    topo = topology or paper_torus()
+    rng = np.random.default_rng(seed)
+    binned: dict[tuple[int, int], list[dict[str, float]]] = defaultdict(list)
+    for _ in range(samples):
+        src = random_distribution(extents, topo.num_nodes, seed=rng)
+        dst = random_distribution(extents, topo.num_nodes, seed=rng)
+        requests = redistribution_requests(src, dst)
+        if len(requests) == 0:
+            continue  # identical distributions: no communication
+        degrees = schedule_degrees(topo, requests, rng, greedy_orders=1)
+        n = len(requests)
+        for low, high in TABLE2_BINS:
+            if low <= n <= high:
+                binned[(low, high)].append(degrees)
+                break
+    rows = []
+    for bin_range in TABLE2_BINS:
+        group = binned.get(bin_range, [])
+        row: dict[str, float] = {
+            "bin_low": float(bin_range[0]),
+            "bin_high": float(bin_range[1]),
+            "patterns": float(len(group)),
+        }
+        if group:
+            for key in ("greedy", "coloring", "aapc", "combined"):
+                row[key] = fmean(g[key] for g in group)
+            row["improvement_pct"] = (
+                100.0 * (row["greedy"] - row["combined"]) / row["greedy"]
+                if row["greedy"]
+                else 0.0
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3: frequently used patterns
+# ----------------------------------------------------------------------
+
+#: Paper Table 3: pattern -> (conns, greedy, coloring, AAPC, combined).
+PAPER_TABLE3 = {
+    "ring": (128, 3, 2, 2, 2),
+    "nearest neighbour": (256, 6, 4, 4, 4),
+    "hypercube": (384, 9, 7, 8, 7),
+    "shuffle-exchange": (126, 6, 4, 5, 4),
+    "all-to-all": (4032, 92, 83, 64, 64),
+}
+
+
+def table3(
+    *,
+    seed: int = 0,
+    greedy_orders: int = 10,
+    topology: Torus2D | None = None,
+) -> list[dict[str, object]]:
+    """Classic-pattern comparison."""
+    topo = topology or paper_torus()
+    n = topo.num_nodes
+    patterns = {
+        "ring": ring_pattern(n),
+        "nearest neighbour": nearest_neighbour_2d(topo.width, topo.height),
+        "hypercube": hypercube_pattern(n),
+        "shuffle-exchange": shuffle_exchange_pattern(n),
+        "all-to-all": all_to_all_pattern(n),
+    }
+    rows = []
+    for name, requests in patterns.items():
+        rng = np.random.default_rng(seed)
+        degrees = schedule_degrees(topo, requests, rng, greedy_orders=greedy_orders)
+        rows.append({"pattern": name, "connections": len(requests), **degrees})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tables 4 and 5: application patterns, compiled vs dynamic
+# ----------------------------------------------------------------------
+
+#: Paper Table 5: (pattern, problem) -> (compiled, dyn K=1, 2, 5, 10).
+PAPER_TABLE5 = {
+    ("GS", "64 x 64"): (35, 105, 118, 171, 251),
+    ("GS", "128 x 128"): (67, 137, 154, 251, 411),
+    ("GS", "256 x 256"): (131, 265, 304, 411, 731),
+    ("TSCF", "5120"): (19, 344, 268, 270, 300),
+    ("P3M 1", "32 x 32 x 32"): (831, 3905, 3625, 2018, 1861),
+    ("P3M 1", "64 x 64 x 64"): (6207, 12471, 10754, 10333, 9619),
+    ("P3M 2", "32 x 32 x 32"): (382, 9999, 6094, 4661, 4510),
+    ("P3M 2", "64 x 64 x 64"): (2174, 17583, 14223, 10360, 9320),
+    ("P3M 4", "32 x 32 x 32"): (457, 3309, 2356, 1766, 1722),
+    ("P3M 4", "64 x 64 x 64"): (3369, 9161, 7674, 7805, 7122),
+    ("P3M 5", "32 x 32 x 32"): (40, 583, 374, 371, 480),
+    ("P3M 5", "64 x 64 x 64"): (68, 673, 457, 445, 505),
+}
+
+#: The dynamic multiplexing degrees the paper evaluates.
+DYNAMIC_DEGREES = (1, 2, 5, 10)
+
+
+def table5_workloads(
+    *, gs_grids: tuple[int, ...] = (64, 128, 256), p3m_grids: tuple[int, ...] = (32, 64)
+) -> list[tuple[str, str, RequestSet]]:
+    """(pattern name, problem size label, requests) for every Table 5 row."""
+    rows: list[tuple[str, str, RequestSet]] = []
+    for g in gs_grids:
+        rows.append(("GS", f"{g} x {g}", gs_pattern(g).requests))
+    rows.append(("TSCF", "5120", tscf_pattern().requests))
+    for which in (1, 2, 4, 5):
+        for g in p3m_grids:
+            rows.append(
+                (f"P3M {which}", f"{g} x {g} x {g}", p3m_pattern(which, g).requests)
+            )
+    return rows
+
+
+def table4(*, p3m_grid: int = 64) -> list[dict[str, object]]:
+    """Pattern inventory (descriptive, like the paper's Table 4)."""
+    from repro.patterns.applications import application_patterns
+
+    rows = []
+    for pat in application_patterns(p3m_grid=p3m_grid):
+        rows.append(
+            {
+                "pattern": pat.name,
+                "type": pat.kind,
+                "description": pat.description,
+                "connections": len(pat.requests),
+                "elements": pat.requests.total_elements(),
+            }
+        )
+    return rows
+
+
+def table5(
+    *,
+    params: SimParams = SimParams(),
+    degrees: tuple[int, ...] = DYNAMIC_DEGREES,
+    gs_grids: tuple[int, ...] = (64, 128, 256),
+    p3m_grids: tuple[int, ...] = (32, 64),
+    topology: Torus2D | None = None,
+) -> list[dict[str, object]]:
+    """Compiled vs dynamic communication time for every workload."""
+    topo = topology or paper_torus()
+    rows = []
+    for name, problem, requests in table5_workloads(
+        gs_grids=gs_grids, p3m_grids=p3m_grids
+    ):
+        compiled = compiled_completion_time(topo, requests, params)
+        row: dict[str, object] = {
+            "pattern": name,
+            "problem": problem,
+            "compiled": compiled.completion_time,
+            "compiled_degree": compiled.degree,
+        }
+        for k in degrees:
+            row[f"dynamic_{k}"] = simulate_dynamic(
+                topo, requests, k, params
+            ).completion_time
+        rows.append(row)
+    return rows
+
+
+def table5_programs(
+    *,
+    params: SimParams = SimParams(),
+    degrees: tuple[int, ...] = DYNAMIC_DEGREES,
+    gs_grid: int = 256,
+    p3m_grid: int = 32,
+    iterations: int = 1,
+    topology: Torus2D | None = None,
+) -> list[dict[str, object]]:
+    """Whole-program comparison (extension of Table 5).
+
+    Compiles each application *program* (all its phases, each at its
+    own degree) and compares its total communication time against a
+    dynamic network that must serve every phase at one fixed degree.
+    """
+    from repro.compiler.program import compile_program
+    from repro.patterns.programs import application_programs
+
+    topo = topology or paper_torus()
+    rows = []
+    for name, phases in application_programs(
+        gs_grid=gs_grid, p3m_grid=p3m_grid, iterations=iterations
+    ).items():
+        program = compile_program(topo, phases)
+        row: dict[str, object] = {
+            "program": name,
+            "phases": len(phases),
+            "degrees": tuple(program.degrees().values()),
+            "compiled": program.communication_time(params),
+        }
+        for k in degrees:
+            total = 0
+            for phase in phases:
+                result = simulate_dynamic(topo, phase.requests, k, params)
+                total += result.completion_time * phase.repetitions
+            row[f"dynamic_{k}"] = total
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 1 and 3
+# ----------------------------------------------------------------------
+
+#: The Fig. 1 example configuration on the 4x4 torus.
+FIG1_CONFIGURATION = ((4, 1), (5, 3), (6, 10), (8, 9), (11, 2))
+
+#: The Fig. 3 example: requests on 5 linearly connected nodes.
+FIG3_REQUESTS = ((0, 2), (1, 3), (3, 4), (2, 4))
+
+
+def fig1() -> dict[str, object]:
+    """Check the paper's example configuration is conflict-free."""
+    from repro.core.configuration import Configuration
+
+    topo = Torus2D(4)
+    requests = RequestSet.from_pairs(FIG1_CONFIGURATION)
+    connections = route_requests(topo, requests)
+    cfg = Configuration()
+    for c in connections:
+        cfg.add(c)  # raises if any pair conflicts
+    return {
+        "connections": len(cfg),
+        "links_used": cfg.total_links_used,
+        "conflict_free": True,
+    }
+
+
+def fig3() -> dict[str, object]:
+    """Greedy suboptimality example: natural order 3 slots, optimum 2."""
+    from repro.topology.linear import LinearArray
+    from repro.core.greedy import greedy_schedule
+
+    topo = LinearArray(5)
+    requests = RequestSet.from_pairs(FIG3_REQUESTS)
+    connections = route_requests(topo, requests)
+    natural = greedy_schedule(connections).degree
+    # (0,2) and (2,4) first puts the two compatible pairs together.
+    optimal = greedy_schedule(connections, order=[0, 3, 1, 2]).degree
+    return {"greedy_natural_order": natural, "greedy_best_order": optimal}
+
+
+# ----------------------------------------------------------------------
+# Ablations (beyond the paper)
+# ----------------------------------------------------------------------
+
+ABLATION_SCHEDULERS = (
+    "greedy",
+    "coloring",
+    "coloring-ratio",
+    "aapc",
+    "combined",
+    "dsatur",
+    "largest-first",
+    "longest-first",
+    "shortest-first",
+    "random-restart",
+    "coloring+repack",
+    "combined+repack",
+)
+
+
+def ablation_schedulers(
+    *,
+    connection_counts: tuple[int, ...] = (200, 800),
+    patterns_per_row: int = 3,
+    seed: int = 0,
+    schedulers: tuple[str, ...] = ABLATION_SCHEDULERS,
+    topology: Torus2D | None = None,
+) -> list[dict[str, float]]:
+    """Degree comparison of every registered scheduler on random patterns."""
+    topo = topology or paper_torus()
+    rows = []
+    for n in connection_counts:
+        rng = np.random.default_rng(seed + n)
+        acc: dict[str, list[int]] = defaultdict(list)
+        for _ in range(patterns_per_row):
+            requests = random_pattern(topo.num_nodes, n, seed=rng)
+            connections = route_requests(topo, requests)
+            for name in schedulers:
+                schedule = get_scheduler(name)(connections, topo)
+                acc[name].append(schedule.degree)
+        row: dict[str, float] = {"connections": float(n)}
+        row.update({name: fmean(vals) for name, vals in acc.items()})
+        rows.append(row)
+    return rows

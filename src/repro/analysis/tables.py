@@ -1,0 +1,36 @@
+"""Minimal aligned-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render rows as a right-aligned monospace table.
+
+    Floats are shown with one decimal (the paper's precision).
+    """
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

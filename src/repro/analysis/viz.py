@@ -1,0 +1,92 @@
+"""ASCII visualisation of torus configurations and schedules.
+
+Terminal-friendly renderings used by the examples and handy when
+debugging schedules: a node-grid view of one configuration's circuits
+and a per-link utilisation summary of a whole TDM frame.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.configuration import Configuration, ConfigurationSet
+from repro.topology.links import LinkKind
+from repro.topology.torus import Torus2D
+
+
+def render_configuration(topology: Torus2D, configuration: Configuration) -> str:
+    """Draw one configuration on the torus grid.
+
+    Nodes appear as a ``width x height`` grid of ids; each circuit is
+    listed beneath with its hop-by-hop path (``s >1+x 2+y> d`` style),
+    and per-direction fiber usage is summarised.
+    """
+    width, height = topology.width, topology.height
+    lines = [f"torus {width}x{height}, configuration with "
+             f"{len(configuration)} circuits:"]
+    cell = max(3, len(str(topology.num_nodes - 1)) + 1)
+    for y in range(height):
+        row = "".join(
+            str(topology.node(x, y)).rjust(cell) for x in range(width)
+        )
+        lines.append("  " + row)
+    lines.append("")
+    direction_use: Counter[str] = Counter()
+    for conn in configuration:
+        hops = []
+        for link in conn.links:
+            info = topology.link_info(link)
+            if info.kind is LinkKind.TRANSIT:
+                hops.append(info.direction or "?")
+                direction_use[info.direction or "?"] += 1
+        path = " ".join(hops) if hops else "(adjacent PEs)"
+        lines.append(f"  {conn.request.src:>3} -> {conn.request.dst:<3} via {path}")
+    if direction_use:
+        used = ", ".join(
+            f"{d}:{n}" for d, n in sorted(direction_use.items())
+        )
+        lines.append(f"  fiber hops by direction: {used}")
+    return "\n".join(lines)
+
+
+def render_schedule_utilisation(
+    topology: Torus2D, schedule: ConfigurationSet
+) -> str:
+    """Per-slot link-utilisation bar chart of a TDM frame."""
+    total_links = topology.num_links
+    lines = [
+        f"TDM frame, K = {schedule.degree} slots "
+        f"({len(schedule.all_connections())} circuits total):"
+    ]
+    for slot, cfg in enumerate(schedule):
+        frac = cfg.total_links_used / total_links
+        bar = "#" * round(frac * 40)
+        lines.append(
+            f"  slot {slot:>3}: {len(cfg):>4} circuits, "
+            f"{cfg.total_links_used:>4}/{total_links} links {bar}"
+        )
+    lines.append(f"  frame utilisation: {schedule.utilisation(total_links):.1%}")
+    return "\n".join(lines)
+
+
+def render_link_heatmap(topology: Torus2D, schedule: ConfigurationSet) -> str:
+    """Horizontal-fiber load map: how many slots each +x fiber is lit.
+
+    One row per torus row; the digit (or ``*`` for >=10) under each
+    column is the number of frame slots using the +x fiber leaving that
+    node -- a quick visual check of how evenly a schedule loads the
+    network.
+    """
+    load: Counter[int] = Counter()
+    for cfg in schedule:
+        for conn in cfg:
+            for link in conn.links:
+                load[link] += 1
+    lines = ["+x fiber load (slots lit per fiber):"]
+    for y in range(topology.height):
+        cells = []
+        for x in range(topology.width):
+            n = load[topology.transit_link(topology.node(x, y), 0, True)]
+            cells.append("*" if n >= 10 else str(n))
+        lines.append("  " + " ".join(cells))
+    return "\n".join(lines)

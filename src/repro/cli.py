@@ -1,0 +1,302 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro.cli table1 --patterns 100      # the paper's full protocol
+    python -m repro.cli table3
+    python -m repro.cli table5 --p3m-grids 32 64
+    python -m repro.cli fig3
+    python -m repro.cli aapc --width 8 --height 8
+    python -m repro.cli schedule --spec '{"pattern": "hypercube", "nodes": 64}'
+    python -m repro.cli all                        # quick pass over everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import experiments as exp
+from repro.analysis.tables import format_table
+from repro.simulator.params import SimParams
+
+
+def _print_table1(args) -> None:
+    rows = exp.table1(patterns_per_row=args.patterns, seed=args.seed)
+    data = [
+        (
+            int(r["connections"]), r["greedy"], r["coloring"], r["aapc"],
+            r["combined"], f"{r['improvement_pct']:.1f}%",
+            "/".join(str(v) for v in exp.PAPER_TABLE1[int(r["connections"])]),
+        )
+        for r in rows
+    ]
+    print(format_table(
+        ["conns", "greedy", "coloring", "aapc", "combined", "improv", "paper(g/c/a/comb)"],
+        data,
+        title=f"Table 1: random patterns ({args.patterns} patterns/row; paper used 100)",
+    ))
+
+
+def _print_table2(args) -> None:
+    rows = exp.table2(samples=args.samples, seed=args.seed)
+    data = []
+    for r in rows:
+        if r["patterns"] == 0:
+            data.append((f"{int(r['bin_low'])}-{int(r['bin_high'])}", 0, "-", "-", "-", "-", "-"))
+            continue
+        data.append((
+            f"{int(r['bin_low'])}-{int(r['bin_high'])}", int(r["patterns"]),
+            r["greedy"], r["coloring"], r["aapc"], r["combined"],
+            f"{r['improvement_pct']:.1f}%",
+        ))
+    print(format_table(
+        ["conns", "n", "greedy", "coloring", "aapc", "combined", "improv"],
+        data,
+        title=f"Table 2: random 3-D redistributions ({args.samples} samples; paper used 500)",
+    ))
+
+
+def _print_table3(args) -> None:
+    rows = exp.table3(seed=args.seed)
+    data = [
+        (
+            r["pattern"], r["connections"], r["greedy"], r["coloring"],
+            r["aapc"], r["combined"],
+            "/".join(str(v) for v in exp.PAPER_TABLE3[r["pattern"]][1:]),
+        )
+        for r in rows
+    ]
+    print(format_table(
+        ["pattern", "conns", "greedy", "coloring", "aapc", "combined", "paper(g/c/a/comb)"],
+        data,
+        title="Table 3: frequently used patterns (greedy = mean over random orders)",
+    ))
+
+
+def _print_table4(args) -> None:
+    rows = exp.table4()
+    data = [
+        (r["pattern"], r["type"], r["connections"], r["description"])
+        for r in rows
+    ]
+    print(format_table(
+        ["pattern", "type", "conns", "description"],
+        data,
+        title="Table 4: application communication patterns",
+    ))
+
+
+def _print_table5(args) -> None:
+    params = SimParams(seed=args.seed)
+    rows = exp.table5(
+        params=params,
+        gs_grids=tuple(args.gs_grids),
+        p3m_grids=tuple(args.p3m_grids),
+    )
+    data = []
+    for r in rows:
+        paper = exp.PAPER_TABLE5.get((r["pattern"], r["problem"]))
+        data.append((
+            r["pattern"], r["problem"], r["compiled_degree"], r["compiled"],
+            r["dynamic_1"], r["dynamic_2"], r["dynamic_5"], r["dynamic_10"],
+            "/".join(str(v) for v in paper) if paper else "-",
+        ))
+    print(format_table(
+        ["pattern", "problem", "K", "compiled", "dyn1", "dyn2", "dyn5", "dyn10",
+         "paper(comp/d1/d2/d5/d10)"],
+        data,
+        title="Table 5: compiled vs dynamic communication time (slots)",
+    ))
+
+
+def _print_fig1(args) -> None:
+    print("Fig. 1 example configuration on the 4x4 torus:", exp.fig1())
+
+
+def _print_fig3(args) -> None:
+    print("Fig. 3 greedy order sensitivity:", exp.fig3())
+
+
+def _print_ablation(args) -> None:
+    rows = exp.ablation_schedulers(patterns_per_row=args.patterns, seed=args.seed)
+    headers = ["conns", *exp.ABLATION_SCHEDULERS]
+    data = [
+        (int(r["connections"]), *(r[s] for s in exp.ABLATION_SCHEDULERS))
+        for r in rows
+    ]
+    print(format_table(headers, data, title="Scheduler ablation (mean degree)"))
+
+
+def _print_aapc(args) -> None:
+    from repro.aapc.phases import aapc_decomposition
+    from repro.topology.torus import Torus2D
+
+    topo = Torus2D(args.width, args.height)
+    dec = aapc_decomposition(topo)
+    print(
+        f"AAPC decomposition for {topo.signature}: {dec.num_phases} phases "
+        f"(lower bound {dec.lower_bound()}), built by {dec.schedule.scheduler}"
+    )
+
+
+def _print_schedule(args) -> None:
+    from repro.compiler.recognition import recognize
+    from repro.core.paths import route_requests
+    from repro.core.registry import get_scheduler
+    from repro.topology.torus import Torus2D
+
+    topo = Torus2D(args.width, args.height)
+    requests = recognize(json.loads(args.spec))
+    connections = route_requests(topo, requests)
+    for name in ("greedy", "coloring", "aapc", "combined"):
+        schedule = get_scheduler(name)(connections, topo)
+        schedule.validate(connections)
+        print(f"{name:10s} degree={schedule.degree}")
+
+
+def _print_programs(args) -> None:
+    rows = exp.table5_programs(params=SimParams(seed=args.seed))
+    print(format_table(
+        ["program", "phases", "per-phase K", "compiled", "dyn1", "dyn2",
+         "dyn5", "dyn10"],
+        [
+            (
+                r["program"], r["phases"],
+                "/".join(str(k) for k in r["degrees"]), r["compiled"],
+                r["dynamic_1"], r["dynamic_2"], r["dynamic_5"], r["dynamic_10"],
+            )
+            for r in rows
+        ],
+        title="Whole-program communication time (slots per iteration)",
+    ))
+
+
+def _print_trace(args) -> None:
+    from repro.compiler.recognition import recognize
+    from repro.simulator.dynamic import ProtocolTrace, simulate_dynamic
+    from repro.topology.torus import Torus2D
+
+    topo = Torus2D(args.width, args.height)
+    requests = recognize(json.loads(args.spec))
+    trace = ProtocolTrace(record_hops=not args.no_hops)
+    result = simulate_dynamic(
+        topo, requests, args.degree, SimParams(seed=args.seed), trace=trace
+    )
+    trace.check_wellformed()
+    print(trace.render(limit=args.limit))
+    print(
+        f"\n{len(result.messages)} messages in {result.completion_time} slots, "
+        f"{result.total_retries} failed reservations"
+    )
+
+
+def _compile_artifact(args) -> None:
+    from repro.compiler.recognition import recognize
+    from repro.compiler.serialize import save_artifact
+    from repro.core.paths import route_requests
+    from repro.core.registry import get_scheduler
+    from repro.topology.torus import Torus2D
+
+    topo = Torus2D(args.width, args.height)
+    requests = recognize(json.loads(args.spec))
+    connections = route_requests(topo, requests)
+    schedule = get_scheduler(args.algorithm)(connections, topo)
+    schedule.validate(connections)
+    save_artifact(args.output, topo, schedule, name=args.spec)
+    print(
+        f"compiled {len(requests)} connections at degree {schedule.degree} "
+        f"({args.algorithm}) -> {args.output}"
+    )
+
+
+def _print_all(args) -> None:
+    for fn in (_print_table1, _print_table2, _print_table3, _print_table4,
+               _print_table5, _print_fig1, _print_fig3):
+        fn(args)
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (installed as ``repro-tdm``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tdm",
+        description="Reproduce the tables and figures of 'Compiled "
+        "Communication for All-optical TDM Networks' (SC'96).",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="random patterns")
+    p1.add_argument("--patterns", type=int, default=20, help="patterns per row (paper: 100)")
+    p1.set_defaults(fn=_print_table1)
+
+    p2 = sub.add_parser("table2", help="random redistributions")
+    p2.add_argument("--samples", type=int, default=100, help="redistributions (paper: 500)")
+    p2.set_defaults(fn=_print_table2)
+
+    p3 = sub.add_parser("table3", help="frequently used patterns")
+    p3.set_defaults(fn=_print_table3)
+
+    p4 = sub.add_parser("table4", help="application pattern inventory")
+    p4.set_defaults(fn=_print_table4)
+
+    p5 = sub.add_parser("table5", help="compiled vs dynamic simulation")
+    p5.add_argument("--gs-grids", type=int, nargs="+", default=[64, 128, 256])
+    p5.add_argument("--p3m-grids", type=int, nargs="+", default=[32, 64])
+    p5.set_defaults(fn=_print_table5)
+
+    sub.add_parser("fig1", help="Fig. 1 configuration check").set_defaults(fn=_print_fig1)
+    sub.add_parser("fig3", help="Fig. 3 order sensitivity").set_defaults(fn=_print_fig3)
+
+    pa = sub.add_parser("ablation", help="extra-scheduler comparison")
+    pa.add_argument("--patterns", type=int, default=3)
+    pa.set_defaults(fn=_print_ablation)
+
+    pq = sub.add_parser("aapc", help="AAPC decomposition stats")
+    pq.add_argument("--width", type=int, default=8)
+    pq.add_argument("--height", type=int, default=8)
+    pq.set_defaults(fn=_print_aapc)
+
+    ps = sub.add_parser("schedule", help="schedule a JSON pattern spec")
+    ps.add_argument("--spec", required=True, help='e.g. {"pattern": "ring", "nodes": 64}')
+    ps.add_argument("--width", type=int, default=8)
+    ps.add_argument("--height", type=int, default=8)
+    ps.set_defaults(fn=_print_schedule)
+
+    sub.add_parser(
+        "programs", help="whole-program compiled vs dynamic comparison"
+    ).set_defaults(fn=_print_programs)
+
+    pt = sub.add_parser("trace", help="protocol trace of a dynamic run")
+    pt.add_argument("--spec", required=True)
+    pt.add_argument("--degree", type=int, default=1)
+    pt.add_argument("--limit", type=int, default=60)
+    pt.add_argument("--no-hops", action="store_true")
+    pt.add_argument("--width", type=int, default=8)
+    pt.add_argument("--height", type=int, default=8)
+    pt.set_defaults(fn=_print_trace)
+
+    pc = sub.add_parser("compile", help="compile a pattern spec to an artifact file")
+    pc.add_argument("--spec", required=True)
+    pc.add_argument("--output", required=True, help="artifact JSON path")
+    pc.add_argument("--algorithm", default="combined")
+    pc.add_argument("--width", type=int, default=8)
+    pc.add_argument("--height", type=int, default=8)
+    pc.set_defaults(fn=_compile_artifact)
+
+    pall = sub.add_parser("all", help="run every table and figure (quick settings)")
+    pall.add_argument("--patterns", type=int, default=5)
+    pall.add_argument("--samples", type=int, default=30)
+    pall.add_argument("--gs-grids", type=int, nargs="+", default=[64, 128, 256])
+    pall.add_argument("--p3m-grids", type=int, nargs="+", default=[32, 64])
+    pall.set_defaults(fn=_print_all)
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

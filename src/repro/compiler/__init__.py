@@ -1,0 +1,48 @@
+"""Compiled-communication front end.
+
+This package plays the role of the compiler in the paper's system:
+
+* :mod:`repro.compiler.recognition` -- turns program-level
+  communication *specs* (stencils, redistributions, explicit graphs)
+  into request sets, standing in for the pattern-recognition passes the
+  paper cites from prior work;
+* :mod:`repro.compiler.program` -- a program is an ordered sequence of
+  communication phases; each phase is scheduled independently, so
+  different phases may run at different multiplexing degrees (one of
+  compiled communication's advantages over fixed-degree dynamic
+  control);
+* :mod:`repro.compiler.codegen` -- emits the run-time artifact: one
+  register word per (switch, slot), the contents of the circular shift
+  registers that cycle the network through the phase's configurations.
+"""
+
+from repro.compiler.recognition import recognize
+from repro.compiler.program import CommPhase, CompiledPhase, CompiledProgram, compile_program
+from repro.compiler.codegen import (
+    RegisterSchedule,
+    generate_registers,
+    decode_registers,
+)
+from repro.compiler.serialize import (
+    ArtifactError,
+    load_artifact,
+    save_artifact,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "recognize",
+    "CommPhase",
+    "CompiledPhase",
+    "CompiledProgram",
+    "compile_program",
+    "RegisterSchedule",
+    "generate_registers",
+    "decode_registers",
+    "ArtifactError",
+    "load_artifact",
+    "save_artifact",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

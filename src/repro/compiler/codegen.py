@@ -1,0 +1,115 @@
+"""Code generation: schedules -> switch register contents.
+
+The run-time artifact of compiled communication is, per switch, the
+contents of a circular shift register with one word per time slot; word
+``k`` sets the crossbar for configuration ``C_k``.  This module
+
+* **generates** those words from a :class:`ConfigurationSet` by walking
+  every connection's path through its switches
+  (:func:`generate_registers`), and
+* **decodes** them back into per-slot connection sets by tracing light
+  paths from every injection fiber (:func:`decode_registers`),
+
+so tests can assert the full round trip: schedule -> registers ->
+traced circuits == scheduled requests.  Decoding is also how one audits
+that a register image establishes *exactly* the intended circuits and
+nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import ConfigurationSet
+from repro.topology.base import Topology
+from repro.topology.links import LinkKind
+from repro.topology.switch import CrossbarSwitch, SwitchState, build_switches
+
+
+@dataclass
+class RegisterSchedule:
+    """Register images for every switch: ``words[node][slot]``.
+
+    Each word is the tuple encoding of
+    :meth:`repro.topology.switch.CrossbarSwitch.encode`: one output-port
+    index (or -1) per input port.
+    """
+
+    topology: Topology
+    degree: int
+    words: dict[int, list[tuple[int, ...]]]
+    switches: dict[int, CrossbarSwitch]
+
+
+def generate_registers(
+    topology: Topology, schedule: ConfigurationSet
+) -> RegisterSchedule:
+    """Emit per-switch circular register contents for ``schedule``."""
+    switches = build_switches(topology)
+    degree = max(schedule.degree, 1)
+    states: dict[tuple[int, int], SwitchState] = {}
+
+    def state(node: int, slot: int) -> SwitchState:
+        key = (node, slot)
+        if key not in states:
+            states[key] = SwitchState(node)
+        return states[key]
+
+    for slot, cfg in enumerate(schedule):
+        for conn in cfg:
+            # Walk consecutive link pairs; each pair crosses one switch.
+            for in_link, out_link in zip(conn.links, conn.links[1:]):
+                node = topology.link_info(out_link).src
+                state(node, slot).connect(in_link, out_link)
+
+    words: dict[int, list[tuple[int, ...]]] = {}
+    for node, switch in switches.items():
+        words[node] = [
+            switch.encode(states.get((node, slot), SwitchState(node)))
+            for slot in range(degree)
+        ]
+    return RegisterSchedule(
+        topology=topology, degree=degree, words=words, switches=switches
+    )
+
+
+def decode_registers(regs: RegisterSchedule) -> list[set[tuple[int, int]]]:
+    """Trace the circuits a register image establishes, per slot.
+
+    For every slot and every switch whose PE input is lit, follow the
+    light path switch by switch until it ejects at a PE.  Raises if a
+    path dead-ends (an input lit into an unconfigured switch) or loops
+    -- both indicate a corrupt register image.
+    """
+    topo = regs.topology
+    out: list[set[tuple[int, int]]] = []
+    for slot in range(regs.degree):
+        decoded: dict[int, SwitchState] = {
+            node: regs.switches[node].decode(words[slot])
+            for node, words in regs.words.items()
+        }
+        circuits: set[tuple[int, int]] = set()
+        for src in topo.iter_nodes():
+            link = decoded[src].output_of(topo.inject_link(src))
+            if link is None:
+                continue
+            hops = 0
+            while True:
+                info = topo.link_info(link)
+                if info.kind is LinkKind.EJECT:
+                    circuits.add((src, info.dst))
+                    break
+                nxt = decoded[info.dst].output_of(link)
+                if nxt is None:
+                    raise AssertionError(
+                        f"slot {slot}: path from {src} dead-ends at "
+                        f"switch {info.dst}"
+                    )
+                link = nxt
+                hops += 1
+                if hops > topo.num_links:
+                    raise AssertionError(
+                        f"slot {slot}: path from {src} loops"
+                    )
+        out.append(circuits)
+    return out

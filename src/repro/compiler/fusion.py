@@ -1,0 +1,115 @@
+"""Communication phase fusion -- a compiler optimisation (extension).
+
+A program's adjacent communication phases can sometimes be *fused*:
+schedule the union of their requests as one pattern, pay one register
+load instead of two, and let connections from both phases share the
+frame.  Whether fusion wins is a genuine trade:
+
+* **for**: one reconfiguration/synchronisation (``compiled_startup``)
+  is saved, and sparse phases interleave into each other's idle slots;
+* **against**: the union's multiplexing degree can exceed either
+  phase's, stretching every message's slot spacing.
+
+:func:`fuse_phases` evaluates the trade analytically with the same
+transfer model the simulator uses and greedily merges adjacent fusable
+phases while the estimated makespan improves.  Fusion is only *sound*
+for phases without data dependencies between them (a message of phase
+B must not depend on phase A's delivery); the caller declares that via
+``can_fuse`` -- the default refuses everything, making fusion strictly
+opt-in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.compiler.program import CommPhase, CompiledProgram, compile_program
+from repro.core.requests import RequestSet
+from repro.simulator.params import SimParams
+from repro.topology.base import Topology
+
+
+def merge_requests(a: RequestSet, b: RequestSet, *, name: str = "") -> RequestSet:
+    """Union of two phases' requests (duplicates get distinct tags)."""
+    merged = []
+    from repro.core.requests import Request
+
+    for tag_base, rs in ((0, a), (1, b)):
+        for i, r in enumerate(rs):
+            # Distinct tags keep duplicate (src, dst) pairs across the
+            # two phases as separate messages.
+            merged.append(
+                Request(r.src, r.dst, size=r.size, tag=tag_base * 1_000_000 + i)
+            )
+    return RequestSet(merged, allow_duplicates=True, name=name or f"{a.name}+{b.name}")
+
+
+def phase_makespan(
+    topology: Topology,
+    requests: RequestSet,
+    params: SimParams,
+    *,
+    scheduler: str = "combined",
+) -> int:
+    """Analytic compiled makespan of one phase (incl. register load)."""
+    from repro.simulator.compiled import compiled_completion_time
+
+    return compiled_completion_time(
+        topology, requests, params, scheduler=scheduler
+    ).completion_time
+
+
+def fuse_phases(
+    topology: Topology,
+    phases: list[CommPhase],
+    params: SimParams = SimParams(),
+    *,
+    can_fuse: Callable[[CommPhase, CommPhase], bool] = lambda a, b: False,
+    scheduler: str = "combined",
+) -> list[CommPhase]:
+    """Greedily fuse adjacent phases while the makespan estimate drops.
+
+    Only adjacent phases with equal ``repetitions`` for which
+    ``can_fuse(a, b)`` returns True are candidates.  Returns a new
+    phase list (possibly the input, untouched).
+    """
+    current = list(phases)
+    improved = True
+    while improved and len(current) > 1:
+        improved = False
+        for i in range(len(current) - 1):
+            a, b = current[i], current[i + 1]
+            if a.repetitions != b.repetitions or not can_fuse(a, b):
+                continue
+            separate = (
+                phase_makespan(topology, a.requests, params, scheduler=scheduler)
+                + phase_makespan(topology, b.requests, params, scheduler=scheduler)
+            )
+            union = merge_requests(a.requests, b.requests)
+            fused = phase_makespan(topology, union, params, scheduler=scheduler)
+            if fused < separate:
+                current[i : i + 2] = [
+                    CommPhase(
+                        name=f"{a.name}+{b.name}",
+                        requests=union,
+                        repetitions=a.repetitions,
+                    )
+                ]
+                improved = True
+                break
+    return current
+
+
+def compile_fused(
+    topology: Topology,
+    phases: list[CommPhase],
+    params: SimParams = SimParams(),
+    *,
+    can_fuse: Callable[[CommPhase, CommPhase], bool] = lambda a, b: False,
+    scheduler: str = "combined",
+) -> CompiledProgram:
+    """Fuse then compile -- the one-call version."""
+    fused = fuse_phases(
+        topology, phases, params, can_fuse=can_fuse, scheduler=scheduler
+    )
+    return compile_program(topology, fused, scheduler=scheduler)

@@ -1,0 +1,113 @@
+"""Programs as sequences of communication phases.
+
+A parallel program alternates computation with communication *phases*;
+within a phase one static pattern is live.  Compiled communication
+schedules each phase independently, so the multiplexing degree adapts
+per phase -- the paper's fourth source of advantage over dynamic
+control, whose degree is fixed machine-wide.
+
+Phase switches at run time reload the switch registers and resynchronise
+(:attr:`SimParams.compiled_startup` slots, same cost as the initial
+load), which is exactly what :meth:`CompiledProgram.communication_time`
+charges between phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.codegen import RegisterSchedule, generate_registers
+from repro.core.configuration import ConfigurationSet
+from repro.core.paths import route_requests
+from repro.core.registry import get_scheduler
+from repro.core.requests import RequestSet
+from repro.simulator.compiled import transfer_chunks, transfer_finish
+from repro.simulator.params import SimParams
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class CommPhase:
+    """One communication phase: a named static pattern."""
+
+    name: str
+    requests: RequestSet
+    #: how often the phase executes (main-loop iterations); scales its
+    #: contribution to the program's communication time.
+    repetitions: int = 1
+
+
+@dataclass
+class CompiledPhase:
+    """A phase after scheduling and code generation."""
+
+    phase: CommPhase
+    schedule: ConfigurationSet
+    registers: RegisterSchedule
+
+    @property
+    def degree(self) -> int:
+        """The phase's multiplexing degree."""
+        return self.schedule.degree
+
+    def makespan(self, params: SimParams) -> int:
+        """Slots to complete one execution of the phase (incl. reload)."""
+        slot_map = self.schedule.slot_map()
+        degree = max(self.degree, 1)
+        finish = params.compiled_startup
+        for i, r in enumerate(self.phase.requests):
+            chunks = transfer_chunks(r.size, params.slot_payload)
+            finish = max(
+                finish,
+                transfer_finish(
+                    params.compiled_startup, slot_map[i], degree, chunks
+                ),
+            )
+        return finish
+
+
+@dataclass
+class CompiledProgram:
+    """All phases of a program, compiled for one topology."""
+
+    topology: Topology
+    phases: list[CompiledPhase]
+    scheduler: str
+
+    def communication_time(self, params: SimParams = SimParams()) -> int:
+        """Total communication slots over all phase executions.
+
+        Each execution pays the register reload (inside ``makespan``);
+        repetitions of the same phase after the first still pay it
+        because an intervening phase overwrote the registers.  (For a
+        single-phase program this is pessimistic by
+        ``(repetitions-1) * compiled_startup`` slots; the paper's
+        programs all interleave phases.)
+        """
+        return sum(
+            p.makespan(params) * p.phase.repetitions for p in self.phases
+        )
+
+    def degrees(self) -> dict[str, int]:
+        """Phase name -> multiplexing degree (per-phase adaptation)."""
+        return {p.phase.name: p.degree for p in self.phases}
+
+
+def compile_program(
+    topology: Topology,
+    phases: list[CommPhase],
+    *,
+    scheduler: str = "combined",
+) -> CompiledProgram:
+    """Schedule every phase and generate its switch registers."""
+    schedule_fn = get_scheduler(scheduler)
+    compiled = []
+    for phase in phases:
+        connections = route_requests(topology, phase.requests)
+        schedule = schedule_fn(connections, topology)
+        schedule.validate(connections)
+        registers = generate_registers(topology, schedule)
+        compiled.append(
+            CompiledPhase(phase=phase, schedule=schedule, registers=registers)
+        )
+    return CompiledProgram(topology=topology, phases=compiled, scheduler=scheduler)

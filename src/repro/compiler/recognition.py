@@ -1,0 +1,106 @@
+"""Pattern recognition stand-in: declarative specs -> request sets.
+
+The paper "relies upon existing techniques for identifying
+communication patterns" (stencil compilers, HPF distribution analysis,
+...).  This module provides the interface such a pass would feed the
+connection scheduler: a small declarative spec language covering the
+pattern families of the evaluation.  Examples::
+
+    recognize({"pattern": "ring", "nodes": 64})
+    recognize({"pattern": "stencil2d", "width": 8, "height": 8, "size": 64})
+    recognize({"pattern": "hypercube", "nodes": 64, "size": 8})
+    recognize({
+        "pattern": "redistribution",
+        "extents": [64, 64, 64],
+        "source": [[4, 16], [4, 16], [4, 16]],   # [procs, block] per dim
+        "target": [[1, 1], [1, 1], [64, 1]],
+    })
+    recognize({"pattern": "pairs", "pairs": [[0, 2], [1, 3]], "size": 4})
+
+Every spec accepts an optional ``"size"`` (message elements, default 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.requests import RequestSet
+from repro.patterns.classic import (
+    all_to_all_pattern,
+    bit_reversal_pattern,
+    hypercube_pattern,
+    nearest_neighbour_2d,
+    nearest_neighbour_3d,
+    ring_pattern,
+    shuffle_exchange_pattern,
+    transpose_pattern,
+)
+from repro.patterns.redistribution import (
+    BlockCyclic,
+    Distribution,
+    redistribution_requests,
+)
+
+
+class SpecError(ValueError):
+    """A malformed or unrecognised pattern spec."""
+
+
+def _require(spec: Mapping, *keys: str) -> list:
+    missing = [k for k in keys if k not in spec]
+    if missing:
+        raise SpecError(f"spec {spec.get('pattern')!r} is missing keys {missing}")
+    return [spec[k] for k in keys]
+
+
+def recognize(spec: Mapping) -> RequestSet:
+    """Translate a declarative pattern spec into a request set.
+
+    Raises :class:`SpecError` for unknown patterns or missing fields.
+    """
+    if "pattern" not in spec:
+        raise SpecError("spec needs a 'pattern' key")
+    kind = spec["pattern"]
+    size = int(spec.get("size", 1))
+
+    if kind == "ring":
+        (nodes,) = _require(spec, "nodes")
+        return ring_pattern(nodes, size=size,
+                            bidirectional=bool(spec.get("bidirectional", True)))
+    if kind == "stencil2d":
+        width, height = _require(spec, "width", "height")
+        return nearest_neighbour_2d(width, height, size=size)
+    if kind == "stencil3d":
+        (dims,) = _require(spec, "dims")
+        sizes = tuple(spec.get("sizes", (size, size, size)))
+        return nearest_neighbour_3d(tuple(dims), sizes=sizes)
+    if kind == "hypercube":
+        (nodes,) = _require(spec, "nodes")
+        return hypercube_pattern(nodes, size=size)
+    if kind == "shuffle-exchange":
+        (nodes,) = _require(spec, "nodes")
+        return shuffle_exchange_pattern(nodes, size=size)
+    if kind == "all-to-all":
+        (nodes,) = _require(spec, "nodes")
+        return all_to_all_pattern(nodes, size=size)
+    if kind == "transpose":
+        (width,) = _require(spec, "width")
+        return transpose_pattern(width, size=size)
+    if kind == "bit-reversal":
+        (nodes,) = _require(spec, "nodes")
+        return bit_reversal_pattern(nodes, size=size)
+    if kind == "redistribution":
+        extents, source, target = _require(spec, "extents", "source", "target")
+        src = Distribution(
+            tuple(extents), tuple(BlockCyclic(p, b) for p, b in source)
+        )
+        dst = Distribution(
+            tuple(extents), tuple(BlockCyclic(p, b) for p, b in target)
+        )
+        return redistribution_requests(src, dst)
+    if kind == "pairs":
+        (pairs,) = _require(spec, "pairs")
+        return RequestSet.from_pairs(
+            [(int(s), int(d)) for s, d in pairs], size=size
+        )
+    raise SpecError(f"unknown pattern kind {kind!r}")

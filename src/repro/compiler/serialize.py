@@ -1,0 +1,186 @@
+"""Serialisation of compiled-communication artifacts.
+
+A real compiled-communication toolchain separates compile time from run
+time: the compiler writes the schedule and switch-register images to a
+file the loader ships to the machine.  This module provides that
+boundary as JSON:
+
+* :func:`schedule_to_dict` / :func:`schedule_from_dict` -- a
+  :class:`ConfigurationSet` as (slot -> list of sized requests); the
+  loader re-routes on its own topology and *re-validates*, so a
+  schedule file can never smuggle in a conflicting configuration (e.g.
+  when the loader's routing policy differs from the compiler's);
+* :func:`registers_to_dict` / :func:`registers_from_dict` -- the
+  per-switch register words, bound to the topology signature; loading
+  re-decodes and trace-audits the image against the declared circuits.
+
+File-level helpers (:func:`save_artifact` / :func:`load_artifact`)
+bundle both plus metadata into one document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.compiler.codegen import (
+    RegisterSchedule,
+    decode_registers,
+    generate_registers,
+)
+from repro.core.configuration import Configuration, ConfigurationSet
+from repro.core.paths import Connection, route_requests
+from repro.core.requests import Request, RequestSet
+from repro.topology.base import Topology
+
+FORMAT_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """A serialized artifact is malformed or does not match the topology."""
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+
+def schedule_to_dict(schedule: ConfigurationSet) -> dict[str, Any]:
+    """Serialise a configuration set (requests per slot)."""
+    return {
+        "version": FORMAT_VERSION,
+        "scheduler": schedule.scheduler,
+        "degree": schedule.degree,
+        "slots": [
+            [
+                {"src": c.request.src, "dst": c.request.dst,
+                 "size": c.request.size, "tag": c.request.tag}
+                for c in cfg
+            ]
+            for cfg in schedule
+        ],
+    }
+
+
+def schedule_from_dict(topology: Topology, data: dict[str, Any]) -> tuple[ConfigurationSet, list[Connection]]:
+    """Rebuild (and re-validate) a schedule on ``topology``.
+
+    Returns the schedule plus the routed connection list (in slot
+    order), which downstream consumers (codegen, simulator) need.
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise ArtifactError(f"unsupported schedule version {data.get('version')!r}")
+    requests = RequestSet(
+        (
+            Request(e["src"], e["dst"], size=e.get("size", 1), tag=e.get("tag", 0))
+            for slot in data["slots"]
+            for e in slot
+        ),
+        allow_duplicates=True,
+    )
+    connections = route_requests(topology, requests)
+    configs = []
+    i = 0
+    try:
+        for slot in data["slots"]:
+            cfg = Configuration()
+            for _ in slot:
+                cfg.add(connections[i])  # raises if the file lies
+                i += 1
+            configs.append(cfg)
+    except AssertionError as exc:
+        raise ArtifactError(f"schedule file is not conflict-free here: {exc}") from exc
+    schedule = ConfigurationSet(configs, scheduler=data.get("scheduler", "loaded"))
+    schedule.validate(connections)
+    if schedule.degree != data["degree"]:
+        raise ArtifactError(
+            f"declared degree {data['degree']} != actual {schedule.degree}"
+        )
+    return schedule, connections
+
+
+# ----------------------------------------------------------------------
+# register images
+# ----------------------------------------------------------------------
+
+def registers_to_dict(regs: RegisterSchedule) -> dict[str, Any]:
+    """Serialise per-switch register words."""
+    return {
+        "version": FORMAT_VERSION,
+        "topology": regs.topology.signature,
+        "degree": regs.degree,
+        "words": {str(node): [list(w) for w in words]
+                  for node, words in regs.words.items()},
+    }
+
+
+def registers_from_dict(topology: Topology, data: dict[str, Any]) -> RegisterSchedule:
+    """Rebuild a register image for ``topology`` (signature-checked)."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ArtifactError(f"unsupported registers version {data.get('version')!r}")
+    if data["topology"] != topology.signature:
+        raise ArtifactError(
+            f"register image built for {data['topology']!r}, "
+            f"loader topology is {topology.signature!r}"
+        )
+    from repro.topology.switch import build_switches
+
+    switches = build_switches(topology)
+    words = {
+        int(node): [tuple(w) for w in node_words]
+        for node, node_words in data["words"].items()
+    }
+    if set(words) != set(switches):
+        raise ArtifactError("register image does not cover every switch")
+    return RegisterSchedule(
+        topology=topology, degree=data["degree"], words=words, switches=switches
+    )
+
+
+# ----------------------------------------------------------------------
+# bundled artifact files
+# ----------------------------------------------------------------------
+
+def save_artifact(
+    path: str | Path,
+    topology: Topology,
+    schedule: ConfigurationSet,
+    *,
+    name: str = "",
+) -> None:
+    """Write schedule + generated registers as one JSON document."""
+    regs = generate_registers(topology, schedule)
+    doc = {
+        "version": FORMAT_VERSION,
+        "name": name,
+        "topology": topology.signature,
+        "schedule": schedule_to_dict(schedule),
+        "registers": registers_to_dict(regs),
+    }
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def load_artifact(
+    path: str | Path, topology: Topology
+) -> tuple[ConfigurationSet, RegisterSchedule]:
+    """Load and fully audit an artifact file.
+
+    The register image is decoded and the traced circuits are compared
+    against the schedule's declared connections slot by slot -- a
+    tampered or corrupted file fails loudly.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("topology") != topology.signature:
+        raise ArtifactError(
+            f"artifact built for {doc.get('topology')!r}, "
+            f"loader topology is {topology.signature!r}"
+        )
+    schedule, _connections = schedule_from_dict(topology, doc["schedule"])
+    regs = registers_from_dict(topology, doc["registers"])
+    traced = decode_registers(regs)
+    declared = [
+        {c.pair for c in cfg} for cfg in schedule
+    ]
+    if traced != declared:
+        raise ArtifactError("register image does not realise the declared schedule")
+    return schedule, regs

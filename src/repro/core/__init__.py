@@ -1,0 +1,66 @@
+"""Off-line connection scheduling (the paper's core contribution).
+
+Given a *static communication pattern* -- a multiset of connection
+requests ``(src, dst)`` -- and a circuit-switched topology, the
+schedulers in this package partition the requests into the smallest set
+of **configurations** they can find.  A configuration is a set of
+connections no two of which share a directed optical link; a set of K
+configurations is realised by time-division multiplexing with
+multiplexing degree K, so *minimising the number of configurations
+minimises the communication time* of the compiled program.
+
+The paper's three heuristics plus their combination:
+
+================  ===========================================  ==========
+scheduler          idea                                          paper
+================  ===========================================  ==========
+``greedy``         first-fit packing in request order            Fig. 2
+``coloring``       conflict-graph coloring, priority-driven      Fig. 4
+``aapc``           reorder by phased-AAPC phase rank + greedy    Fig. 5
+``combined``       best of ``coloring`` and ``aapc``             sec. 3.4
+================  ===========================================  ==========
+
+plus ablation schedulers beyond the paper in
+:mod:`repro.core.extra_schedulers`.  Use :func:`repro.core.registry.get_scheduler`
+to obtain any of them by name.
+"""
+
+from repro.core.requests import Request, RequestSet
+from repro.core.paths import Connection, route_requests
+from repro.core.conflicts import conflict, build_conflict_graph, link_load
+from repro.core.configuration import (
+    Configuration,
+    ConfigurationSet,
+    ScheduleValidationError,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.coloring import coloring_schedule
+from repro.core.aapc_ordered import ordered_aapc_schedule
+from repro.core.combined import combined_schedule
+from repro.core.bounds import max_link_load_bound, degree_lower_bound
+from repro.core.registry import get_scheduler, scheduler_names
+from repro.core.weighted import WeightedSchedule, weighted_schedule, simulate_weighted
+
+__all__ = [
+    "Request",
+    "RequestSet",
+    "Connection",
+    "route_requests",
+    "conflict",
+    "build_conflict_graph",
+    "link_load",
+    "Configuration",
+    "ConfigurationSet",
+    "ScheduleValidationError",
+    "greedy_schedule",
+    "coloring_schedule",
+    "ordered_aapc_schedule",
+    "combined_schedule",
+    "max_link_load_bound",
+    "degree_lower_bound",
+    "get_scheduler",
+    "WeightedSchedule",
+    "weighted_schedule",
+    "simulate_weighted",
+    "scheduler_names",
+]

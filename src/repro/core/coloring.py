@@ -1,0 +1,136 @@
+"""The graph-coloring connection scheduling algorithm (paper Fig. 4).
+
+The request set is modelled as a **conflict graph** (one node per
+connection, edges between conflicting pairs); a proper coloring is a
+partition into configurations, so minimising colors minimises the
+multiplexing degree.  Coloring is NP-complete, so the paper uses a
+priority heuristic.  Each round builds one configuration: walk the
+uncolored nodes in priority order, color the highest-priority workable
+node, and knock its uncolored neighbours out of the round's work list.
+When a node is colored, the degrees of its uncolored neighbours
+decrease; those neighbours are exactly the nodes removed from the work
+list, so within a round the priority order of the *remaining* work list
+is unaffected (which is why a single sort per round, as in the paper's
+Fig. 4, suffices).
+
+Priority rules -- a reproduction note
+-------------------------------------
+The paper's prose defines the priority as *"the ratio of the number of
+links in the connection to the degree of the corresponding node in the
+uncolored conflict subgraph"*, processed highest-first, i.e.
+fewest-conflicts-first.  Implemented literally, that rule produces
+multiplexing degrees consistently *worse than the greedy algorithm* on
+the paper's own Table 1 workloads (e.g. ~18 vs ~16 at 400 random
+connections), contradicting the paper's central observation that "the
+coloring algorithm is always better than the greedy algorithm".
+
+Processing **most-constrained connections first** -- priority = degree
+in the uncolored conflict subgraph, descending (the Welsh-Powell
+discipline) -- reproduces the paper's coloring column closely on every
+reported workload (ring 2, nearest-neighbour 4, shuffle-exchange 4,
+all-to-all 82 vs the paper's 83; random patterns tracking Table 1
+within ~5%) and restores coloring <= greedy throughout.  We therefore
+default to ``priority="most-constrained"`` and keep the literal rule
+available as ``priority="paper-ratio"`` for comparison; the ablation
+bench quantifies the difference, and EXPERIMENTS.md discusses it.
+
+Implementation notes: adjacency is built from per-link buckets (see
+:mod:`repro.core.conflicts`) and stored as deduplicated numpy index
+arrays, so degree updates vectorise; the densest evaluation instance
+(all-to-all on the 8x8 torus: 4032 connections, ~1.4M conflict edges)
+colors in under a second.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration, ConfigurationSet
+from repro.core.conflicts import links_to_connections
+from repro.core.paths import Connection
+
+#: Valid ``priority`` arguments of :func:`coloring_schedule`.
+PRIORITY_RULES = ("most-constrained", "paper-ratio")
+
+
+def _adjacency_arrays(connections: Sequence[Connection]) -> list[np.ndarray]:
+    """Conflict adjacency as sorted, deduplicated int32 arrays."""
+    n = len(connections)
+    raw: list[list[int]] = [[] for _ in range(n)]
+    for members in links_to_connections(connections).values():
+        if len(members) > 1:
+            for i in members:
+                raw[i].extend(members)
+    adj: list[np.ndarray] = []
+    for i, lst in enumerate(raw):
+        if lst:
+            a = np.unique(np.asarray(lst, dtype=np.int32))
+            a = a[a != i]
+        else:
+            a = np.empty(0, dtype=np.int32)
+        adj.append(a)
+    return adj
+
+
+def coloring_schedule(
+    connections: Sequence[Connection],
+    *,
+    priority: str = "most-constrained",
+) -> ConfigurationSet:
+    """Schedule ``connections`` with the Fig. 4 coloring heuristic.
+
+    Parameters
+    ----------
+    connections:
+        Routed request set, indexed ``0..n-1``.
+    priority:
+        ``"most-constrained"`` (default; degree descending -- see the
+        module docstring for why) or ``"paper-ratio"`` (the paper's
+        literal links/degree rule, fewest conflicts first).
+
+    Returns a validated-by-construction :class:`ConfigurationSet`
+    (every ``Configuration.add`` re-checks link-disjointness).
+    """
+    if priority not in PRIORITY_RULES:
+        raise ValueError(f"priority must be one of {PRIORITY_RULES}, got {priority!r}")
+    n = len(connections)
+    if n == 0:
+        return ConfigurationSet([], scheduler="coloring")
+    for i, c in enumerate(connections):
+        if c.index != i:
+            raise ValueError("connections must be indexed 0..n-1 in order")
+
+    adj = _adjacency_arrays(connections)
+    deg = np.array([len(a) for a in adj], dtype=np.int64)
+    lengths = np.array([c.num_links for c in connections], dtype=np.float64)
+    uncolored = np.ones(n, dtype=bool)
+    n_left = n
+
+    configs: list[Configuration] = []
+    while n_left > 0:
+        if priority == "paper-ratio":
+            prio = np.where(deg > 0, lengths / np.maximum(deg, 1), np.inf)
+        else:
+            prio = deg.astype(np.float64)
+        idxs = np.nonzero(uncolored)[0]
+        # Primary key: priority descending; secondary: index ascending
+        # (deterministic tie-break).
+        order = idxs[np.lexsort((idxs, -prio[idxs]))]
+        in_work = uncolored.copy()
+        cfg = Configuration()
+        for i in order:
+            if not in_work[i]:
+                continue
+            cfg.add(connections[i])
+            uncolored[i] = False
+            in_work[i] = False
+            n_left -= 1
+            nbrs = adj[i]
+            if nbrs.size:
+                still = nbrs[uncolored[nbrs]]
+                deg[still] -= 1
+                in_work[still] = False
+        configs.append(cfg)
+    return ConfigurationSet(configs, scheduler="coloring")

@@ -1,0 +1,152 @@
+"""Configurations and configuration sets (TDM schedules).
+
+A **configuration** is a conflict-free set of connections -- a legal
+network state.  A **configuration set** ``{C_1 ... C_K}`` covering a
+request set is realised by TDM with multiplexing degree K: the network
+cycles through the K states, one per time slot, and every request owns
+a slot.  The scheduler's objective is to minimise K.
+
+:class:`ConfigurationSet` is the common result type of every scheduler
+and the input of the code generator and the compiled-communication
+simulator.  ``validate()`` checks the two defining properties
+(conflict-freeness of every configuration; exact coverage of the routed
+request set) and is exercised by every scheduler test, so a scheduling
+bug cannot silently produce an illegal schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.paths import Connection
+
+
+class ScheduleValidationError(AssertionError):
+    """A configuration set violates conflict-freeness or coverage."""
+
+
+class Configuration:
+    """A conflict-free set of connections (one TDM network state)."""
+
+    __slots__ = ("connections", "used_links")
+
+    def __init__(self, connections: Iterable[Connection] = ()) -> None:
+        self.connections: list[Connection] = []
+        self.used_links: set[int] = set()
+        for c in connections:
+            self.add(c)
+
+    def fits(self, connection: Connection) -> bool:
+        """True iff ``connection`` conflicts with nothing already here."""
+        return self.used_links.isdisjoint(connection.link_set)
+
+    def add(self, connection: Connection) -> None:
+        """Add a connection; raises if it conflicts with a member."""
+        if not self.fits(connection):
+            clash = self.used_links & connection.link_set
+            raise ScheduleValidationError(
+                f"connection {connection} conflicts on links {sorted(clash)}"
+            )
+        self.connections.append(connection)
+        self.used_links |= connection.link_set
+
+    def remove(self, connection: Connection) -> None:
+        """Remove a member connection (used by local-search repacking)."""
+        self.connections.remove(connection)
+        self.used_links -= connection.link_set
+
+    def __len__(self) -> int:
+        return len(self.connections)
+
+    def __iter__(self) -> Iterator[Connection]:
+        return iter(self.connections)
+
+    @property
+    def total_links_used(self) -> int:
+        """Number of distinct links lit in this state (utilisation)."""
+        return len(self.used_links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Configuration n={len(self)} links={self.total_links_used}>"
+
+
+class ConfigurationSet(Sequence[Configuration]):
+    """An ordered list of configurations = a TDM schedule.
+
+    The position of a configuration is its **time slot**; the length of
+    the list is the **multiplexing degree** K.
+    """
+
+    def __init__(self, configurations: Iterable[Configuration], *, scheduler: str = "") -> None:
+        self._configs = list(configurations)
+        #: name of the scheduler that produced this set (for reports).
+        self.scheduler = scheduler
+
+    # -- sequence protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._configs[i]
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self._configs)
+
+    # -- schedule views -----------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """The multiplexing degree K -- the quantity Tables 1-3 compare."""
+        return len(self._configs)
+
+    def slot_map(self) -> dict[int, int]:
+        """Map connection index -> assigned time slot."""
+        return {
+            c.index: slot
+            for slot, cfg in enumerate(self._configs)
+            for c in cfg
+        }
+
+    def all_connections(self) -> list[Connection]:
+        """All scheduled connections, in slot order."""
+        return [c for cfg in self._configs for c in cfg]
+
+    # -- validation -----------------------------------------------------
+    def validate(self, connections: Sequence[Connection]) -> None:
+        """Assert the two defining properties against the routed set.
+
+        1. every configuration is internally conflict-free (re-checked
+           from scratch, not trusting incremental bookkeeping);
+        2. every connection appears in exactly one configuration and no
+           foreign connection appears.
+
+        Raises :class:`ScheduleValidationError` on any violation.
+        """
+        for slot, cfg in enumerate(self._configs):
+            seen: set[int] = set()
+            for c in cfg:
+                overlap = seen & c.link_set
+                if overlap:
+                    raise ScheduleValidationError(
+                        f"slot {slot}: {c} reuses links {sorted(overlap)}"
+                    )
+                seen |= c.link_set
+        scheduled = [c.index for cfg in self._configs for c in cfg]
+        if len(scheduled) != len(set(scheduled)):
+            raise ScheduleValidationError("a connection is scheduled twice")
+        expected = {c.index for c in connections}
+        got = set(scheduled)
+        if got != expected:
+            missing = sorted(expected - got)[:10]
+            extra = sorted(got - expected)[:10]
+            raise ScheduleValidationError(
+                f"coverage mismatch: missing={missing} extra={extra}"
+            )
+
+    def utilisation(self, num_links: int) -> float:
+        """Fraction of link-slots actually lit, over the whole frame."""
+        lit = sum(cfg.total_links_used for cfg in self._configs)
+        return lit / (num_links * max(self.degree, 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" by {self.scheduler}" if self.scheduler else ""
+        return f"<ConfigurationSet K={self.degree}{tag}>"

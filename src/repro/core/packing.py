@@ -1,0 +1,108 @@
+"""Shared packing primitives used by several schedulers.
+
+Two building blocks live here:
+
+:func:`first_fit`
+    Place each connection (in a given order) into the first
+    configuration it fits, opening a new configuration when none fits.
+    This is *exactly* the paper's greedy algorithm (Fig. 2): the
+    paper's formulation fills configuration C_k by one pass over the
+    remaining requests before opening C_{k+1}, and a short induction
+    shows both formulations assign every request to the same
+    configuration -- a request joins C_k iff it conflicts with some
+    earlier-ordered member of each of C_1..C_{k-1} and with none in
+    C_k.  First-fit is the cheaper formulation, O(|R| * K) fit tests.
+
+:func:`repack`
+    A local-search improver: repeatedly try to dissolve the smallest
+    configuration by moving each of its members into some other
+    configuration.  Preserves validity by construction; used by the
+    ablation schedulers and by the AAPC phase builder, *not* by the
+    paper's three algorithms (they are reproduced faithfully).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.configuration import Configuration, ConfigurationSet
+from repro.core.paths import Connection
+
+
+def first_fit(
+    connections: Sequence[Connection],
+    order: Sequence[int] | None = None,
+    *,
+    scheduler: str = "first-fit",
+) -> ConfigurationSet:
+    """Pack ``connections`` first-fit in the given order.
+
+    Parameters
+    ----------
+    connections:
+        The routed request set.
+    order:
+        Positions into ``connections`` giving the processing order;
+        defaults to the natural (request) order.  Need not be a full
+        permutation check here -- callers pass permutations.
+    """
+    configs: list[Configuration] = []
+    seq = connections if order is None else [connections[i] for i in order]
+    for c in seq:
+        for cfg in configs:
+            if cfg.fits(c):
+                cfg.add(c)
+                break
+        else:
+            cfg = Configuration()
+            cfg.add(c)
+            configs.append(cfg)
+    return ConfigurationSet(configs, scheduler=scheduler)
+
+
+def _try_dissolve(victim: Configuration, others: Sequence[Configuration]) -> bool:
+    """Move every member of ``victim`` into some other configuration.
+
+    All-or-nothing: on failure every tentative move is rolled back and
+    ``victim`` is left exactly as found.
+    """
+    moves: list[tuple[Connection, Configuration]] = []
+    for c in list(victim.connections):
+        for cfg in others:
+            if cfg.fits(c):
+                victim.remove(c)
+                cfg.add(c)
+                moves.append((c, cfg))
+                break
+        else:
+            for moved, cfg in reversed(moves):
+                cfg.remove(moved)
+                victim.add(moved)
+            return False
+    return True
+
+
+def repack(schedule: ConfigurationSet, *, max_rounds: int = 1000) -> ConfigurationSet:
+    """Local-search improver: dissolve configurations where possible.
+
+    Repeatedly walks the configurations smallest-first and attempts an
+    all-or-nothing dissolution of each into the remaining ones; every
+    success removes one time slot.  Stops at a local optimum (no
+    configuration dissolvable) or after ``max_rounds`` successes.
+
+    The input set's configurations are mutated; the returned set shares
+    them.  Validity is preserved by construction --
+    :meth:`Configuration.add` re-checks link-disjointness on every move.
+    """
+    configs = [cfg for cfg in schedule if len(cfg) > 0]
+    for _ in range(max_rounds):
+        if len(configs) <= 1:
+            break
+        for victim in sorted(configs, key=len):
+            others = [cfg for cfg in configs if cfg is not victim]
+            if _try_dissolve(victim, others):
+                configs.remove(victim)
+                break
+        else:
+            break
+    return ConfigurationSet(configs, scheduler=schedule.scheduler + "+repack")

@@ -1,0 +1,79 @@
+"""Routed connections.
+
+A :class:`Connection` binds a request to its light path on a concrete
+topology.  Because all-optical circuit switching holds the *entire*
+path for a time slot, the path's link set is the only thing the
+schedulers need: two connections conflict iff the sets intersect.
+
+Routes are computed once by :func:`route_requests`; every scheduler then
+works on the same immutable list, which keeps algorithm comparisons
+apples-to-apples and makes the routing policy an explicit experimental
+knob of the topology rather than of the scheduler.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.requests import Request, RequestSet
+from repro.topology.base import Topology
+
+
+class Connection:
+    """A routed connection request.
+
+    Attributes
+    ----------
+    index:
+        Stable position of this connection in the routed set; used as
+        the node id in conflict graphs and as the key of slot maps.
+    request:
+        The originating :class:`~repro.core.requests.Request`.
+    links:
+        The light path as an ordered tuple of link ids (injection fiber
+        first, ejection fiber last).
+    link_set:
+        ``frozenset(links)``; the conflict footprint.
+    """
+
+    __slots__ = ("index", "request", "links", "link_set")
+
+    def __init__(self, index: int, request: Request, links: tuple[int, ...]) -> None:
+        self.index = index
+        self.request = request
+        self.links = links
+        self.link_set = frozenset(links)
+
+    @property
+    def num_links(self) -> int:
+        """Path length in links -- the paper's "number of links in the
+        connection" (coloring priority numerator, AAPC phase rank
+        summand)."""
+        return len(self.links)
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return self.request.pair
+
+    def conflicts_with(self, other: "Connection") -> bool:
+        """True iff the two connections cannot share a time slot."""
+        return not self.link_set.isdisjoint(other.link_set)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Connection #{self.index} {self.request} len={self.num_links}>"
+
+
+def route_requests(
+    topology: Topology,
+    requests: RequestSet | Sequence[Request],
+) -> list[Connection]:
+    """Route every request on ``topology``.
+
+    Returns connections in request order with ``index`` equal to the
+    request's position.  Raises
+    :class:`~repro.topology.base.RoutingError` for invalid endpoints.
+    """
+    return [
+        Connection(i, r, topology.route(r.src, r.dst))
+        for i, r in enumerate(requests)
+    ]

@@ -1,0 +1,152 @@
+"""Connection requests and request sets.
+
+A :class:`Request` is the unit the compiler schedules: "source PE ``s``
+must be able to send to destination PE ``d``".  Requests optionally
+carry a message ``size`` (in array elements) -- the schedulers ignore it
+but the cycle-level simulator uses it to compute transfer times -- and a
+``tag`` that distinguishes repeated requests between the same pair
+(e.g. two different arrays flowing between the same PEs inside one
+communication phase).
+
+A :class:`RequestSet` is an *ordered* multiset of requests.  Order
+matters because the paper's greedy algorithm is order-sensitive (that is
+precisely the weakness Fig. 3 illustrates and the coloring / ordered-
+AAPC algorithms fix).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """A point-to-point connection request ``src -> dst``.
+
+    Parameters
+    ----------
+    src, dst:
+        PE (node) ids.  ``src == dst`` is rejected by
+        :class:`RequestSet` -- local data movement never touches the
+        network.
+    size:
+        Message size in elements; only the simulator consumes it.
+    tag:
+        Disambiguates duplicate ``(src, dst)`` requests.
+    """
+
+    src: int
+    dst: int
+    size: int = 1
+    tag: int = 0
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The ``(src, dst)`` endpoints."""
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" x{self.size}" if self.size != 1 else ""
+        return f"({self.src},{self.dst}){extra}"
+
+
+class RequestSet(Sequence[Request]):
+    """Ordered multiset of :class:`Request` objects.
+
+    Construction validates that no request is a self-loop and (unless
+    ``allow_duplicates``) that all ``(src, dst)`` pairs are distinct.
+    The evaluation patterns of the paper (random patterns sampled
+    without replacement, redistribution pair sets, classic patterns) are
+    all duplicate-free; duplicates remain representable because a real
+    compiler may schedule two messages between the same pair in one
+    phase.
+    """
+
+    def __init__(
+        self,
+        requests: Iterable[Request],
+        *,
+        allow_duplicates: bool = False,
+        name: str = "",
+    ) -> None:
+        self._requests = tuple(requests)
+        self.name = name
+        seen: set[tuple[int, int]] = set()
+        for i, r in enumerate(self._requests):
+            if r.src == r.dst:
+                raise ValueError(f"request {i} is a self-loop: {r}")
+            if not allow_duplicates:
+                if r.pair in seen:
+                    raise ValueError(
+                        f"duplicate request pair {r.pair}; pass "
+                        "allow_duplicates=True if intended"
+                    )
+                seen.add(r.pair)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[tuple[int, int]],
+        *,
+        size: int = 1,
+        allow_duplicates: bool = False,
+        name: str = "",
+    ) -> "RequestSet":
+        """Build a request set from bare ``(src, dst)`` pairs."""
+        return cls(
+            (Request(s, d, size=size) for s, d in pairs),
+            allow_duplicates=allow_duplicates,
+            name=name,
+        )
+
+    @classmethod
+    def from_sized_pairs(
+        cls,
+        triples: Iterable[tuple[int, int, int]],
+        *,
+        allow_duplicates: bool = False,
+        name: str = "",
+    ) -> "RequestSet":
+        """Build from ``(src, dst, size)`` triples (redistributions)."""
+        return cls(
+            (Request(s, d, size=n) for s, d, n in triples),
+            allow_duplicates=allow_duplicates,
+            name=name,
+        )
+
+    # -- sequence protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._requests[i]
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        """All ``(src, dst)`` pairs in order."""
+        return tuple(r.pair for r in self._requests)
+
+    def total_elements(self) -> int:
+        """Sum of message sizes (elements moved by the whole pattern)."""
+        return sum(r.size for r in self._requests)
+
+    def reordered(self, order: Sequence[int]) -> "RequestSet":
+        """New set with requests permuted by ``order`` (a permutation of
+        ``range(len(self))``)."""
+        if sorted(order) != list(range(len(self))):
+            raise ValueError("order must be a permutation of the request indices")
+        return RequestSet(
+            (self._requests[i] for i in order),
+            allow_duplicates=True,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<RequestSet{label} n={len(self)}>"

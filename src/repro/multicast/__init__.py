@@ -1,0 +1,55 @@
+"""Multicast connections over all-optical TDM networks -- extension.
+
+Optical splitters let a switch drive several outputs from one input, so
+a single time slot can carry a **multicast tree**: the source's light
+reaches every destination with no electronic relaying.  The paper stays
+unicast; multicast was the natural next step for TDM optical
+interconnects (collective operations -- broadcast, row/column updates
+-- are trees), and the scheduling theory carries over unchanged:
+
+* a multicast connection's footprint is its *tree's* directed-link set
+  (under deterministic dimension-order routing the union of the
+  source's unicast paths is always a tree -- two paths from one source
+  never remerge after diverging);
+* two connections conflict iff their link sets intersect -- exactly the
+  unicast rule, so the greedy and coloring schedulers run unmodified on
+  :class:`MulticastConnection` objects;
+* the code generator needs one new capability: a switch input driving
+  several outputs (:mod:`repro.multicast.codegen`).
+
+The ordered-AAPC scheduler does not apply (its phase map is keyed by
+unicast pairs), which mirrors the theory: multicast scheduling needs
+its own decompositions.
+"""
+
+from repro.multicast.requests import MulticastRequest, MulticastSet
+from repro.multicast.routing import MulticastConnection, route_multicasts
+from repro.multicast.patterns import (
+    broadcast_pattern,
+    all_broadcast_pattern,
+    row_multicast_pattern,
+)
+from repro.multicast.codegen import (
+    FanoutState,
+    generate_multicast_registers,
+    decode_multicast_registers,
+)
+from repro.multicast.sim import (
+    MulticastCompiledResult,
+    compiled_multicast_completion_time,
+)
+
+__all__ = [
+    "MulticastRequest",
+    "MulticastSet",
+    "MulticastConnection",
+    "route_multicasts",
+    "broadcast_pattern",
+    "all_broadcast_pattern",
+    "row_multicast_pattern",
+    "FanoutState",
+    "generate_multicast_registers",
+    "decode_multicast_registers",
+    "MulticastCompiledResult",
+    "compiled_multicast_completion_time",
+]

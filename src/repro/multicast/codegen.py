@@ -1,0 +1,157 @@
+"""Register generation for multicast trees (splitter-capable switches).
+
+A multicast-capable crossbar lets one input drive *several* outputs
+(an optical splitter behind the crossbar); inputs still may not share
+an output.  :class:`FanoutState` models that, and the
+generate/decode pair mirrors :mod:`repro.compiler.codegen` -- including
+the trace-back audit, which here follows every fanout branch and must
+recover exactly each tree's destination set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.configuration import ConfigurationSet
+from repro.multicast.routing import MulticastConnection
+from repro.topology.base import Topology
+from repro.topology.links import LinkKind
+from repro.topology.switch import CrossbarSwitch, SwitchConfigError, build_switches
+
+
+@dataclass
+class FanoutState:
+    """One multicast-capable switch's state for one slot.
+
+    ``mapping`` sends each input link id to the *set* of output link
+    ids it drives; every output is driven by at most one input.
+    """
+
+    node: int
+    mapping: dict[int, set[int]] = field(default_factory=dict)
+
+    def connect(self, in_link: int, out_link: int) -> None:
+        for other_in, outs in self.mapping.items():
+            if out_link in outs and other_in != in_link:
+                raise SwitchConfigError(
+                    f"switch {self.node}: output {out_link} already driven "
+                    f"by input {other_in}"
+                )
+        self.mapping.setdefault(in_link, set()).add(out_link)
+
+    def outputs_of(self, in_link: int) -> frozenset[int]:
+        return frozenset(self.mapping.get(in_link, ()))
+
+
+@dataclass
+class MulticastRegisterSchedule:
+    """Register images with fanout words.
+
+    A word has one entry per input port: the frozenset of local output
+    port indices it drives (empty = dark input).
+    """
+
+    topology: Topology
+    degree: int
+    words: dict[int, list[tuple[frozenset[int], ...]]]
+    switches: dict[int, CrossbarSwitch]
+
+
+def _encode(switch: CrossbarSwitch, state: FanoutState) -> tuple[frozenset[int], ...]:
+    out_index = {link: i for i, link in enumerate(switch.out_links)}
+    in_index = {link: i for i, link in enumerate(switch.in_links)}
+    word: list[frozenset[int]] = [frozenset()] * len(switch.in_links)
+    used_outputs: set[int] = set()
+    for in_link, outs in state.mapping.items():
+        locals_ = frozenset(out_index[o] for o in outs)
+        if used_outputs & locals_:
+            raise SwitchConfigError(f"switch {state.node}: output used twice")
+        used_outputs |= locals_
+        word[in_index[in_link]] = locals_
+    return tuple(word)
+
+
+def generate_multicast_registers(
+    topology: Topology, schedule: ConfigurationSet
+) -> MulticastRegisterSchedule:
+    """Emit fanout register words for a multicast schedule.
+
+    ``schedule`` holds :class:`MulticastConnection` members (the core
+    ``Configuration`` machinery is connection-type agnostic).
+    """
+    switches = build_switches(topology)
+    degree = max(schedule.degree, 1)
+    states: dict[tuple[int, int], FanoutState] = {}
+
+    def state(node: int, slot: int) -> FanoutState:
+        key = (node, slot)
+        if key not in states:
+            states[key] = FanoutState(node)
+        return states[key]
+
+    for slot, cfg in enumerate(schedule):
+        for conn in cfg:
+            assert isinstance(conn, MulticastConnection)
+            for path in conn.branches.values():
+                for in_link, out_link in zip(path, path[1:]):
+                    node = topology.link_info(out_link).src
+                    st = state(node, slot)
+                    if out_link not in st.outputs_of(in_link):
+                        st.connect(in_link, out_link)
+
+    words: dict[int, list[tuple[frozenset[int], ...]]] = {}
+    for node, switch in switches.items():
+        words[node] = [
+            _encode(switch, states.get((node, slot), FanoutState(node)))
+            for slot in range(degree)
+        ]
+    return MulticastRegisterSchedule(
+        topology=topology, degree=degree, words=words, switches=switches
+    )
+
+
+def decode_multicast_registers(
+    regs: MulticastRegisterSchedule,
+) -> list[set[tuple[int, frozenset[int]]]]:
+    """Trace each slot's light trees out of the register image.
+
+    Returns, per slot, the set of ``(source, destinations)`` trees.
+    Raises on dead-ends or loops, as the unicast decoder does.
+    """
+    topo = regs.topology
+    out: list[set[tuple[int, frozenset[int]]]] = []
+    for slot in range(regs.degree):
+        decoded: dict[int, FanoutState] = {}
+        for node, words in regs.words.items():
+            switch = regs.switches[node]
+            st = FanoutState(node)
+            for i, locals_ in enumerate(words[slot]):
+                for o in locals_:
+                    st.connect(switch.in_links[i], switch.out_links[o])
+            decoded[node] = st
+        trees: set[tuple[int, frozenset[int]]] = set()
+        for src in topo.iter_nodes():
+            first = decoded[src].outputs_of(topo.inject_link(src))
+            if not first:
+                continue
+            dsts: set[int] = set()
+            frontier = list(first)
+            hops = 0
+            while frontier:
+                link = frontier.pop()
+                info = topo.link_info(link)
+                if info.kind is LinkKind.EJECT:
+                    dsts.add(info.dst)
+                    continue
+                nxt = decoded[info.dst].outputs_of(link)
+                if not nxt:
+                    raise AssertionError(
+                        f"slot {slot}: tree from {src} dead-ends at switch {info.dst}"
+                    )
+                frontier.extend(nxt)
+                hops += len(nxt)
+                if hops > topo.num_links:
+                    raise AssertionError(f"slot {slot}: tree from {src} loops")
+            trees.add((src, frozenset(dsts)))
+        out.append(trees)
+    return out

@@ -1,0 +1,40 @@
+"""Multicast pattern generators (collective-operation shapes)."""
+
+from __future__ import annotations
+
+from repro.multicast.requests import MulticastRequest, MulticastSet
+
+
+def broadcast_pattern(n: int, *, root: int = 0, size: int = 1) -> MulticastSet:
+    """One-to-all broadcast from ``root``."""
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range [0, {n})")
+    dsts = tuple(i for i in range(n) if i != root)
+    return MulticastSet(
+        [MulticastRequest(root, dsts, size=size)], name=f"broadcast-{n}"
+    )
+
+
+def all_broadcast_pattern(n: int, *, size: int = 1) -> MulticastSet:
+    """All-to-all broadcast (allgather): every node multicasts to all."""
+    return MulticastSet(
+        [
+            MulticastRequest(s, tuple(d for d in range(n) if d != s), size=size)
+            for s in range(n)
+        ],
+        name=f"all-broadcast-{n}",
+    )
+
+
+def row_multicast_pattern(width: int, height: int, *, size: int = 1) -> MulticastSet:
+    """Each row's leader (column 0) multicasts to the rest of its row.
+
+    The classic pattern of row-wise matrix algorithms (pivot row
+    broadcast in LU, row scaling, ...); node ids are ``x + width * y``.
+    """
+    requests = []
+    for y in range(height):
+        leader = width * y
+        dsts = tuple(x + width * y for x in range(1, width))
+        requests.append(MulticastRequest(leader, dsts, size=size))
+    return MulticastSet(requests, name=f"row-multicast-{width}x{height}")

@@ -1,0 +1,61 @@
+"""Multicast requests: one source, several destinations."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MulticastRequest:
+    """``src`` sends one message to every node in ``dsts``.
+
+    Destinations are stored sorted and deduplicated; the source may not
+    be its own destination (local delivery needs no network).
+    """
+
+    src: int
+    dsts: tuple[int, ...]
+    size: int = 1
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        dsts = tuple(sorted(set(self.dsts)))
+        if not dsts:
+            raise ValueError("multicast needs at least one destination")
+        if self.src in dsts:
+            raise ValueError(f"source {self.src} cannot be a destination")
+        object.__setattr__(self, "dsts", dsts)
+
+    @property
+    def fanout(self) -> int:
+        """Number of destinations."""
+        return len(self.dsts)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.src} -> {{{','.join(map(str, self.dsts))}}})"
+
+
+class MulticastSet(Sequence[MulticastRequest]):
+    """Ordered collection of multicast requests."""
+
+    def __init__(self, requests: Iterable[MulticastRequest], *, name: str = "") -> None:
+        self._requests = tuple(requests)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._requests[i]
+
+    def __iter__(self) -> Iterator[MulticastRequest]:
+        return iter(self._requests)
+
+    def total_fanout(self) -> int:
+        """Sum of destination counts (unicast-equivalent message count)."""
+        return sum(r.fanout for r in self._requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<MulticastSet{label} n={len(self)}>"

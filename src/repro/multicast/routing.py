@@ -1,0 +1,94 @@
+"""Multicast tree construction.
+
+The tree of a multicast request is the union of the topology's unicast
+routes from the source to each destination.  Under deterministic
+prefix-stable routing (dimension-order: two routes from one source
+share a prefix and never remerge after diverging) that union *is* a
+tree; :func:`route_multicasts` verifies the tree property anyway --
+each switch is entered by at most one fiber -- so exotic topologies or
+fault-rerouted paths that would silently create a DAG fail loudly
+instead (a remerge would need an optical combiner, which the switch
+model does not have).
+
+:class:`MulticastConnection` duck-types
+:class:`repro.core.paths.Connection` (``index``, ``links``,
+``link_set``, ``num_links``), so the greedy and coloring schedulers and
+the configuration machinery run on it unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.multicast.requests import MulticastRequest, MulticastSet
+from repro.topology.base import Topology
+from repro.topology.links import LinkKind
+
+
+class MulticastTreeError(ValueError):
+    """The union of unicast routes is not a tree on this topology."""
+
+
+class MulticastConnection:
+    """A routed multicast tree (scheduler-compatible footprint)."""
+
+    __slots__ = ("index", "request", "links", "link_set", "branches")
+
+    def __init__(
+        self,
+        index: int,
+        request: MulticastRequest,
+        links: tuple[int, ...],
+        branches: dict[int, tuple[int, ...]],
+    ) -> None:
+        self.index = index
+        self.request = request
+        #: all tree links, deduplicated, in first-visit order.
+        self.links = links
+        self.link_set = frozenset(links)
+        #: per-destination unicast path (shares prefixes with siblings).
+        self.branches = branches
+
+    @property
+    def num_links(self) -> int:
+        """Tree size in links (the scheduling 'length' of the request)."""
+        return len(self.links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MulticastConnection #{self.index} {self.request} tree={self.num_links}>"
+
+
+def route_multicasts(
+    topology: Topology,
+    requests: MulticastSet | Sequence[MulticastRequest],
+) -> list[MulticastConnection]:
+    """Build and verify the multicast tree of every request."""
+    out = []
+    for index, req in enumerate(requests):
+        seen: list[int] = []
+        seen_set: set[int] = set()
+        entered_by: dict[int, int] = {}  # switch -> incoming link id
+        branches: dict[int, tuple[int, ...]] = {}
+        for dst in req.dsts:
+            path = topology.route(req.src, dst)
+            branches[dst] = path
+            for link in path:
+                info = topology.link_info(link)
+                if link not in seen_set:
+                    seen.append(link)
+                    seen_set.add(link)
+                    if info.kind is LinkKind.TRANSIT:
+                        prior = entered_by.get(info.dst)
+                        if prior is not None and prior != link:
+                            raise MulticastTreeError(
+                                f"multicast {req}: switch {info.dst} entered "
+                                f"by fibers {prior} and {link} -- the route "
+                                "union is not a tree"
+                            )
+                        entered_by[info.dst] = link
+        out.append(
+            MulticastConnection(
+                index=index, request=req, links=tuple(seen), branches=branches
+            )
+        )
+    return out

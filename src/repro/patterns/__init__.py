@@ -1,0 +1,77 @@
+"""Communication pattern generators (the evaluation workloads).
+
+The paper evaluates the schedulers on three families of patterns
+(section 3.4) and the simulator on application patterns (section 4.2):
+
+* **random patterns** -- ``n`` distinct uniform (src, dst) pairs
+  (:mod:`repro.patterns.random_patterns`, Table 1);
+* **random data redistributions** -- block-cyclic redistributions of a
+  3-D array over 64 PEs (:mod:`repro.patterns.redistribution`, Table 2);
+* **frequently used patterns** -- ring, nearest neighbour, hypercube,
+  shuffle-exchange, all-to-all (:mod:`repro.patterns.classic`, Table 3);
+* **application patterns** -- the static patterns of the GS, TSCF and
+  P3M programs with problem-size-dependent message sizes
+  (:mod:`repro.patterns.applications`, Tables 4-5).
+
+Logical patterns are mapped onto physical torus nodes by the embeddings
+of :mod:`repro.patterns.embeddings` (identity by default, as in the
+paper; snake and Gray-code embeddings are provided for ablations).
+"""
+
+from repro.patterns.random_patterns import random_pattern
+from repro.patterns.embeddings import (
+    Embedding,
+    identity_embedding,
+    snake_embedding,
+    gray_embedding,
+)
+from repro.patterns.classic import (
+    ring_pattern,
+    nearest_neighbour_2d,
+    nearest_neighbour_3d,
+    hypercube_pattern,
+    shuffle_exchange_pattern,
+    all_to_all_pattern,
+    transpose_pattern,
+    bit_reversal_pattern,
+)
+from repro.patterns.redistribution import (
+    BlockCyclic,
+    Distribution,
+    redistribution_pairs,
+    redistribution_requests,
+    random_distribution,
+)
+from repro.patterns.applications import (
+    ApplicationPattern,
+    gs_pattern,
+    tscf_pattern,
+    p3m_pattern,
+    application_patterns,
+)
+
+__all__ = [
+    "random_pattern",
+    "Embedding",
+    "identity_embedding",
+    "snake_embedding",
+    "gray_embedding",
+    "ring_pattern",
+    "nearest_neighbour_2d",
+    "nearest_neighbour_3d",
+    "hypercube_pattern",
+    "shuffle_exchange_pattern",
+    "all_to_all_pattern",
+    "transpose_pattern",
+    "bit_reversal_pattern",
+    "BlockCyclic",
+    "Distribution",
+    "redistribution_pairs",
+    "redistribution_requests",
+    "random_distribution",
+    "ApplicationPattern",
+    "gs_pattern",
+    "tscf_pattern",
+    "p3m_pattern",
+    "application_patterns",
+]

@@ -1,0 +1,170 @@
+"""Application communication patterns (paper Tables 4 and 5).
+
+The paper extracts the static patterns of three programs; the original
+Fortran sources are not needed because the evaluation consumes only the
+extracted pattern and its message sizes, both of which Table 4 and the
+program descriptions pin down:
+
+**GS** -- Gauss-Seidel iteration on a discretised ``G x G`` unit square.
+The PEs form a logical linear array (row strips of the grid); each PE
+exchanges its boundary row -- ``G`` elements -- with its (up to) two
+neighbours.  126 connections on 64 PEs.
+
+**TSCF** -- self-consistent-field simulation of a self-gravitating
+system; explicit send/receive along a 64-PE hypercube.  The paper notes
+the message size does *not* scale with the problem size (5120
+particles); the reductions exchange fixed-size coefficient vectors,
+modelled here as ``TSCF_MESSAGE_SIZE`` elements.
+
+**P3M** -- particle-particle/particle-mesh code with five static
+patterns: four block-cyclic redistributions of the ``G^3`` mesh between
+the (4,4,4)-block, (8,8)-pencil and z-plane layouts (message sizes are
+the exact element counts computed by
+:mod:`repro.patterns.redistribution`) and a 26-neighbour boundary
+exchange on the logical 4x4x4 PE grid (small face/edge/corner messages;
+see the calibration note in :func:`p3m_pattern`).
+
+All patterns use the paper's natural PE-to-node numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.requests import Request, RequestSet
+from repro.patterns.classic import hypercube_pattern, nearest_neighbour_3d
+from repro.patterns.redistribution import (
+    BlockCyclic,
+    Distribution,
+    redistribution_requests,
+)
+
+#: Fixed TSCF coefficient-exchange message size (elements).  The paper
+#: gives no number, only that it is small and problem-size independent.
+TSCF_MESSAGE_SIZE = 8
+
+#: Number of PEs in every application study (the 8x8 torus).
+NUM_PES = 64
+
+
+@dataclass(frozen=True)
+class ApplicationPattern:
+    """One static pattern of an application (a Table 4 row)."""
+
+    name: str
+    kind: str  # 'shared array ref.' | 'explicit send/rec' | 'data distrib.'
+    description: str
+    problem_size: str
+    requests: RequestSet
+
+
+def gs_pattern(grid: int, *, num_pes: int = NUM_PES) -> ApplicationPattern:
+    """GS: linear-array boundary exchange, ``grid``-element messages."""
+    if grid % num_pes != 0:
+        raise ValueError(f"grid {grid} must divide into {num_pes} row strips")
+    requests = []
+    for i in range(num_pes - 1):
+        requests.append(Request(i, i + 1, size=grid))
+        requests.append(Request(i + 1, i, size=grid))
+    return ApplicationPattern(
+        name="GS",
+        kind="shared array ref.",
+        description="logical linear array; each PE exchanges a boundary "
+        "row with its adjacent PEs",
+        problem_size=f"{grid} x {grid}",
+        requests=RequestSet(requests, name=f"gs-{grid}"),
+    )
+
+
+def tscf_pattern(particles: int = 5120, *, num_pes: int = NUM_PES) -> ApplicationPattern:
+    """TSCF: hypercube exchange with a fixed small message size."""
+    requests = hypercube_pattern(num_pes, size=TSCF_MESSAGE_SIZE)
+    return ApplicationPattern(
+        name="TSCF",
+        kind="explicit send/rec",
+        description="hypercube pattern (self-consistent field reduction)",
+        problem_size=str(particles),
+        requests=RequestSet(list(requests), name=f"tscf-{particles}"),
+    )
+
+
+def _p3m_distributions(grid: int) -> dict[str, Distribution]:
+    """The three mesh layouts P3M redistributes between."""
+    e = (grid, grid, grid)
+    return {
+        # (:block, :block, :block): 4x4x4 blocks
+        "block3": Distribution(e, (
+            BlockCyclic(4, grid // 4),
+            BlockCyclic(4, grid // 4),
+            BlockCyclic(4, grid // 4),
+        )),
+        # (:, :, :block): z-planes over all 64 PEs
+        "zplane": Distribution(e, (
+            BlockCyclic(1, 1),
+            BlockCyclic(1, 1),
+            BlockCyclic(64, max(grid // 64, 1)),
+        )),
+        # (:block, :block, :): 8x8 xy-pencils
+        "pencil": Distribution(e, (
+            BlockCyclic(8, grid // 8),
+            BlockCyclic(8, grid // 8),
+            BlockCyclic(1, 1),
+        )),
+    }
+
+
+_P3M_REDIST = {
+    # pattern id -> (src layout, dst layout, Table 4 notation)
+    1: ("block3", "zplane", "(:block,:block,:block) to (:,:,:block)"),
+    2: ("zplane", "pencil", "(:,:,:block) to (:block,:block,:)"),
+    3: ("zplane", "pencil", "(:,:,:block) to (:block,:block,:)"),
+    4: ("pencil", "zplane", "(:block,:block,:) to (:,:,:block)"),
+}
+
+
+def p3m_pattern(which: int, grid: int) -> ApplicationPattern:
+    """P3M pattern 1-5 for a ``grid^3`` mesh (paper uses 32 and 64)."""
+    size_label = f"{grid} x {grid} x {grid}"
+    if which in _P3M_REDIST:
+        src_key, dst_key, notation = _P3M_REDIST[which]
+        layouts = _p3m_distributions(grid)
+        requests = redistribution_requests(
+            layouts[src_key], layouts[dst_key], name=f"p3m{which}-{grid}"
+        )
+        return ApplicationPattern(
+            name=f"P3M {which}",
+            kind="data distrib.",
+            description=notation,
+            problem_size=size_label,
+            requests=requests,
+        )
+    if which == 5:
+        # Message-size calibration note: the 26-neighbour pattern forces
+        # a multiplexing degree of at least 26 (every PE's injection
+        # fiber carries 26 connections), so the paper's P3M 5 times (40
+        # and 68 slots for 32^3 and 64^3) imply messages of only a few
+        # elements -- boundary particle data, not full ghost-cell
+        # volumes.  We use (grid/8, 2, 1) elements for (face, edge,
+        # corner) neighbours, which scales mildly with the problem size
+        # as the paper's times do.
+        requests = nearest_neighbour_3d(
+            (4, 4, 4), sizes=(max(grid // 8, 1), 2, 1)
+        )
+        return ApplicationPattern(
+            name="P3M 5",
+            kind="shared array ref.",
+            description="logical 4x4x4 PE grid; each PE exchanges ghost "
+            "cells with its 26 surrounding PEs",
+            problem_size=size_label,
+            requests=RequestSet(list(requests), name=f"p3m5-{grid}"),
+        )
+    raise ValueError(f"P3M pattern number must be 1..5, got {which}")
+
+
+def application_patterns(*, gs_grid: int = 256, p3m_grid: int = 64) -> list[ApplicationPattern]:
+    """All Table 4 rows at the given problem sizes."""
+    return [
+        gs_pattern(gs_grid),
+        tscf_pattern(),
+        *(p3m_pattern(k, p3m_grid) for k in (1, 2, 3, 4, 5)),
+    ]

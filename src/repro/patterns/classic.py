@@ -1,0 +1,196 @@
+"""Frequently used communication patterns (Table 3 workload).
+
+Connection counts on 64 PEs match the paper's Table 3 exactly:
+
+=================  =====  =============================================
+pattern            conns  definition
+=================  =====  =============================================
+ring                 128  i -> i+-1 (mod n), both directions
+nearest neighbour    256  torus 4-neighbour stencil
+hypercube            384  i -> i XOR 2^k for every bit k
+shuffle-exchange     126  i -> rol(i) (62 non-fixed) plus i -> i XOR 1
+all-to-all          4032  every ordered pair
+=================  =====  =============================================
+
+All generators produce *logical* pairs and accept an embedding
+(default: the paper's identity numbering).
+"""
+
+from __future__ import annotations
+
+from repro.core.requests import RequestSet
+from repro.patterns.embeddings import Embedding, embed_pairs, identity_embedding
+
+
+def _embedding_or_identity(embedding: Embedding | None, n: int) -> Embedding:
+    return embedding if embedding is not None else identity_embedding(n)
+
+
+def ring_pattern(
+    n: int,
+    *,
+    bidirectional: bool = True,
+    size: int = 1,
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """Bidirectional ring: every PE talks to both logical neighbours.
+
+    2n connections (n if ``bidirectional`` is False).  All conflicts are
+    at the PE ports ("switch conflicts"): each source drives two
+    connections through its single injection fiber, so the optimal
+    multiplexing degree is 2 (paper Table 3).
+    """
+    pairs = [(i, (i + 1) % n) for i in range(n)]
+    if bidirectional:
+        pairs += [(i, (i - 1) % n) for i in range(n)]
+    emb = _embedding_or_identity(embedding, n)
+    return embed_pairs(pairs, emb, size=size, name=f"ring-{n}")
+
+
+def nearest_neighbour_2d(
+    width: int,
+    height: int,
+    *,
+    size: int = 1,
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """4-neighbour torus stencil: each PE to its N/S/E/W neighbours."""
+    n = width * height
+    pairs = []
+    for pe in range(n):
+        x, y = pe % width, pe // width
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nbr = (x + dx) % width + width * ((y + dy) % height)
+            pairs.append((pe, nbr))
+    emb = _embedding_or_identity(embedding, n)
+    return embed_pairs(pairs, emb, size=size, name=f"nn2d-{width}x{height}")
+
+
+def nearest_neighbour_3d(
+    dims: tuple[int, int, int],
+    *,
+    sizes: tuple[int, int, int] = (1, 1, 1),
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """26-neighbour periodic stencil on a logical 3-D PE grid (P3M 5).
+
+    ``sizes`` gives the message size for (face, edge, corner)
+    neighbours -- for a ghost-cell exchange of an ``B^3`` block these
+    are ``(B*B, B, 1)``.
+    """
+    from repro.core.requests import Request, RequestSet as RS
+
+    dx_, dy_, dz_ = dims
+    if min(dims) < 3:
+        raise ValueError(
+            f"26-neighbour stencil needs every radix >= 3 (got {dims}); "
+            "smaller radices make +1 and -1 neighbours coincide"
+        )
+    n = dx_ * dy_ * dz_
+    emb = _embedding_or_identity(embedding, n)
+    requests = []
+    for pe in range(n):
+        x = pe % dx_
+        y = (pe // dx_) % dy_
+        z = pe // (dx_ * dy_)
+        for ox in (-1, 0, 1):
+            for oy in (-1, 0, 1):
+                for oz in (-1, 0, 1):
+                    if ox == oy == oz == 0:
+                        continue
+                    nbr = (
+                        (x + ox) % dx_
+                        + dx_ * ((y + oy) % dy_)
+                        + dx_ * dy_ * ((z + oz) % dz_)
+                    )
+                    order = abs(ox) + abs(oy) + abs(oz)  # 1=face 2=edge 3=corner
+                    requests.append(
+                        Request(emb(pe), emb(nbr), size=sizes[order - 1])
+                    )
+    return RS(requests, name=f"nn3d-{dx_}x{dy_}x{dz_}")
+
+
+def hypercube_pattern(
+    n: int,
+    *,
+    size: int = 1,
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """Hypercube: each PE to every PE differing in one address bit."""
+    if n & (n - 1):
+        raise ValueError(f"hypercube needs a power-of-two PE count, got {n}")
+    bits = n.bit_length() - 1
+    pairs = [(i, i ^ (1 << k)) for i in range(n) for k in range(bits)]
+    emb = _embedding_or_identity(embedding, n)
+    return embed_pairs(pairs, emb, size=size, name=f"hypercube-{n}")
+
+
+def shuffle_exchange_pattern(
+    n: int,
+    *,
+    size: int = 1,
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """Shuffle (rotate-left, fixed points dropped) plus exchange (low bit).
+
+    On 64 PEs: 62 shuffle connections (0 and 63 are fixed points of the
+    rotation) + 64 exchange connections = the paper's 126.
+    """
+    if n & (n - 1):
+        raise ValueError(f"shuffle-exchange needs a power-of-two PE count, got {n}")
+    bits = n.bit_length() - 1
+    pairs = []
+    for i in range(n):
+        shuffled = ((i << 1) | (i >> (bits - 1))) & (n - 1)
+        if shuffled != i:
+            pairs.append((i, shuffled))
+    pairs += [(i, i ^ 1) for i in range(n)]
+    emb = _embedding_or_identity(embedding, n)
+    return embed_pairs(pairs, emb, size=size, name=f"shuffle-exchange-{n}")
+
+
+def all_to_all_pattern(
+    n: int,
+    *,
+    size: int = 1,
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """All-to-all personalized communication: every ordered pair."""
+    pairs = [(s, d) for s in range(n) for d in range(n) if s != d]
+    emb = _embedding_or_identity(embedding, n)
+    return embed_pairs(pairs, emb, size=size, name=f"all-to-all-{n}")
+
+
+def transpose_pattern(
+    width: int,
+    *,
+    size: int = 1,
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """Matrix transpose on a square PE grid: (x, y) -> (y, x)."""
+    pairs = []
+    for y in range(width):
+        for x in range(width):
+            if x != y:
+                pairs.append((x + width * y, y + width * x))
+    emb = _embedding_or_identity(embedding, width * width)
+    return embed_pairs(pairs, emb, size=size, name=f"transpose-{width}")
+
+
+def bit_reversal_pattern(
+    n: int,
+    *,
+    size: int = 1,
+    embedding: Embedding | None = None,
+) -> RequestSet:
+    """Bit-reversal permutation (FFT data exchange)."""
+    if n & (n - 1):
+        raise ValueError(f"bit reversal needs a power-of-two PE count, got {n}")
+    bits = n.bit_length() - 1
+    pairs = []
+    for i in range(n):
+        rev = int(f"{i:0{bits}b}"[::-1], 2)
+        if rev != i:
+            pairs.append((i, rev))
+    emb = _embedding_or_identity(embedding, n)
+    return embed_pairs(pairs, emb, size=size, name=f"bit-reversal-{n}")

@@ -1,0 +1,112 @@
+"""Logical-PE to physical-node embeddings.
+
+The classic patterns (ring, hypercube, 3-D stencil) are defined over a
+*logical* PE numbering; realising them on the physical torus requires an
+embedding.  The paper uses the natural numbering throughout (PE i is
+node i, the Fig. 1 numbering); we expose alternatives as ablations
+because the embedding changes path lengths and therefore the achievable
+multiplexing degree:
+
+``identity_embedding``
+    PE i -> node i (the paper's choice).
+
+``snake_embedding``
+    Boustrophedon row order.  Makes logically-consecutive PEs physically
+    adjacent, and (for even heights) closes into a Hamiltonian cycle of
+    the torus -- a dilation-1 ring embedding.
+
+``gray_embedding``
+    Each coordinate's bit-group is placed with a binary-reflected Gray
+    code, the textbook hypercube-in-torus embedding: logical neighbours
+    differing in one bit land at ring distance 1 for the Gray-adjacent
+    transitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.requests import Request, RequestSet
+
+#: An embedding maps a logical PE id to a physical node id.
+Embedding = Callable[[int], int]
+
+
+def identity_embedding(n: int) -> Embedding:
+    """PE i -> node i (requires only that ids stay in range)."""
+
+    def embed(pe: int) -> int:
+        if not 0 <= pe < n:
+            raise ValueError(f"logical PE {pe} out of range [0, {n})")
+        return pe
+
+    return embed
+
+
+def snake_embedding(width: int, height: int) -> Embedding:
+    """Boustrophedon embedding of ``width*height`` PEs onto a torus.
+
+    Logical PE i sits at row ``i // width``; even rows run left to
+    right, odd rows right to left, so PE i and PE i+1 are always
+    physically adjacent.
+    """
+
+    def embed(pe: int) -> int:
+        if not 0 <= pe < width * height:
+            raise ValueError(f"logical PE {pe} out of range")
+        y, r = divmod(pe, width)
+        x = r if y % 2 == 0 else width - 1 - r
+        return x + width * y
+
+    return embed
+
+
+def _gray(i: int) -> int:
+    return i ^ (i >> 1)
+
+
+def gray_embedding(width: int, height: int) -> Embedding:
+    """Gray-code placement of bit-partitioned logical ids.
+
+    Logical id bits split into an x-group (low ``log2 width`` bits) and
+    a y-group; each group value ``g`` is placed at ring position
+    ``gray(g)``, so +1 transitions in a group move one ring step for
+    half the values -- the standard hypercube embedding.  Requires
+    power-of-two dimensions.
+    """
+    if width & (width - 1) or height & (height - 1):
+        raise ValueError("gray embedding needs power-of-two dimensions")
+    xbits = width.bit_length() - 1
+
+    def embed(pe: int) -> int:
+        if not 0 <= pe < width * height:
+            raise ValueError(f"logical PE {pe} out of range")
+        xg, yg = pe & (width - 1), pe >> xbits
+        return _gray(xg) + width * _gray(yg)
+
+    return embed
+
+
+def embed_pairs(
+    pairs: Iterable[tuple[int, int]],
+    embedding: Embedding,
+    *,
+    size: int = 1,
+    name: str = "",
+) -> RequestSet:
+    """Apply an embedding to logical pairs, producing physical requests."""
+    return RequestSet(
+        (Request(embedding(s), embedding(d), size=size) for s, d in pairs),
+        name=name,
+    )
+
+
+def embed_requests(requests: Sequence[Request], embedding: Embedding, *, name: str = "") -> RequestSet:
+    """Apply an embedding to logical requests, preserving sizes/tags."""
+    return RequestSet(
+        (
+            Request(embedding(r.src), embedding(r.dst), size=r.size, tag=r.tag)
+            for r in requests
+        ),
+        name=name,
+    )

@@ -1,0 +1,66 @@
+"""Whole application programs as communication-phase sequences.
+
+Table 4's patterns all live "in the main iterations of the programs";
+this module assembles them into :class:`~repro.compiler.program.CommPhase`
+lists so the compiler stack can treat GS, TSCF and P3M the way the
+paper describes them -- iterated multi-phase programs, each phase with
+its own multiplexing degree -- rather than as isolated patterns.
+
+The structures below follow the paper's program descriptions:
+
+* **GS** -- one boundary-exchange phase per Gauss-Seidel sweep;
+* **TSCF** -- one hypercube coefficient-reduction phase per time step;
+* **P3M** -- per time step: scatter the mesh to planes (pattern 1),
+  forward FFT pencils (2), inverse FFT pencils (3), gather back (4),
+  and the particle ghost exchange (5).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.program import CommPhase
+from repro.patterns.applications import gs_pattern, p3m_pattern, tscf_pattern
+
+
+def gs_program(grid: int, *, iterations: int = 1) -> list[CommPhase]:
+    """The GS solver: boundary exchange each sweep."""
+    return [
+        CommPhase(
+            name="gs-boundary",
+            requests=gs_pattern(grid).requests,
+            repetitions=iterations,
+        )
+    ]
+
+
+def tscf_program(*, timesteps: int = 1) -> list[CommPhase]:
+    """TSCF: hypercube coefficient reduction each time step."""
+    return [
+        CommPhase(
+            name="tscf-reduce",
+            requests=tscf_pattern().requests,
+            repetitions=timesteps,
+        )
+    ]
+
+
+def p3m_program(grid: int, *, timesteps: int = 1) -> list[CommPhase]:
+    """P3M: the five static patterns of one time step, in order."""
+    return [
+        CommPhase(
+            name=f"p3m-{which}",
+            requests=p3m_pattern(which, grid).requests,
+            repetitions=timesteps,
+        )
+        for which in (1, 2, 3, 4, 5)
+    ]
+
+
+def application_programs(
+    *, gs_grid: int = 256, p3m_grid: int = 64, iterations: int = 1
+) -> dict[str, list[CommPhase]]:
+    """All three programs, keyed by name."""
+    return {
+        "GS": gs_program(gs_grid, iterations=iterations),
+        "TSCF": tscf_program(timesteps=iterations),
+        "P3M": p3m_program(p3m_grid, timesteps=iterations),
+    }

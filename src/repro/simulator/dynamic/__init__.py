@@ -1,0 +1,27 @@
+"""Dynamically controlled communication (the paper's section 4.1).
+
+The data network is the same TDM torus as in the compiled case, but
+paths are established at run time by a **distributed path reservation
+protocol** over an electronic shadow network:
+
+1. a source with a pending message sends a RES packet along the
+   (deterministic) route, locking the virtual channels (time slots)
+   still available on every link and carrying their intersection;
+2. if the intersection empties, a NACK returns, releasing the locks --
+   the source retries after a randomised backoff;
+3. otherwise the destination picks one slot and returns an ACK that
+   releases the surplus locks, sets the switches, and establishes the
+   circuit;
+4. the source streams the message at 1/K of the link bandwidth (its
+   slot comes round once per frame), then sends a REL that tears the
+   circuit down.
+
+One reservation may be outstanding per node (the single control queue
+whose head-of-line blocking the paper cites as a weakness of dynamic
+control), but established circuits overlap freely.
+"""
+
+from repro.simulator.dynamic.control import DynamicResult, simulate_dynamic
+from repro.simulator.dynamic.trace import ProtocolTrace, TraceEvent
+
+__all__ = ["DynamicResult", "simulate_dynamic", "ProtocolTrace", "TraceEvent"]

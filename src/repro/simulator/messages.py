@@ -1,0 +1,56 @@
+"""Messages: the unit of traffic the simulator moves.
+
+A static communication pattern turns into one :class:`Message` per
+request, all ready at time zero (the paper simulates each pattern as a
+phase in which every PE has its sends posted).  Messages keep their
+request's size in elements; transfer time additionally depends on the
+multiplexing degree and slot payload (see
+:func:`repro.simulator.compiled.transfer_slots`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.requests import RequestSet
+
+
+@dataclass
+class Message:
+    """One message to deliver.
+
+    Mutable simulation state (timestamps, retry counts) lives here so
+    the metrics module can report per-message statistics afterwards.
+    """
+
+    mid: int
+    src: int
+    dst: int
+    size: int
+
+    #: time the source first attempted a reservation (dynamic only).
+    first_attempt: int | None = None
+    #: time the path was established (ACK received; dynamic only).
+    established: int | None = None
+    #: time the last element arrived.
+    delivered: int | None = None
+    #: number of failed reservation attempts (dynamic only).
+    retries: int = 0
+    #: slot index the connection was assigned.
+    slot: int | None = None
+    _path: tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def latency(self) -> int | None:
+        """Queueing + establishment + transfer time, if delivered."""
+        if self.delivered is None or self.first_attempt is None:
+            return None
+        return self.delivered - self.first_attempt
+
+
+def messages_from_requests(requests: RequestSet) -> list[Message]:
+    """One message per request, in pattern order."""
+    return [
+        Message(mid=i, src=r.src, dst=r.dst, size=r.size)
+        for i, r in enumerate(requests)
+    ]

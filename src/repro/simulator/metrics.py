@@ -1,0 +1,45 @@
+"""Result summarisation helpers shared by benches, CLI and examples."""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Sequence
+
+from repro.simulator.messages import Message
+
+
+def summarize(messages: Sequence[Message]) -> dict[str, float]:
+    """Per-message statistics of a finished run.
+
+    Returns a dict with the makespan, mean/median/max latency, mean
+    establishment delay (dynamic runs) and total retries.  Raises if a
+    message was never delivered -- a run that silently dropped traffic
+    must not summarise cleanly.
+    """
+    if not messages:
+        return {"makespan": 0.0, "messages": 0.0}
+    latencies = []
+    establish = []
+    retries = 0
+    makespan = 0
+    for m in messages:
+        if m.delivered is None:
+            raise ValueError(f"message {m.mid} was never delivered")
+        makespan = max(makespan, m.delivered)
+        if m.latency is not None:
+            latencies.append(m.latency)
+        if m.established is not None and m.first_attempt is not None:
+            establish.append(m.established - m.first_attempt)
+        retries += m.retries
+    out: dict[str, float] = {
+        "makespan": float(makespan),
+        "messages": float(len(messages)),
+        "retries": float(retries),
+    }
+    if latencies:
+        out["latency_mean"] = statistics.fmean(latencies)
+        out["latency_median"] = float(statistics.median(latencies))
+        out["latency_max"] = float(max(latencies))
+    if establish:
+        out["establish_mean"] = statistics.fmean(establish)
+    return out

@@ -1,0 +1,88 @@
+"""TDM link state: slot occupancy and reservation locks.
+
+Under TDM with multiplexing degree K every directed link carries K
+virtual channels, one per time slot of the frame.  An all-optical
+circuit must use the **same slot index on every link of its path**
+(slot continuity: an optical switch cannot buffer a signal into a later
+slot), which is why the reservation protocol intersects availability
+sets along the path.
+
+:class:`LinkSlotState` tracks, per (link, slot):
+
+* ``owner`` -- the established circuit using the channel, if any;
+* ``lock`` -- the in-flight reservation holding the channel while its
+  RES packet is still travelling (released by the ACK/NACK pass).
+
+:class:`TDMNetwork` aggregates one state per link of a topology.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+
+#: Sentinel for "channel free".
+FREE = -1
+
+
+class LinkSlotState:
+    """Occupancy of one link's K virtual channels."""
+
+    __slots__ = ("owner", "lock")
+
+    def __init__(self, degree: int) -> None:
+        self.owner = [FREE] * degree
+        self.lock = [FREE] * degree
+
+    def free_slots(self) -> list[int]:
+        """Slots neither owned nor locked."""
+        return [
+            k
+            for k in range(len(self.owner))
+            if self.owner[k] == FREE and self.lock[k] == FREE
+        ]
+
+    def lock_slots(self, slots: list[int], rid: int) -> None:
+        """Lock ``slots`` for reservation ``rid`` (must be free)."""
+        for k in slots:
+            if self.owner[k] != FREE or self.lock[k] != FREE:
+                raise RuntimeError(f"slot {k} not free to lock")
+            self.lock[k] = rid
+
+    def release_locks(self, rid: int, keep: int | None = None) -> None:
+        """Drop ``rid``'s locks; if ``keep`` is given, that slot becomes owned."""
+        for k, holder in enumerate(self.lock):
+            if holder == rid:
+                self.lock[k] = FREE
+                if k == keep:
+                    self.owner[k] = rid
+
+    def release_owner(self, rid: int) -> None:
+        """Tear down ``rid``'s established channel(s)."""
+        for k, holder in enumerate(self.owner):
+            if holder == rid:
+                self.owner[k] = FREE
+
+
+class TDMNetwork:
+    """Per-link slot state for a whole topology at degree K."""
+
+    def __init__(self, topology: Topology, degree: int) -> None:
+        if degree < 1:
+            raise ValueError("multiplexing degree must be >= 1")
+        self.topology = topology
+        self.degree = degree
+        self._links: dict[int, LinkSlotState] = {}
+
+    def link(self, link_id: int) -> LinkSlotState:
+        """State of ``link_id`` (lazily created -- most links of a
+        sparse pattern are never touched)."""
+        state = self._links.get(link_id)
+        if state is None:
+            state = self._links[link_id] = LinkSlotState(self.degree)
+        return state
+
+    def occupied_channels(self) -> int:
+        """Total owned (link, slot) channels -- a utilisation probe."""
+        return sum(
+            sum(1 for o in st.owner if o != FREE) for st in self._links.values()
+        )

@@ -1,0 +1,56 @@
+"""Network topology substrate for all-optical TDM interconnects.
+
+The paper's target machine is a multiprocessor whose nodes are connected
+by an all-optical circuit-switching network: every processing element
+(PE) is attached to an electro-optical crossbar switch, and the switches
+are wired in a regular topology (the paper uses a 2-D torus; Fig. 3 uses
+a linear array).  This package models:
+
+* **directed optical links** (:mod:`repro.topology.links`) -- including
+  the PE-to-switch *injection* link and switch-to-PE *ejection* link,
+  which is what makes two connections with a common endpoint conflict
+  ("conflicts arise in the communication switches", paper section 3.4);
+* **topologies** (:mod:`repro.topology.torus`, :mod:`~repro.topology.ring`,
+  :mod:`~repro.topology.linear`, :mod:`~repro.topology.mesh`,
+  :mod:`~repro.topology.kary_ncube`) with deterministic shortest-path
+  routing, because in a circuit-switched all-optical network the entire
+  source-to-destination light path is held for the duration of a time
+  slot;
+* **the 5x5 crossbar switch** (:mod:`repro.topology.switch`) used by the
+  code generator to translate configurations into per-switch register
+  settings.
+
+All topologies hand out *integer link identifiers*; a routed connection
+is simply a tuple of link ids, and two connections conflict iff their
+link-id sets intersect.  This single rule subsumes link conflicts,
+injection-port conflicts and ejection-port conflicts.
+"""
+
+from repro.topology.links import Link, LinkKind
+from repro.topology.base import Topology, RoutingError
+from repro.topology.linear import LinearArray
+from repro.topology.ring import Ring
+from repro.topology.mesh import Mesh2D
+from repro.topology.torus import Torus2D, TieBreak
+from repro.topology.kary_ncube import KAryNCube
+from repro.topology.switch import CrossbarSwitch, SwitchState, PortName
+from repro.topology.faults import FaultyTopology
+from repro.topology.omega import OmegaNetwork
+
+__all__ = [
+    "Link",
+    "LinkKind",
+    "Topology",
+    "RoutingError",
+    "LinearArray",
+    "Ring",
+    "Mesh2D",
+    "Torus2D",
+    "TieBreak",
+    "KAryNCube",
+    "FaultyTopology",
+    "OmegaNetwork",
+    "CrossbarSwitch",
+    "SwitchState",
+    "PortName",
+]

@@ -1,0 +1,156 @@
+"""Abstract topology interface.
+
+A :class:`Topology` is the substrate every other layer builds on.  It
+must provide:
+
+* a dense node id space ``0 .. num_nodes - 1``;
+* a dense **link id** space (integers), partitioned into one injection
+  link and one ejection link per node plus the topology's transit links;
+* a deterministic ``route(src, dst)`` returning the full light path as a
+  tuple of link ids, *including* the injection and ejection fibers.
+
+Routing must be deterministic because the off-line schedulers reason
+about fixed paths: the compiler picks time slots, not routes.  (Route
+choice policies, e.g. the wrap-around tie break on a torus, are
+constructor parameters so experiments can treat them as ablations.)
+
+Link-id layout
+--------------
+All concrete topologies share the layout::
+
+    0              .. num_nodes-1          injection link of node v  (id v)
+    num_nodes      .. 2*num_nodes-1        ejection  link of node v  (id num_nodes + v)
+    2*num_nodes    ..                      transit links (topology specific)
+
+Keeping the layout uniform lets the simulator and the bounds code index
+per-link state with flat numpy arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+
+from repro.topology.links import Link, LinkKind
+
+
+class RoutingError(ValueError):
+    """Raised for invalid routing queries (bad node id, src == dst)."""
+
+
+class Topology(abc.ABC):
+    """Base class for all interconnect topologies.
+
+    Subclasses must set :attr:`num_nodes` and :attr:`num_transit_links`
+    before ``__init__`` returns and implement :meth:`_transit_route` and
+    :meth:`transit_link_info`.
+    """
+
+    #: number of processing elements / switches.
+    num_nodes: int
+    #: number of directed switch-to-switch fibers.
+    num_transit_links: int
+
+    # ------------------------------------------------------------------
+    # link id helpers
+    # ------------------------------------------------------------------
+    def inject_link(self, node: int) -> int:
+        """Link id of the PE -> switch fiber of ``node``."""
+        self._check_node(node)
+        return node
+
+    def eject_link(self, node: int) -> int:
+        """Link id of the switch -> PE fiber of ``node``."""
+        self._check_node(node)
+        return self.num_nodes + node
+
+    @property
+    def transit_link_base(self) -> int:
+        """First link id used for transit links."""
+        return 2 * self.num_nodes
+
+    @property
+    def num_links(self) -> int:
+        """Total number of directed links (inject + eject + transit)."""
+        return 2 * self.num_nodes + self.num_transit_links
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Full light path from ``src``'s PE to ``dst``'s PE.
+
+        Returns the tuple ``(inject(src), t_1, ..., t_k, eject(dst))``
+        where ``t_i`` are transit link ids.  ``k`` equals the routing
+        distance between the two switches.
+
+        Raises
+        ------
+        RoutingError
+            If either endpoint is out of range or ``src == dst`` (a PE
+            never talks to itself through the network).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            raise RoutingError(f"src == dst == {src}: self-connections are not routed")
+        transit = self._transit_route(src, dst)
+        return (self.inject_link(src), *transit, self.eject_link(dst))
+
+    def route_length(self, src: int, dst: int) -> int:
+        """Number of links of ``route(src, dst)`` (inject + transit + eject).
+
+        This is the "number of links in the connection" used as the
+        numerator of the coloring heuristic's priority and the summand of
+        the ordered-AAPC phase rank.
+        """
+        return len(self.route(src, dst))
+
+    @abc.abstractmethod
+    def _transit_route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Transit portion of the route; ``src != dst`` is guaranteed."""
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def link_info(self, link_id: int) -> Link:
+        """Decode ``link_id`` into a :class:`~repro.topology.links.Link`."""
+        if 0 <= link_id < self.num_nodes:
+            return Link(LinkKind.INJECT, link_id, link_id)
+        if self.num_nodes <= link_id < 2 * self.num_nodes:
+            node = link_id - self.num_nodes
+            return Link(LinkKind.EJECT, node, node)
+        if 2 * self.num_nodes <= link_id < self.num_links:
+            return self.transit_link_info(link_id - self.transit_link_base)
+        raise ValueError(f"link id {link_id} out of range for {self!r}")
+
+    @abc.abstractmethod
+    def transit_link_info(self, offset: int) -> Link:
+        """Decode transit link ``transit_link_base + offset``."""
+
+    def iter_links(self) -> Iterator[int]:
+        """All link ids, injection links first."""
+        return iter(range(self.num_links))
+
+    def iter_nodes(self) -> Iterator[int]:
+        """All node ids."""
+        return iter(range(self.num_nodes))
+
+    @property
+    @abc.abstractmethod
+    def signature(self) -> str:
+        """Stable string identifying topology *and* routing policy.
+
+        Used as a cache key (e.g. by the AAPC phase builder), so any
+        parameter that changes routes must appear here.
+        """
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise RoutingError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.signature}>"

@@ -1,0 +1,136 @@
+"""Link failures and fault-tolerant routing -- extension.
+
+A fiber cut in an all-optical network is handled naturally by compiled
+communication: the compiler reroutes the affected connections around
+the failure and reschedules -- no protection switching hardware in the
+data plane.  :class:`FaultyTopology` wraps any topology with a set of
+failed *transit* links (injection/ejection fibers are part of the PE
+attachment and are not failable) and routes around them:
+
+1. try the base topology's default route;
+2. try alternative dimension orders and wrap directions (YX instead of
+   XY, the long way around a ring) -- still minimal per dimension and
+   cheap to enumerate on a k-ary n-cube;
+3. fall back to a BFS shortest path over the surviving fiber graph,
+   which succeeds whenever the switches remain connected.
+
+Because the wrapper *is* a :class:`~repro.topology.base.Topology`, the
+whole stack -- schedulers, code generation, both simulators -- works
+unmodified on a degraded network; tests assert that a rescheduled
+pattern stays valid and quantify the degree inflation failures cause.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.topology.base import RoutingError, Topology
+from repro.topology.kary_ncube import KAryNCube
+from repro.topology.links import Link, LinkKind
+
+
+class FaultyTopology(Topology):
+    """A topology with failed transit fibers, routing around them."""
+
+    def __init__(self, base: Topology, failed: Iterable[int] = ()) -> None:
+        self.base = base
+        self.num_nodes = base.num_nodes
+        self.num_transit_links = base.num_transit_links
+        self._failed: set[int] = set()
+        self._graph: nx.DiGraph | None = None
+        for link in failed:
+            self.fail_link(link)
+
+    # -- failure management ------------------------------------------------
+    @property
+    def failed_links(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    def fail_link(self, link_id: int) -> None:
+        """Mark a transit fiber as failed."""
+        info = self.base.link_info(link_id)
+        if info.kind is not LinkKind.TRANSIT:
+            raise ValueError(
+                f"only transit fibers can fail; {link_id} is {info.kind.value}"
+            )
+        self._failed.add(link_id)
+        self._graph = None
+
+    def restore_link(self, link_id: int) -> None:
+        """Repair a previously failed fiber."""
+        self._failed.discard(link_id)
+        self._graph = None
+
+    # -- routing ------------------------------------------------------------
+    def _transit_route(self, src: int, dst: int) -> tuple[int, ...]:
+        default = self.base._transit_route(src, dst)
+        if self._failed.isdisjoint(default):
+            return default
+        if isinstance(self.base, KAryNCube):
+            survivors = [
+                c
+                for c in self._dimension_order_candidates(src, dst)
+                if self._failed.isdisjoint(c)
+            ]
+            if survivors:
+                return min(survivors, key=len)
+        return self._bfs_route(src, dst)
+
+    def _dimension_order_candidates(self, src: int, dst: int):
+        """Minimal-per-dimension routes over all dim orders/directions."""
+        base: KAryNCube = self.base  # type: ignore[assignment]
+        src_c, dst_c = base.coords(src), base.coords(dst)
+        ndims = len(base.dims)
+        active = [d for d in range(ndims) if src_c[d] != dst_c[d]]
+        for order in itertools.permutations(active):
+            for signs in itertools.product((True, False), repeat=len(active)):
+                links: list[int] = []
+                cur = list(src_c)
+                for dim, positive in zip(order, signs):
+                    k = base.dims[dim]
+                    dist = (dst_c[dim] - cur[dim]) % k if positive else (cur[dim] - dst_c[dim]) % k
+                    if dist == 0:
+                        continue
+                    step = 1 if positive else -1
+                    for _ in range(dist):
+                        links.append(base.transit_link(base.node_at(cur), dim, positive))
+                        cur[dim] = (cur[dim] + step) % k
+                yield tuple(links)
+
+    def _surviving_graph(self) -> nx.DiGraph:
+        if self._graph is None:
+            g = nx.DiGraph()
+            g.add_nodes_from(self.base.iter_nodes())
+            for link_id in range(self.base.transit_link_base, self.base.num_links):
+                if link_id in self._failed:
+                    continue
+                info = self.base.link_info(link_id)
+                if info.dst >= 0:
+                    g.add_edge(info.src, info.dst, link=link_id)
+            self._graph = g
+        return self._graph
+
+    def _bfs_route(self, src: int, dst: int) -> tuple[int, ...]:
+        g = self._surviving_graph()
+        try:
+            nodes = nx.shortest_path(g, src, dst)
+        except nx.NetworkXNoPath:
+            raise RoutingError(
+                f"switches {src} and {dst} are disconnected by "
+                f"{len(self._failed)} fiber failures"
+            ) from None
+        return tuple(
+            g.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])
+        )
+
+    # -- introspection -------------------------------------------------------
+    def transit_link_info(self, offset: int) -> Link:
+        return self.base.transit_link_info(offset)
+
+    @property
+    def signature(self) -> str:
+        failed = ",".join(str(l) for l in sorted(self._failed)) or "none"
+        return f"faulty({self.base.signature})[{failed}]"

@@ -1,0 +1,56 @@
+"""Linear array (path) topology -- the Fig. 3 example substrate.
+
+The paper illustrates greedy suboptimality on five linearly connected
+nodes with requests ``{(0,2), (1,3), (3,4), (2,4)}``.  A linear array is
+a 1-D mesh: node ``i`` is wired to ``i-1`` and ``i+1`` with no
+wrap-around, and routing is the unique straight path.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.topology.links import Link, LinkKind
+
+
+class LinearArray(Topology):
+    """``n`` linearly connected nodes.
+
+    Transit link ids (as offsets from ``transit_link_base``)::
+
+        offset i           : fiber i -> i+1      for i in [0, n-2]
+        offset (n-1) + i   : fiber i+1 -> i      for i in [0, n-2]
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"linear array needs >= 2 nodes, got {n}")
+        self.n = n
+        self.num_nodes = n
+        self.num_transit_links = 2 * (n - 1)
+
+    def forward_link(self, i: int) -> int:
+        """Link id of the fiber ``i -> i+1``."""
+        if not 0 <= i < self.n - 1:
+            raise ValueError(f"no forward fiber leaves node {i}")
+        return self.transit_link_base + i
+
+    def backward_link(self, i: int) -> int:
+        """Link id of the fiber ``i+1 -> i``."""
+        if not 0 <= i < self.n - 1:
+            raise ValueError(f"no backward fiber enters node {i}")
+        return self.transit_link_base + (self.n - 1) + i
+
+    def _transit_route(self, src: int, dst: int) -> tuple[int, ...]:
+        if src < dst:
+            return tuple(self.forward_link(i) for i in range(src, dst))
+        return tuple(self.backward_link(i - 1) for i in range(src, dst, -1))
+
+    def transit_link_info(self, offset: int) -> Link:
+        if offset < self.n - 1:
+            return Link(LinkKind.TRANSIT, offset, offset + 1, direction="+x")
+        i = offset - (self.n - 1)
+        return Link(LinkKind.TRANSIT, i + 1, i, direction="-x")
+
+    @property
+    def signature(self) -> str:
+        return f"linear:{self.n}"

@@ -1,0 +1,81 @@
+"""Directed optical link model.
+
+A connection in an all-optical circuit-switched network occupies a
+sequence of *directed* optical links for the whole duration of its time
+slot:
+
+``PE(s) --inject--> switch(s) --...inter-switch links...--> switch(d) --eject--> PE(d)``
+
+Three kinds of links exist:
+
+``INJECT``
+    The fiber from a processing element into its switch.  Every switch
+    has exactly one PE input, so two connections **with the same source**
+    always conflict -- they would need the same injection fiber in the
+    same time slot.
+
+``EJECT``
+    The fiber from a switch to its processing element.  Two connections
+    **with the same destination** always conflict for the same reason.
+
+``TRANSIT``
+    A fiber between two neighbouring switches.  Two connections whose
+    routes share a transit fiber conflict.
+
+The conflict relation used throughout the library is therefore simply
+*link-set intersection*; no special-casing of "switch conflicts" versus
+"link conflicts" is needed (the paper distinguishes them in prose for
+patterns such as the ring, where all conflicts happen at the PE ports).
+
+Topologies encode links as dense integers for speed; :class:`Link` is
+the human-readable decoding returned by
+:meth:`repro.topology.base.Topology.link_info`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LinkKind(enum.Enum):
+    """The three kinds of directed optical fiber in the system."""
+
+    #: PE -> switch fiber (one per node).
+    INJECT = "inject"
+    #: switch -> PE fiber (one per node).
+    EJECT = "eject"
+    #: switch -> neighbouring-switch fiber.
+    TRANSIT = "transit"
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A decoded directed link.
+
+    Attributes
+    ----------
+    kind:
+        Which of the three fiber kinds this is.
+    src:
+        Node whose switch (or PE, for ``INJECT``) drives the fiber.
+    dst:
+        Node whose switch (or PE, for ``EJECT``) terminates the fiber.
+        For ``INJECT``/``EJECT`` links ``src == dst`` (the PE and its
+        switch share a node id).
+    direction:
+        For ``TRANSIT`` links on a dimensional topology, the dimension/
+        direction label (e.g. ``"+x"``); ``None`` otherwise.
+    """
+
+    kind: LinkKind
+    src: int
+    dst: int
+    direction: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is LinkKind.INJECT:
+            return f"inject({self.src})"
+        if self.kind is LinkKind.EJECT:
+            return f"eject({self.dst})"
+        return f"{self.src}->{self.dst}[{self.direction or '?'}]"

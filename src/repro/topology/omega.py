@@ -1,0 +1,89 @@
+"""Omega multistage interconnection network (MIN) -- extension.
+
+The paper's TDM machinery descends from Qiao & Melhem's work on
+*multistage* networks (ref [13], "Reconfiguration with Time Division
+Multiplexed MINs"), so a MIN substrate belongs in the reproduction: the
+schedulers, code generator and simulators run unchanged on it, and the
+ablation bench can ask how the torus results transfer.
+
+An Omega network for ``N = 2^k`` PEs has ``k`` stages of ``N/2``
+two-by-two switches, each stage preceded by a perfect-shuffle wiring.
+Every source/destination pair has a **unique** path -- self-routing by
+destination bits -- which fits this library's fixed-path model exactly:
+
+* entering stage ``j`` the signal at row ``p`` is shuffled to row
+  ``rol(p)`` (rotate-left of the k-bit row index);
+* the stage's switch then sets the row's low bit to destination bit
+  ``k-1-j`` (straight or exchange).
+
+Two connections conflict iff they leave some stage on the same wire
+(same row after the same stage) -- or share a PE fiber, as everywhere
+else in the library.  The classic MIN facts fall out and are asserted
+in the tests: the identity permutation routes conflict-free, bit
+reversal is a worst case needing ``sqrt(N)``-ish slots, and all-to-all
+loads every stage wire exactly ``N`` times, so AAPC needs at least
+``N`` phases (versus ``N^3/8 / ...`` -- i.e. 64 -- on the same-size
+torus).
+
+Transit link ids (offsets from ``transit_link_base``): the wire leaving
+stage ``j`` at row ``p`` is ``j * N + p``.  Stage-(k-1) wires feed the
+ejection fibers one-to-one; both appear in the path, which is harmless
+(consistent conflicts) and keeps the uniform inject/transit/eject
+layout every other component expects.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.topology.links import Link, LinkKind
+
+
+class OmegaNetwork(Topology):
+    """Omega MIN over ``n = 2^k`` processing elements."""
+
+    def __init__(self, n: int) -> None:
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"omega network needs a power-of-two PE count, got {n}")
+        self.n = n
+        self.bits = n.bit_length() - 1
+        self.num_nodes = n
+        self.num_transit_links = self.bits * n
+
+    # -- structure -----------------------------------------------------------
+    def _rol(self, p: int) -> int:
+        """Rotate-left of a k-bit row index (the perfect shuffle)."""
+        return ((p << 1) | (p >> (self.bits - 1))) & (self.n - 1)
+
+    def stage_wire(self, stage: int, row: int) -> int:
+        """Link id of the wire leaving ``stage`` at ``row``."""
+        if not 0 <= stage < self.bits:
+            raise ValueError(f"stage {stage} out of range [0, {self.bits})")
+        self._check_node(row)
+        return self.transit_link_base + stage * self.n + row
+
+    def switch_of(self, stage: int, row: int) -> int:
+        """Index of the 2x2 switch handling ``row`` in ``stage``."""
+        if not 0 <= stage < self.bits:
+            raise ValueError(f"stage {stage} out of range")
+        return row >> 1
+
+    # -- routing ---------------------------------------------------------------
+    def _transit_route(self, src: int, dst: int) -> tuple[int, ...]:
+        links = []
+        p = src
+        for stage in range(self.bits):
+            p = self._rol(p)
+            dst_bit = (dst >> (self.bits - 1 - stage)) & 1
+            p = (p & ~1) | dst_bit
+            links.append(self.stage_wire(stage, p))
+        assert p == dst
+        return tuple(links)
+
+    def transit_link_info(self, offset: int) -> Link:
+        stage, row = divmod(offset, self.n)
+        # src/dst carry the stage's row; direction labels the stage.
+        return Link(LinkKind.TRANSIT, row, row, direction=f"s{stage}")
+
+    @property
+    def signature(self) -> str:
+        return f"omega:{self.n}"

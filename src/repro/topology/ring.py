@@ -1,0 +1,23 @@
+"""1-D ring (a 1-dimensional torus).
+
+Used by unit tests and by the AAPC phase builder's exactly-analysable
+base case; also a handy topology for teaching examples.
+"""
+
+from __future__ import annotations
+
+from repro.topology.kary_ncube import KAryNCube, TieBreak
+
+__all__ = ["Ring"]
+
+
+class Ring(KAryNCube):
+    """Ring of ``n`` nodes with shortest-way routing."""
+
+    def __init__(self, n: int, tie_break: TieBreak = TieBreak.BALANCED) -> None:
+        super().__init__((n,), tie_break=tie_break)
+        self.n = n
+
+    @property
+    def signature(self) -> str:
+        return f"ring:{self.n}:tie={self.tie_break.value}"

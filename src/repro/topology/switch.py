@@ -1,0 +1,147 @@
+"""Electro-optical crossbar switch model.
+
+Each node of the paper's machine carries a 5x5 electro-optical switch:
+one input/output port pair to the local PE and one pair per neighbouring
+switch.  A network *state* is the set of all switch states; writing the
+electronic control registers selects which input drives which output.
+Under TDM the registers are circular shift registers holding one word
+per time slot, so the network cycles through K configurations with no
+run-time control traffic -- this is exactly the artifact the compiler
+emits (:mod:`repro.compiler.codegen`).
+
+The model here is deliberately topology-agnostic: a port is identified
+by the *link id* attached to it, so a switch state is a partial mapping
+``input link id -> output link id``.  :class:`CrossbarSwitch` also
+assigns dense local port indices (PE port = 0, transit ports sorted by
+link id) so states can be encoded as small register words, mimicking the
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.base import Topology
+from repro.topology.links import LinkKind
+
+#: Local port index of the PE input/output on every switch.
+PortName = int
+PE_PORT: PortName = 0
+
+
+class SwitchConfigError(ValueError):
+    """Raised when a switch state is not a legal crossbar setting."""
+
+
+@dataclass
+class SwitchState:
+    """State of one crossbar for one time slot.
+
+    ``mapping`` sends input link ids to output link ids.  A legal
+    crossbar state uses each input at most once (guaranteed by the dict)
+    and each output at most once (validated).
+    """
+
+    node: int
+    mapping: dict[int, int] = field(default_factory=dict)
+
+    def connect(self, in_link: int, out_link: int) -> None:
+        """Route ``in_link`` to ``out_link``; both must be free."""
+        if in_link in self.mapping:
+            raise SwitchConfigError(
+                f"switch {self.node}: input link {in_link} already driven "
+                f"(to {self.mapping[in_link]})"
+            )
+        if out_link in self.mapping.values():
+            raise SwitchConfigError(
+                f"switch {self.node}: output link {out_link} already in use"
+            )
+        self.mapping[in_link] = out_link
+
+    def output_of(self, in_link: int) -> int | None:
+        """Output link driven by ``in_link``, or None if unconnected."""
+        return self.mapping.get(in_link)
+
+
+class CrossbarSwitch:
+    """Port inventory and register encoding for one node's crossbar."""
+
+    def __init__(self, topology: Topology, node: int, *,
+                 in_links: tuple[int, ...], out_links: tuple[int, ...]) -> None:
+        self.topology = topology
+        self.node = node
+        # PE port first, then transit ports in link-id order.
+        self.in_links = in_links
+        self.out_links = out_links
+        self._in_index = {link: i for i, link in enumerate(in_links)}
+        self._out_index = {link: i for i, link in enumerate(out_links)}
+
+    @property
+    def radix(self) -> int:
+        """Number of input (== output) ports; 5 on the paper's torus."""
+        return max(len(self.in_links), len(self.out_links))
+
+    def encode(self, state: SwitchState) -> tuple[int, ...]:
+        """Encode a state as a register word.
+
+        The word is a tuple with one entry per input port: the local
+        output-port index it drives, or -1 when the input is dark.  This
+        is the value a circular shift register would hold for one slot.
+        """
+        if state.node != self.node:
+            raise SwitchConfigError(
+                f"state for node {state.node} given to switch {self.node}"
+            )
+        word = [-1] * len(self.in_links)
+        for in_link, out_link in state.mapping.items():
+            try:
+                i = self._in_index[in_link]
+            except KeyError:
+                raise SwitchConfigError(
+                    f"link {in_link} is not an input of switch {self.node}"
+                ) from None
+            try:
+                o = self._out_index[out_link]
+            except KeyError:
+                raise SwitchConfigError(
+                    f"link {out_link} is not an output of switch {self.node}"
+                ) from None
+            word[i] = o
+        used = [w for w in word if w >= 0]
+        if len(set(used)) != len(used):
+            raise SwitchConfigError(f"switch {self.node}: output used twice")
+        return tuple(word)
+
+    def decode(self, word: tuple[int, ...]) -> SwitchState:
+        """Inverse of :meth:`encode` (used to round-trip-test codegen)."""
+        state = SwitchState(self.node)
+        for i, o in enumerate(word):
+            if o >= 0:
+                state.connect(self.in_links[i], self.out_links[o])
+        return state
+
+
+def build_switches(topology: Topology) -> dict[int, CrossbarSwitch]:
+    """Construct the crossbar inventory for every node of ``topology``.
+
+    Scans the transit links once to recover the switch adjacency, then
+    attaches the PE (injection/ejection) ports.  The PE port is always
+    local port 0.
+    """
+    ins: dict[int, list[int]] = {v: [] for v in topology.iter_nodes()}
+    outs: dict[int, list[int]] = {v: [] for v in topology.iter_nodes()}
+    for link_id in range(topology.transit_link_base, topology.num_links):
+        info = topology.link_info(link_id)
+        assert info.kind is LinkKind.TRANSIT
+        if info.dst >= 0:  # boundary fibers on a mesh have dst == -1
+            outs[info.src].append(link_id)
+            ins[info.dst].append(link_id)
+    switches = {}
+    for v in topology.iter_nodes():
+        switches[v] = CrossbarSwitch(
+            topology,
+            v,
+            in_links=(topology.inject_link(v), *sorted(ins[v])),
+            out_links=(topology.eject_link(v), *sorted(outs[v])),
+        )
+    return switches

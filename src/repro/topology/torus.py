@@ -1,0 +1,57 @@
+"""2-D torus of 5x5 electro-optical switches (the paper's Fig. 1 machine).
+
+Every node hosts one processing element attached to a 5x5 crossbar: one
+port pair to the PE and four port pairs to the +x, -x, +y, -y
+neighbours.  Node ids follow the paper's numbering, ``id = x + width*y``
+(node 0 in a corner, ids increasing along rows).
+
+:class:`Torus2D` is a thin specialisation of
+:class:`repro.topology.kary_ncube.KAryNCube` adding 2-D conveniences
+(``width``/``height``, ``(x, y)`` coordinates) used by pattern
+generators and the examples.
+"""
+
+from __future__ import annotations
+
+from repro.topology.kary_ncube import KAryNCube, TieBreak
+
+__all__ = ["Torus2D", "TieBreak"]
+
+
+class Torus2D(KAryNCube):
+    """``width x height`` torus with XY dimension-order routing.
+
+    Parameters
+    ----------
+    width, height:
+        Radices of the x and y rings.  The paper evaluates 8 x 8 (64
+        PEs) and uses 4 x 4 for the Fig. 1 example.
+    tie_break:
+        Wrap-around direction policy for offsets of exactly half the
+        ring; see :class:`repro.topology.kary_ncube.TieBreak`.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int | None = None,
+        tie_break: TieBreak = TieBreak.BALANCED,
+    ) -> None:
+        if height is None:
+            height = width
+        super().__init__((width, height), tie_break=tie_break)
+        self.width = width
+        self.height = height
+
+    def xy(self, node: int) -> tuple[int, int]:
+        """``(x, y)`` coordinates of ``node``."""
+        x, y = self.coords(node)
+        return x, y
+
+    def node(self, x: int, y: int) -> int:
+        """Node id at ``(x, y)`` (coordinates reduced mod the radices)."""
+        return self.node_at((x, y))
+
+    @property
+    def signature(self) -> str:
+        return f"torus2d:{self.width}x{self.height}:tie={self.tie_break.value}"

@@ -1,0 +1,81 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    _normal_quantile,
+    mean_ci,
+    mean_std,
+    relative_error,
+    within,
+)
+
+
+class TestMeanStd:
+    def test_known_values(self):
+        mean, std = mean_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert mean == 5.0
+        assert std == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_value(self):
+        assert mean_std([3.0]) == (3.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+
+class TestMeanCI:
+    def test_halfwidth_shrinks_with_n(self):
+        small = mean_ci([1.0, 2.0, 3.0, 4.0])[1]
+        large = mean_ci([1.0, 2.0, 3.0, 4.0] * 25)[1]
+        assert large < small
+
+    def test_zero_for_single_sample(self):
+        assert mean_ci([5.0]) == (5.0, 0.0)
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_95_uses_z_1_96(self):
+        values = [0.0, 2.0] * 50
+        mean, hw = mean_ci(values)
+        _, std = mean_std(values)
+        assert hw == pytest.approx(1.96 * std / math.sqrt(100), rel=1e-3)
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize("p,z", [(0.5, 0.0), (0.975, 1.959964),
+                                     (0.995, 2.575829), (0.025, -1.959964)])
+    def test_reference_points(self, p, z):
+        assert _normal_quantile(p) == pytest.approx(z, abs=1e-4)
+
+    @given(st.floats(0.001, 0.999))
+    def test_antisymmetric(self, p):
+        assert _normal_quantile(p) == pytest.approx(-_normal_quantile(1 - p), abs=1e-6)
+
+    @given(st.floats(0.01, 0.99), st.floats(0.01, 0.99))
+    def test_monotone(self, p, q):
+        if p < q:
+            assert _normal_quantile(p) <= _normal_quantile(q)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == math.inf
+
+    def test_within(self):
+        assert within(95, 100, 0.1)
+        assert not within(80, 100, 0.1)

@@ -1,0 +1,61 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from repro.analysis.viz import (
+    render_configuration,
+    render_link_heatmap,
+    render_schedule_utilisation,
+)
+from repro.core.combined import combined_schedule
+from repro.core.paths import route_requests
+from repro.core.requests import RequestSet
+from repro.patterns.classic import ring_pattern
+
+
+class TestRenderConfiguration:
+    def test_fig1_rendering(self, torus4):
+        requests = RequestSet.from_pairs([(4, 1), (5, 3), (6, 10), (8, 9), (11, 2)])
+        connections = route_requests(torus4, requests)
+        schedule = combined_schedule(connections, torus4)
+        out = render_configuration(torus4, schedule[0])
+        assert "4x4" in out
+        assert "4 -> 1" in out  # wait: formatting pads ids
+        assert "fiber hops by direction" in out
+
+    def test_grid_contains_all_ids(self, torus4):
+        requests = RequestSet.from_pairs([(0, 1)])
+        connections = route_requests(torus4, requests)
+        schedule = combined_schedule(connections, torus4)
+        out = render_configuration(torus4, schedule[0])
+        for node in range(16):
+            assert f"{node}" in out
+
+
+class TestRenderScheduleUtilisation:
+    def test_frame_summary(self, torus8):
+        connections = route_requests(torus8, ring_pattern(64))
+        schedule = combined_schedule(connections, torus8)
+        out = render_schedule_utilisation(torus8, schedule)
+        assert f"K = {schedule.degree}" in out
+        assert "frame utilisation" in out
+        assert out.count("slot ") == schedule.degree
+
+
+class TestRenderLinkHeatmap:
+    def test_row_per_torus_row(self, torus8):
+        connections = route_requests(torus8, ring_pattern(64))
+        schedule = combined_schedule(connections, torus8)
+        out = render_link_heatmap(torus8, schedule)
+        assert len(out.splitlines()) == 1 + torus8.height
+
+    def test_saturated_fiber_marked(self, torus8):
+        # Twelve messages over the same fiber 0->1.
+        from repro.core.requests import Request
+
+        requests = RequestSet(
+            [Request(0, 1, tag=i) for i in range(12)],
+            allow_duplicates=True,
+        )
+        connections = route_requests(torus8, requests)
+        schedule = combined_schedule(connections, torus8)
+        out = render_link_heatmap(torus8, schedule)
+        assert "*" in out  # >= 10 slots lit

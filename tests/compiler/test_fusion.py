@@ -1,0 +1,95 @@
+"""Tests for communication phase fusion."""
+
+import pytest
+
+from repro.compiler.fusion import compile_fused, fuse_phases, merge_requests
+from repro.compiler.program import CommPhase
+from repro.core.requests import RequestSet
+from repro.patterns.classic import hypercube_pattern, ring_pattern
+from repro.simulator.params import SimParams
+
+ALWAYS = lambda a, b: True
+
+
+@pytest.fixture()
+def sparse_phases():
+    """Two tiny disjoint phases: fusion should obviously win (one
+    startup saved, degrees do not interact)."""
+    return [
+        CommPhase("a", RequestSet.from_pairs([(0, 1), (2, 3)], size=4)),
+        CommPhase("b", RequestSet.from_pairs([(8, 9), (10, 11)], size=4)),
+    ]
+
+
+class TestMergeRequests:
+    def test_union_size(self):
+        a = ring_pattern(8, size=4)
+        b = hypercube_pattern(8, size=4)
+        merged = merge_requests(a, b)
+        assert len(merged) == len(a) + len(b)
+
+    def test_duplicate_pairs_survive(self):
+        a = RequestSet.from_pairs([(0, 1)])
+        b = RequestSet.from_pairs([(0, 1)])
+        merged = merge_requests(a, b)
+        assert len(merged) == 2
+
+
+class TestFusePhases:
+    def test_opt_in_default_never_fuses(self, torus8, sparse_phases):
+        out = fuse_phases(torus8, sparse_phases, SimParams())
+        assert [p.name for p in out] == ["a", "b"]
+
+    def test_fuses_disjoint_sparse_phases(self, torus8, sparse_phases):
+        out = fuse_phases(torus8, sparse_phases, SimParams(), can_fuse=ALWAYS)
+        assert len(out) == 1
+        assert out[0].name == "a+b"
+
+    def test_fusion_reduces_total_time(self, torus8, sparse_phases):
+        from repro.compiler.program import compile_program
+
+        params = SimParams()
+        separate = compile_program(torus8, sparse_phases).communication_time(params)
+        fused = compile_fused(
+            torus8, sparse_phases, params, can_fuse=ALWAYS
+        ).communication_time(params)
+        assert fused < separate
+
+    def test_refuses_bad_fusions(self, torus8):
+        """Fusing a high-degree small-message phase with a low-degree
+        big-message phase stretches the big messages' slot spacing from
+        2 to ~64 frames -- fusion must be evaluated and rejected."""
+        from repro.patterns.classic import all_to_all_pattern
+
+        phases = [
+            CommPhase("a2a", all_to_all_pattern(64, size=4)),     # K = 64
+            CommPhase("ring", ring_pattern(64, size=400)),        # K = 2
+        ]
+        out = fuse_phases(torus8, phases, SimParams(), can_fuse=ALWAYS)
+        assert [p.name for p in out] == ["a2a", "ring"]
+
+    def test_respects_repetition_mismatch(self, torus8, sparse_phases):
+        phases = [
+            CommPhase("a", sparse_phases[0].requests, repetitions=1),
+            CommPhase("b", sparse_phases[1].requests, repetitions=5),
+        ]
+        out = fuse_phases(torus8, phases, SimParams(), can_fuse=ALWAYS)
+        assert len(out) == 2
+
+    def test_chain_fusion(self, torus8):
+        """Three mutually disjoint sparse phases collapse to one."""
+        phases = [
+            CommPhase("p1", RequestSet.from_pairs([(0, 1)], size=4)),
+            CommPhase("p2", RequestSet.from_pairs([(2, 3)], size=4)),
+            CommPhase("p3", RequestSet.from_pairs([(8, 9)], size=4)),
+        ]
+        out = fuse_phases(torus8, phases, SimParams(), can_fuse=ALWAYS)
+        assert len(out) == 1
+
+    def test_compiled_fused_program_valid(self, torus8, sparse_phases):
+        program = compile_fused(torus8, sparse_phases, can_fuse=ALWAYS)
+        for phase in program.phases:
+            from repro.core.paths import route_requests
+
+            connections = route_requests(torus8, phase.phase.requests)
+            phase.schedule.validate(connections)

@@ -1,0 +1,69 @@
+"""Tests for the pattern-spec recognition layer."""
+
+import pytest
+
+from repro.compiler.recognition import SpecError, recognize
+
+
+class TestSpecs:
+    def test_ring(self):
+        rs = recognize({"pattern": "ring", "nodes": 8})
+        assert len(rs) == 16
+
+    def test_unidirectional_ring(self):
+        rs = recognize({"pattern": "ring", "nodes": 8, "bidirectional": False})
+        assert len(rs) == 8
+
+    def test_stencil2d(self):
+        rs = recognize({"pattern": "stencil2d", "width": 4, "height": 4, "size": 9})
+        assert len(rs) == 64
+        assert all(r.size == 9 for r in rs)
+
+    def test_stencil3d(self):
+        rs = recognize({"pattern": "stencil3d", "dims": [4, 4, 4], "sizes": [4, 2, 1]})
+        assert len(rs) == 64 * 26
+
+    def test_hypercube(self):
+        assert len(recognize({"pattern": "hypercube", "nodes": 16})) == 64
+
+    def test_shuffle_exchange(self):
+        assert len(recognize({"pattern": "shuffle-exchange", "nodes": 64})) == 126
+
+    def test_all_to_all(self):
+        assert len(recognize({"pattern": "all-to-all", "nodes": 8})) == 56
+
+    def test_transpose(self):
+        assert len(recognize({"pattern": "transpose", "width": 4})) == 12
+
+    def test_bit_reversal(self):
+        rs = recognize({"pattern": "bit-reversal", "nodes": 16})
+        assert (1, 8) in rs.pairs
+
+    def test_redistribution(self):
+        rs = recognize({
+            "pattern": "redistribution",
+            "extents": [8, 8],
+            "source": [[4, 2], [1, 1]],
+            "target": [[1, 1], [4, 2]],
+        })
+        assert len(rs) > 0
+        assert all(r.size >= 1 for r in rs)
+
+    def test_explicit_pairs(self):
+        rs = recognize({"pattern": "pairs", "pairs": [[0, 2], [1, 3]], "size": 4})
+        assert rs.pairs == ((0, 2), (1, 3))
+        assert all(r.size == 4 for r in rs)
+
+
+class TestErrors:
+    def test_missing_pattern_key(self):
+        with pytest.raises(SpecError, match="pattern"):
+            recognize({})
+
+    def test_unknown_pattern(self):
+        with pytest.raises(SpecError, match="unknown"):
+            recognize({"pattern": "mystery"})
+
+    def test_missing_field(self):
+        with pytest.raises(SpecError, match="missing keys"):
+            recognize({"pattern": "ring"})

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.params import SimParams
+from repro.topology.linear import LinearArray
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+
+@pytest.fixture(scope="session")
+def torus8() -> Torus2D:
+    """The paper's 8x8 evaluation torus (session-scoped: routing is
+    stateless and the AAPC cache keyed by its signature is reused)."""
+    return Torus2D(8)
+
+
+@pytest.fixture(scope="session")
+def torus4() -> Torus2D:
+    """The 4x4 torus of the paper's Fig. 1 example."""
+    return Torus2D(4)
+
+
+@pytest.fixture()
+def linear5() -> LinearArray:
+    """The 5-node linear array of the paper's Fig. 3 example."""
+    return LinearArray(5)
+
+
+@pytest.fixture()
+def ring8() -> Ring:
+    return Ring(8)
+
+
+@pytest.fixture()
+def params() -> SimParams:
+    return SimParams()

@@ -1,0 +1,86 @@
+"""Tests for the ordered-AAPC and combined schedulers (Fig. 5, sec 3.4)."""
+
+import pytest
+
+from repro.aapc.phases import aapc_decomposition
+from repro.core.aapc_ordered import aapc_rank_order, ordered_aapc_schedule
+from repro.core.coloring import coloring_schedule
+from repro.core.combined import combined_schedule
+from repro.core.paths import route_requests
+from repro.core.requests import RequestSet
+from repro.patterns.classic import all_to_all_pattern
+from repro.patterns.random_patterns import random_pattern
+
+
+class TestOrderedAAPC:
+    def test_requires_topology_or_map(self, torus8):
+        conns = route_requests(torus8, RequestSet.from_pairs([(0, 1)]))
+        with pytest.raises(ValueError):
+            ordered_aapc_schedule(conns)
+
+    def test_valid_schedule(self, torus8):
+        conns = route_requests(torus8, random_pattern(64, 300, seed=5))
+        schedule = ordered_aapc_schedule(conns, torus8)
+        schedule.validate(conns)
+
+    def test_bounded_by_aapc_phase_count(self, torus8):
+        """The defining guarantee: never more configurations than the
+        AAPC decomposition has phases, for any pattern."""
+        phases = aapc_decomposition(torus8).num_phases
+        for seed in range(3):
+            conns = route_requests(torus8, random_pattern(64, 3800, seed=seed))
+            assert ordered_aapc_schedule(conns, torus8).degree <= phases
+
+    def test_all_to_all_exactly_phase_count(self, torus8):
+        conns = route_requests(torus8, all_to_all_pattern(64))
+        schedule = ordered_aapc_schedule(conns, torus8)
+        schedule.validate(conns)
+        assert schedule.degree == aapc_decomposition(torus8).num_phases == 64
+
+    def test_sparse_patterns_merge_phases(self, torus8):
+        """With few requests, greedy merges partially filled phases and
+        lands well below the 64-phase bound."""
+        conns = route_requests(torus8, random_pattern(64, 100, seed=2))
+        assert ordered_aapc_schedule(conns, torus8).degree < 20
+
+    def test_rank_order_groups_phases(self, torus8):
+        conns = route_requests(torus8, random_pattern(64, 200, seed=4))
+        phase_of = aapc_decomposition(torus8).phase_of
+        order = aapc_rank_order(conns, phase_of)
+        assert sorted(order) == list(range(len(conns)))
+        # Connections of the same phase must be contiguous in the order.
+        seen_phases = []
+        for pos in order:
+            p = phase_of[conns[pos].pair]
+            if not seen_phases or seen_phases[-1] != p:
+                seen_phases.append(p)
+        assert len(seen_phases) == len(set(seen_phases))
+
+    def test_explicit_phase_map_used(self, torus8):
+        conns = route_requests(torus8, RequestSet.from_pairs([(0, 1), (1, 2)]))
+        phase_of = {(0, 1): 0, (1, 2): 0}
+        schedule = ordered_aapc_schedule(conns, phase_of=phase_of)
+        schedule.validate(conns)
+        assert schedule.degree == 1
+
+
+class TestCombined:
+    def test_picks_the_better(self, torus8):
+        conns = route_requests(torus8, all_to_all_pattern(64))
+        combined = combined_schedule(conns, torus8)
+        coloring = coloring_schedule(conns)
+        aapc = ordered_aapc_schedule(conns, torus8)
+        assert combined.degree == min(coloring.degree, aapc.degree)
+
+    def test_label_names_winner(self, torus8):
+        conns = route_requests(torus8, all_to_all_pattern(64))
+        combined = combined_schedule(conns, torus8)
+        assert combined.scheduler == "combined(aapc)"
+
+    @pytest.mark.parametrize("n", [100, 800, 2400])
+    def test_never_worse_than_either(self, torus8, n):
+        conns = route_requests(torus8, random_pattern(64, n, seed=n))
+        combined = combined_schedule(conns, torus8)
+        combined.validate(conns)
+        assert combined.degree <= coloring_schedule(conns).degree
+        assert combined.degree <= ordered_aapc_schedule(conns, torus8).degree

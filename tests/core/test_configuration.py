@@ -1,0 +1,90 @@
+"""Tests for configurations and configuration sets."""
+
+import pytest
+
+from repro.core.configuration import (
+    Configuration,
+    ConfigurationSet,
+    ScheduleValidationError,
+)
+from repro.core.paths import route_requests
+from repro.core.requests import RequestSet
+
+
+@pytest.fixture()
+def conns(linear5):
+    rs = RequestSet.from_pairs([(0, 2), (1, 3), (3, 4), (2, 4)])
+    return route_requests(linear5, rs)
+
+
+class TestConfiguration:
+    def test_fits_then_add(self, conns):
+        cfg = Configuration()
+        assert cfg.fits(conns[0])
+        cfg.add(conns[0])
+        assert not cfg.fits(conns[1])
+
+    def test_add_conflicting_raises(self, conns):
+        cfg = Configuration([conns[0]])
+        with pytest.raises(ScheduleValidationError):
+            cfg.add(conns[1])
+
+    def test_remove_restores_links(self, conns):
+        cfg = Configuration([conns[0]])
+        cfg.remove(conns[0])
+        assert len(cfg) == 0
+        assert cfg.fits(conns[1])
+
+    def test_total_links_used(self, conns):
+        cfg = Configuration([conns[0]])
+        assert cfg.total_links_used == conns[0].num_links
+
+
+class TestConfigurationSet:
+    def test_degree(self, conns):
+        cs = ConfigurationSet([Configuration([conns[0], conns[3]]),
+                               Configuration([conns[1], conns[2]])])
+        assert cs.degree == 2
+
+    def test_slot_map(self, conns):
+        cs = ConfigurationSet([Configuration([conns[0], conns[3]]),
+                               Configuration([conns[1], conns[2]])])
+        assert cs.slot_map() == {0: 0, 3: 0, 1: 1, 2: 1}
+
+    def test_validate_accepts_good_schedule(self, conns):
+        cs = ConfigurationSet([Configuration([conns[0], conns[3]]),
+                               Configuration([conns[1], conns[2]])])
+        cs.validate(conns)
+
+    def test_validate_detects_missing(self, conns):
+        cs = ConfigurationSet([Configuration([conns[0]])])
+        with pytest.raises(ScheduleValidationError, match="coverage"):
+            cs.validate(conns)
+
+    def test_validate_detects_duplicate(self, conns):
+        cs = ConfigurationSet([
+            Configuration([conns[0], conns[3]]),
+            Configuration([conns[1], conns[2]]),
+            Configuration([conns[0]]),
+        ])
+        with pytest.raises(ScheduleValidationError, match="twice"):
+            cs.validate(conns)
+
+    def test_validate_detects_internal_conflict(self, conns):
+        """Bypass Configuration.add's check to prove validate re-checks."""
+        cfg = Configuration()
+        cfg.connections = [conns[0], conns[1]]  # conflicting, forced in
+        cs = ConfigurationSet([cfg, Configuration([conns[2]]), Configuration([conns[3]])])
+        with pytest.raises(ScheduleValidationError, match="reuses"):
+            cs.validate(conns)
+
+    def test_all_connections_in_slot_order(self, conns):
+        cs = ConfigurationSet([Configuration([conns[1]]),
+                               Configuration([conns[0]])])
+        assert [c.index for c in cs.all_connections()] == [1, 0]
+
+    def test_utilisation(self, conns, linear5):
+        cs = ConfigurationSet([Configuration([conns[0], conns[3]]),
+                               Configuration([conns[1], conns[2]])])
+        u = cs.utilisation(linear5.num_links)
+        assert 0 < u < 1

@@ -1,0 +1,76 @@
+"""Tests for the exact branch-and-bound scheduler."""
+
+import pytest
+
+from repro.core.bounds import max_link_load_bound
+from repro.core.coloring import coloring_schedule
+from repro.core.exact import certified_optimal_degree, exact_schedule
+from repro.core.paths import route_requests
+from repro.core.requests import RequestSet
+from repro.patterns.random_patterns import random_pattern
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+
+class TestWorkedExamples:
+    def test_fig3_optimum_is_proven_two(self, linear5):
+        """The paper's Fig. 3 claims the optimum is 2; prove it."""
+        rs = RequestSet.from_pairs([(0, 2), (1, 3), (3, 4), (2, 4)])
+        conns = route_requests(linear5, rs)
+        result = exact_schedule(conns)
+        result.schedule.validate(conns)
+        assert result.schedule.degree == 2
+        assert result.proven_optimal
+
+    def test_ring8_bidirectional_is_two(self):
+        """Ring pattern on a ring topology: 16 connections, optimum 2."""
+        from repro.patterns.classic import ring_pattern
+
+        topo = Ring(8)
+        conns = route_requests(topo, ring_pattern(8))
+        degree, proven = certified_optimal_degree(conns)
+        assert (degree, proven) == (2, True)
+
+    def test_injection_clique_exact(self, torus8):
+        rs = RequestSet.from_pairs([(0, d) for d in (1, 2, 3, 4, 5)])
+        conns = route_requests(torus8, rs)
+        degree, proven = certified_optimal_degree(conns)
+        assert (degree, proven) == (5, True)
+
+    def test_empty(self):
+        result = exact_schedule([])
+        assert result.schedule.degree == 0
+        assert result.proven_optimal
+
+
+class TestAgainstHeuristics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_never_above_coloring(self, seed):
+        topo = Torus2D(4)
+        conns = route_requests(topo, random_pattern(16, 18, seed=seed))
+        result = exact_schedule(conns)
+        result.schedule.validate(conns)
+        assert result.schedule.degree <= coloring_schedule(conns).degree
+        assert result.schedule.degree >= max_link_load_bound(conns)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proven_cases_match_bound_or_beat_heuristic(self, seed):
+        """On these sizes the search exhausts; the certified optimum is
+        a real reference value for the heuristics."""
+        topo = Torus2D(4)
+        conns = route_requests(topo, random_pattern(16, 14, seed=100 + seed))
+        result = exact_schedule(conns)
+        assert result.proven_optimal
+
+
+class TestGuards:
+    def test_too_large_rejected(self, torus8):
+        conns = route_requests(torus8, random_pattern(64, 65, seed=0))
+        with pytest.raises(ValueError, match="small instances"):
+            exact_schedule(conns)
+
+    def test_budget_exhaustion_flagged(self, torus8):
+        conns = route_requests(torus8, random_pattern(64, 40, seed=1))
+        result = exact_schedule(conns, max_nodes=10)
+        result.schedule.validate(conns)  # incumbent still valid
+        assert not result.proven_optimal

@@ -1,0 +1,72 @@
+"""Tests for the greedy scheduler (paper Fig. 2 / Fig. 3)."""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.paths import route_requests
+from repro.core.requests import RequestSet
+
+
+@pytest.fixture()
+def fig3(linear5):
+    rs = RequestSet.from_pairs([(0, 2), (1, 3), (3, 4), (2, 4)])
+    return route_requests(linear5, rs)
+
+
+class TestFig3Example:
+    """The paper's worked example of greedy's order sensitivity."""
+
+    def test_natural_order_needs_three_slots(self, fig3):
+        schedule = greedy_schedule(fig3)
+        schedule.validate(fig3)
+        assert schedule.degree == 3
+
+    def test_natural_order_slots_match_paper(self, fig3):
+        # Paper: (0,2) slot 1, (1,3) slot 2, (3,4) slot 1, (2,4) slot 3.
+        slots = greedy_schedule(fig3).slot_map()
+        assert slots[0] == 0
+        assert slots[1] == 1
+        assert slots[2] == 0
+        assert slots[3] == 2
+
+    def test_better_order_needs_two_slots(self, fig3):
+        # Paper: scheduling (0,2)+(2,4) and (1,3)+(3,4) together gives 2.
+        schedule = greedy_schedule(fig3, order=[0, 3, 1, 2])
+        schedule.validate(fig3)
+        assert schedule.degree == 2
+
+
+class TestGreedyGeneral:
+    def test_empty(self):
+        assert greedy_schedule([]).degree == 0
+
+    def test_single(self, torus8):
+        conns = route_requests(torus8, RequestSet.from_pairs([(0, 9)]))
+        schedule = greedy_schedule(conns)
+        schedule.validate(conns)
+        assert schedule.degree == 1
+
+    def test_all_conflicting_serializes(self, torus8):
+        # Five messages from node 0 all share the injection fiber.
+        pairs = [(0, d) for d in (1, 2, 3, 4, 5)]
+        conns = route_requests(torus8, RequestSet.from_pairs(pairs))
+        schedule = greedy_schedule(conns)
+        schedule.validate(conns)
+        assert schedule.degree == 5
+
+    def test_disjoint_fit_one_slot(self, torus8):
+        pairs = [(0, 1), (2, 3), (4, 5), (8, 9)]
+        conns = route_requests(torus8, RequestSet.from_pairs(pairs))
+        assert greedy_schedule(conns).degree == 1
+
+    def test_scheduler_label(self, fig3):
+        assert greedy_schedule(fig3).scheduler == "greedy"
+
+    def test_order_only_permutes(self, fig3):
+        """Any processing order yields a valid, complete schedule."""
+        import itertools
+
+        for order in itertools.permutations(range(4)):
+            schedule = greedy_schedule(fig3, order=list(order))
+            schedule.validate(fig3)
+            assert 2 <= schedule.degree <= 3

@@ -1,0 +1,105 @@
+"""Tests for routed connections and conflict detection."""
+
+import networkx as nx
+import pytest
+
+from repro.core.conflicts import (
+    adjacency,
+    build_conflict_graph,
+    conflict,
+    link_load,
+    links_to_connections,
+)
+from repro.core.paths import Connection, route_requests
+from repro.core.requests import RequestSet
+
+
+@pytest.fixture()
+def fig3_connections(linear5):
+    """The Fig. 3 example: (0,2), (1,3), (3,4), (2,4)."""
+    rs = RequestSet.from_pairs([(0, 2), (1, 3), (3, 4), (2, 4)])
+    return route_requests(linear5, rs)
+
+
+class TestRouteRequests:
+    def test_indices_in_order(self, fig3_connections):
+        assert [c.index for c in fig3_connections] == [0, 1, 2, 3]
+
+    def test_link_set_matches_links(self, fig3_connections):
+        for c in fig3_connections:
+            assert c.link_set == frozenset(c.links)
+
+    def test_num_links(self, fig3_connections):
+        # (0,2): inject + 2 transit + eject = 4
+        assert fig3_connections[0].num_links == 4
+        # (3,4): inject + 1 transit + eject = 3
+        assert fig3_connections[2].num_links == 3
+
+
+class TestConflict:
+    def test_fig3_conflict_structure(self, fig3_connections):
+        a, b, c, d = fig3_connections
+        # (0,2) vs (1,3): share forward fiber 1->2
+        assert conflict(a, b)
+        # (1,3) vs (2,4): share forward fiber 2->3
+        assert conflict(b, d)
+        # (3,4) vs (2,4): share fiber 3->4 and eject(4)
+        assert conflict(c, d)
+        # the compatible pairs of the paper's optimal schedule
+        assert not conflict(a, c)
+        assert not conflict(a, d)
+        assert not conflict(b, c)
+
+    def test_same_source_conflicts(self, torus8):
+        rs = RequestSet.from_pairs([(0, 1), (0, 9)])
+        a, b = route_requests(torus8, rs)
+        assert conflict(a, b)  # both need inject(0)
+
+    def test_same_destination_conflicts(self, torus8):
+        rs = RequestSet.from_pairs([(1, 0), (9, 0)])
+        a, b = route_requests(torus8, rs)
+        assert conflict(a, b)  # both need eject(0)
+
+    def test_disjoint_paths_do_not_conflict(self, torus8):
+        rs = RequestSet.from_pairs([(0, 1), (2, 3)])
+        a, b = route_requests(torus8, rs)
+        assert not conflict(a, b)
+
+
+class TestIndexes:
+    def test_links_to_connections(self, fig3_connections):
+        index = links_to_connections(fig3_connections)
+        # the fiber 1->2 is used by connections 0 and 1
+        shared = [members for members in index.values() if len(members) > 1]
+        assert [0, 1] in shared
+
+    def test_link_load_max(self, fig3_connections):
+        assert max(link_load(fig3_connections).values()) == 2
+
+    def test_adjacency_symmetric(self, fig3_connections):
+        adj = adjacency(fig3_connections)
+        for i, nbrs in enumerate(adj):
+            for j in nbrs:
+                assert i in adj[j]
+
+    def test_adjacency_requires_ordered_indices(self, fig3_connections):
+        shuffled = list(reversed(fig3_connections))
+        with pytest.raises(ValueError):
+            adjacency(shuffled)
+
+
+class TestConflictGraph:
+    def test_fig3_graph(self, fig3_connections):
+        g = build_conflict_graph(fig3_connections)
+        assert g.number_of_nodes() == 4
+        assert set(g.edges()) == {(0, 1), (1, 3), (2, 3)}
+
+    def test_graph_carries_connection_objects(self, fig3_connections):
+        g = build_conflict_graph(fig3_connections)
+        assert isinstance(g.nodes[0]["connection"], Connection)
+
+    def test_chromatic_number_is_two(self, fig3_connections):
+        """The Fig. 3 conflict graph is a path: 2-colorable, which is
+        why the optimal multiplexing degree is 2."""
+        g = build_conflict_graph(fig3_connections)
+        assert nx.is_bipartite(g)

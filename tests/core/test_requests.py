@@ -1,0 +1,71 @@
+"""Tests for requests and request sets."""
+
+import pytest
+
+from repro.core.requests import Request, RequestSet
+
+
+class TestRequest:
+    def test_pair(self):
+        assert Request(1, 2).pair == (1, 2)
+
+    def test_defaults(self):
+        r = Request(0, 1)
+        assert r.size == 1
+        assert r.tag == 0
+
+    def test_str_with_size(self):
+        assert "x8" in str(Request(0, 1, size=8))
+
+    def test_hashable(self):
+        assert len({Request(0, 1), Request(0, 1), Request(0, 2)}) == 2
+
+
+class TestRequestSet:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            RequestSet([Request(3, 3)])
+
+    def test_duplicate_rejected_by_default(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RequestSet.from_pairs([(0, 1), (0, 1)])
+
+    def test_duplicates_allowed_when_opted_in(self):
+        rs = RequestSet.from_pairs([(0, 1), (0, 1)], allow_duplicates=True)
+        assert len(rs) == 2
+
+    def test_from_pairs_sets_size(self):
+        rs = RequestSet.from_pairs([(0, 1)], size=7)
+        assert rs[0].size == 7
+
+    def test_from_sized_pairs(self):
+        rs = RequestSet.from_sized_pairs([(0, 1, 10), (1, 2, 20)])
+        assert [r.size for r in rs] == [10, 20]
+
+    def test_sequence_protocol(self):
+        rs = RequestSet.from_pairs([(0, 1), (1, 2), (2, 3)])
+        assert len(rs) == 3
+        assert rs[1].pair == (1, 2)
+        assert [r.src for r in rs] == [0, 1, 2]
+
+    def test_pairs_property(self):
+        rs = RequestSet.from_pairs([(0, 1), (2, 3)])
+        assert rs.pairs == ((0, 1), (2, 3))
+
+    def test_total_elements(self):
+        rs = RequestSet.from_sized_pairs([(0, 1, 10), (1, 2, 20)])
+        assert rs.total_elements() == 30
+
+    def test_reordered(self):
+        rs = RequestSet.from_pairs([(0, 1), (1, 2), (2, 3)])
+        out = rs.reordered([2, 0, 1])
+        assert out.pairs == ((2, 3), (0, 1), (1, 2))
+
+    def test_reordered_rejects_non_permutation(self):
+        rs = RequestSet.from_pairs([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            rs.reordered([0, 0])
+
+    def test_name_kept(self):
+        rs = RequestSet.from_pairs([(0, 1)], name="demo")
+        assert rs.name == "demo"

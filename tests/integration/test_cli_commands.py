@@ -1,0 +1,85 @@
+"""Integration tests for the remaining CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_table1_quick(self, capsys):
+        assert main(["table1", "--patterns", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "4000" in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2", "--samples", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "redistributions" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "P3M 5" in out
+
+    def test_table5_small(self, capsys):
+        assert main(["table5", "--gs-grids", "64", "--p3m-grids", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "TSCF" in out and "compiled" in out
+
+    def test_programs(self, capsys):
+        assert main(["programs"]) == 0
+        out = capsys.readouterr().out
+        assert "P3M" in out and "per-phase K" in out
+
+    def test_ablation_quick(self, capsys):
+        assert main(["ablation", "--patterns", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dsatur" in out
+
+
+class TestTools:
+    def test_trace(self, capsys):
+        assert main([
+            "trace", "--spec", '{"pattern": "pairs", "pairs": [[0, 1], [0, 2]], "size": 8}',
+            "--degree", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "established" in out
+        assert "failed reservations" in out
+
+    def test_trace_no_hops(self, capsys):
+        assert main([
+            "trace", "--spec", '{"pattern": "pairs", "pairs": [[0, 9]]}',
+            "--no-hops",
+        ]) == 0
+        assert "res-hop" not in capsys.readouterr().out
+
+    def test_compile_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "artifact.json"
+        assert main([
+            "compile", "--spec", '{"pattern": "ring", "nodes": 64, "size": 8}',
+            "--output", str(out_file),
+        ]) == 0
+        assert "degree 2" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert doc["topology"].startswith("torus2d:8x8")
+        from repro.compiler.serialize import load_artifact
+        from repro.topology.torus import Torus2D
+
+        schedule, _ = load_artifact(out_file, Torus2D(8))
+        assert schedule.degree == 2
+
+    def test_compile_with_algorithm(self, tmp_path, capsys):
+        out_file = tmp_path / "g.json"
+        assert main([
+            "compile", "--spec", '{"pattern": "pairs", "pairs": [[0, 1]]}',
+            "--output", str(out_file), "--algorithm", "greedy",
+        ]) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

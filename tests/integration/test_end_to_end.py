@@ -1,0 +1,99 @@
+"""End-to-end integration: spec -> schedule -> codegen -> simulation."""
+
+import pytest
+
+from repro.compiler.program import CommPhase, compile_program
+from repro.compiler.recognition import recognize
+from repro.compiler.codegen import decode_registers
+from repro.simulator.compiled import compiled_completion_time
+from repro.simulator.dynamic import simulate_dynamic
+from repro.simulator.metrics import summarize
+from repro.simulator.params import SimParams
+
+
+class TestFullPipeline:
+    def test_spec_to_registers(self, torus8):
+        """A compiler front-to-back pass: recognise the pattern, compile
+        the program, and audit the emitted registers by tracing."""
+        requests = recognize({"pattern": "stencil2d", "width": 8, "height": 8, "size": 32})
+        program = compile_program(torus8, [CommPhase("stencil", requests)])
+        phase = program.phases[0]
+        traced = decode_registers(phase.registers)
+        all_traced = set().union(*traced)
+        assert all_traced == set(requests.pairs)
+
+    def test_program_vs_dynamic(self, torus8):
+        """The whole point of the paper: the compiled program's
+        communication time beats every dynamic configuration."""
+        params = SimParams()
+        requests = recognize({"pattern": "hypercube", "nodes": 64, "size": 8})
+        program = compile_program(torus8, [CommPhase("fft", requests)])
+        compiled_time = program.communication_time(params)
+        for degree in (1, 2, 5, 10):
+            assert compiled_time < simulate_dynamic(
+                torus8, requests, degree, params
+            ).completion_time
+
+    def test_multi_phase_program(self, torus8):
+        params = SimParams()
+        phases = [
+            CommPhase("boundary", recognize({"pattern": "ring", "nodes": 64, "size": 64})),
+            CommPhase("reduce", recognize({"pattern": "hypercube", "nodes": 64, "size": 8})),
+            CommPhase(
+                "redistribute",
+                recognize({
+                    "pattern": "redistribution",
+                    "extents": [64, 64, 64],
+                    "source": [[4, 16], [4, 16], [4, 16]],
+                    "target": [[1, 1], [1, 1], [64, 1]],
+                }),
+            ),
+        ]
+        program = compile_program(torus8, phases)
+        degrees = program.degrees()
+        # Per-phase adaptation: three different multiplexing degrees.
+        assert degrees["boundary"] == 2
+        assert degrees["reduce"] in (7, 8)
+        assert degrees["redistribute"] > 10
+        assert program.communication_time(params) == sum(
+            p.makespan(params) for p in program.phases
+        )
+
+    def test_summaries_from_both_simulators(self, torus8):
+        params = SimParams()
+        requests = recognize({"pattern": "ring", "nodes": 64, "size": 16})
+        comp = compiled_completion_time(torus8, requests, params)
+        dyn = simulate_dynamic(torus8, requests, 2, params)
+        s_comp = summarize(comp.messages)
+        s_dyn = summarize(dyn.messages)
+        assert s_comp["makespan"] < s_dyn["makespan"]
+        assert s_dyn["establish_mean"] > 0
+
+
+class TestCLI:
+    def test_cli_fig3(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "3" in out and "2" in out
+
+    def test_cli_table3(self, capsys):
+        from repro.cli import main
+
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "all-to-all" in out
+
+    def test_cli_aapc(self, capsys):
+        from repro.cli import main
+
+        assert main(["aapc", "--width", "4", "--height", "4"]) == 0
+        assert "phases" in capsys.readouterr().out
+
+    def test_cli_schedule_spec(self, capsys):
+        from repro.cli import main
+
+        assert main(["schedule", "--spec", '{"pattern": "ring", "nodes": 64}']) == 0
+        out = capsys.readouterr().out
+        assert "combined" in out

@@ -1,0 +1,131 @@
+"""Tests for multicast compiled timing, plus multicast property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coloring import coloring_schedule
+from repro.core.greedy import greedy_schedule
+from repro.multicast import (
+    MulticastRequest,
+    MulticastSet,
+    broadcast_pattern,
+    route_multicasts,
+    row_multicast_pattern,
+)
+from repro.multicast.sim import compiled_multicast_completion_time
+from repro.simulator.params import SimParams
+from repro.topology.torus import Torus2D
+
+TORUS = Torus2D(4)
+
+
+class TestCompiledMulticast:
+    def test_broadcast_cost_independent_of_fanout(self, torus8, params):
+        """One tree: K = 1, so a 64-element broadcast costs the same as
+        a 64-element unicast."""
+        result = compiled_multicast_completion_time(
+            torus8, broadcast_pattern(64, size=64), params
+        )
+        assert result.degree == 1
+        assert result.completion_time == params.compiled_startup + 16
+
+    def test_beats_unicast_emulation(self, torus8, params):
+        from repro.core.requests import RequestSet
+        from repro.simulator.compiled import compiled_completion_time
+
+        tree = compiled_multicast_completion_time(
+            torus8, broadcast_pattern(64, size=64), params
+        ).completion_time
+        emulation = compiled_completion_time(
+            torus8,
+            RequestSet.from_pairs([(0, d) for d in range(1, 64)], size=64),
+            params,
+            scheduler="coloring",
+        ).completion_time
+        assert tree * 10 < emulation
+
+    def test_row_multicast_single_slot(self, torus8, params):
+        result = compiled_multicast_completion_time(
+            torus8, row_multicast_pattern(8, 8, size=8), params
+        )
+        assert result.degree == 1
+        assert len(result.delivered) == 8
+
+    def test_unicast_only_schedulers_rejected(self, torus8, params):
+        for name in ("aapc", "combined"):
+            with pytest.raises(ValueError, match="unicast-only"):
+                compiled_multicast_completion_time(
+                    torus8, broadcast_pattern(64), params, scheduler=name
+                )
+
+
+@st.composite
+def multicast_sets(draw):
+    n = TORUS.num_nodes
+    count = draw(st.integers(1, 8))
+    requests = []
+    for _ in range(count):
+        src = draw(st.integers(0, n - 1))
+        dsts = draw(
+            st.sets(
+                st.integers(0, n - 1).filter(lambda d: d != src),
+                min_size=1, max_size=6,
+            )
+        )
+        size = draw(st.integers(1, 50))
+        requests.append(MulticastRequest(src, tuple(dsts), size=size))
+    return MulticastSet(requests)
+
+
+class TestMulticastProperties:
+    @given(multicast_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_tree_properties(self, ms):
+        """Every routed multicast is a tree: one injection fiber, one
+        ejection per destination, each link once, and the footprint is
+        the union of the branch paths."""
+        for conn in route_multicasts(TORUS, ms):
+            assert len(set(conn.links)) == len(conn.links)
+            kinds = [TORUS.link_info(l).kind.value for l in conn.links]
+            assert kinds.count("inject") == 1
+            assert kinds.count("eject") == conn.request.fanout
+            union = set().union(*(set(p) for p in conn.branches.values()))
+            assert conn.link_set == union
+
+    @given(multicast_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_scheduling_valid(self, ms):
+        conns = route_multicasts(TORUS, ms)
+        for scheduler in (greedy_schedule, coloring_schedule):
+            schedule = scheduler(conns)
+            schedule.validate(conns)
+            assert schedule.degree <= len(conns)
+
+    @given(multicast_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_codegen_roundtrip(self, ms):
+        from repro.multicast import (
+            decode_multicast_registers,
+            generate_multicast_registers,
+        )
+
+        conns = route_multicasts(TORUS, ms)
+        schedule = greedy_schedule(conns)
+        traced = decode_multicast_registers(
+            generate_multicast_registers(TORUS, schedule)
+        )
+        assert traced == [
+            {(c.request.src, frozenset(c.request.dsts)) for c in cfg}
+            for cfg in schedule
+        ]
+
+    @given(multicast_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_timing_bounds(self, ms):
+        params = SimParams()
+        result = compiled_multicast_completion_time(TORUS, ms, params)
+        longest = max(
+            -(-r.size // params.slot_payload) for r in ms
+        )
+        assert result.completion_time >= params.compiled_startup + longest
+        assert all(d <= result.completion_time for d in result.delivered)

@@ -1,0 +1,107 @@
+"""Tests for the application patterns (Tables 4-5 workloads)."""
+
+import pytest
+
+from repro.patterns.applications import (
+    application_patterns,
+    gs_pattern,
+    p3m_pattern,
+    tscf_pattern,
+)
+
+
+class TestGS:
+    def test_linear_array_structure(self):
+        pat = gs_pattern(64)
+        assert len(pat.requests) == 126  # 63 bidirectional adjacencies
+        assert all(abs(r.src - r.dst) == 1 for r in pat.requests)
+
+    def test_boundary_row_message(self):
+        assert all(r.size == 256 for r in gs_pattern(256).requests)
+
+    def test_grid_must_divide(self):
+        with pytest.raises(ValueError):
+            gs_pattern(100)
+
+    def test_kind(self):
+        assert gs_pattern(64).kind == "shared array ref."
+
+
+class TestTSCF:
+    def test_hypercube(self):
+        pat = tscf_pattern()
+        assert len(pat.requests) == 384
+        assert all((r.src ^ r.dst).bit_count() == 1 for r in pat.requests)
+
+    def test_fixed_small_message(self):
+        from repro.patterns.applications import TSCF_MESSAGE_SIZE
+
+        sizes = {r.size for r in tscf_pattern().requests}
+        assert sizes == {TSCF_MESSAGE_SIZE}
+
+    def test_problem_size_label(self):
+        assert tscf_pattern(5120).problem_size == "5120"
+
+
+class TestP3MRedistributions:
+    def test_p3m1_structure_64(self):
+        """(:block,:block,:block) -> (:,:,:block) on 64^3: every source
+        block spans 16 z-planes of 16x16x1 = 256 elements each."""
+        pat = p3m_pattern(1, 64)
+        sizes = {r.size for r in pat.requests}
+        assert sizes == {256}
+        from collections import Counter
+
+        per_src = Counter(r.src for r in pat.requests)
+        assert all(v in (15, 16) for v in per_src.values())  # self-pair drops one
+
+    def test_p3m2_dense_64(self):
+        pat = p3m_pattern(2, 64)
+        assert len(pat.requests) == 4032  # all-to-all
+        assert {r.size for r in pat.requests} == {64}
+
+    def test_p3m3_same_as_p3m2(self):
+        a = p3m_pattern(2, 64).requests
+        b = p3m_pattern(3, 64).requests
+        assert a.pairs == b.pairs
+
+    def test_p3m4_is_reverse_of_p3m2(self):
+        fwd = {r.pair for r in p3m_pattern(2, 64).requests}
+        rev = {r.pair[::-1] for r in p3m_pattern(4, 64).requests}
+        assert fwd == rev
+
+    def test_32_cube_smaller_messages(self):
+        big = p3m_pattern(2, 64).requests.total_elements()
+        small = p3m_pattern(2, 32).requests.total_elements()
+        assert small < big
+
+    def test_invalid_number(self):
+        with pytest.raises(ValueError):
+            p3m_pattern(6, 64)
+
+
+class TestP3M5:
+    def test_26_neighbours(self):
+        pat = p3m_pattern(5, 32)
+        assert len(pat.requests) == 64 * 26
+
+    def test_small_messages(self):
+        """Calibration: messages stay small (see docstring note)."""
+        assert max(r.size for r in p3m_pattern(5, 64).requests) <= 8
+
+    def test_kind(self):
+        assert p3m_pattern(5, 32).kind == "shared array ref."
+
+
+class TestInventory:
+    def test_table4_rows(self):
+        pats = application_patterns()
+        assert [p.name for p in pats] == [
+            "GS", "TSCF", "P3M 1", "P3M 2", "P3M 3", "P3M 4", "P3M 5",
+        ]
+
+    def test_all_requests_valid_pe_range(self):
+        for pat in application_patterns():
+            for r in pat.requests:
+                assert 0 <= r.src < 64
+                assert 0 <= r.dst < 64

@@ -1,0 +1,138 @@
+"""Tests for the classic pattern generators (Table 3 workloads)."""
+
+import pytest
+
+from repro.patterns.classic import (
+    all_to_all_pattern,
+    bit_reversal_pattern,
+    hypercube_pattern,
+    nearest_neighbour_2d,
+    nearest_neighbour_3d,
+    ring_pattern,
+    shuffle_exchange_pattern,
+    transpose_pattern,
+)
+
+
+class TestPaperConnectionCounts:
+    """Table 3's connection counts must match exactly."""
+
+    def test_ring(self):
+        assert len(ring_pattern(64)) == 128
+
+    def test_nearest_neighbour(self):
+        assert len(nearest_neighbour_2d(8, 8)) == 256
+
+    def test_hypercube(self):
+        assert len(hypercube_pattern(64)) == 384
+
+    def test_shuffle_exchange(self):
+        assert len(shuffle_exchange_pattern(64)) == 126
+
+    def test_all_to_all(self):
+        assert len(all_to_all_pattern(64)) == 4032
+
+
+class TestRing:
+    def test_unidirectional(self):
+        rs = ring_pattern(8, bidirectional=False)
+        assert len(rs) == 8
+        assert all((r.dst - r.src) % 8 == 1 for r in rs)
+
+    def test_wraps(self):
+        rs = ring_pattern(8)
+        assert (7, 0) in rs.pairs
+        assert (0, 7) in rs.pairs
+
+
+class TestNearestNeighbour:
+    def test_2d_degree_four(self):
+        rs = nearest_neighbour_2d(8, 8)
+        from collections import Counter
+
+        out = Counter(r.src for r in rs)
+        assert set(out.values()) == {4}
+
+    def test_3d_degree_26(self):
+        rs = nearest_neighbour_3d((4, 4, 4))
+        from collections import Counter
+
+        out = Counter(r.src for r in rs)
+        assert set(out.values()) == {26}
+        assert len(rs) == 64 * 26
+
+    def test_3d_small_radix_rejected(self):
+        with pytest.raises(ValueError, match="radix"):
+            nearest_neighbour_3d((2, 4, 4))
+
+    def test_3d_sizes_by_neighbour_order(self):
+        rs = nearest_neighbour_3d((4, 4, 4), sizes=(9, 3, 1))
+        sizes = sorted({r.size for r in rs})
+        assert sizes == [1, 3, 9]
+        from collections import Counter
+
+        per_node = Counter(r.size for r in rs if r.src == 0)
+        assert per_node[9] == 6   # faces
+        assert per_node[3] == 12  # edges
+        assert per_node[1] == 8   # corners
+
+
+class TestHypercube:
+    def test_symmetric(self):
+        pairs = set(hypercube_pattern(16).pairs)
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_neighbours_differ_one_bit(self):
+        for s, d in hypercube_pattern(64).pairs:
+            x = s ^ d
+            assert x and (x & (x - 1)) == 0
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            hypercube_pattern(12)
+
+
+class TestShuffleExchange:
+    def test_fixed_points_dropped(self):
+        pairs = shuffle_exchange_pattern(64).pairs
+        rol = lambda i: ((i << 1) | (i >> 5)) & 63
+        shuffle_pairs = [(s, d) for s, d in pairs if d == rol(s) and d != s ^ 1]
+        # 0 and 63 are rotation fixed points: 62 shuffle connections.
+        sources = {s for s, _ in shuffle_pairs}
+        assert 0 not in sources and 63 not in sources
+
+    def test_exchange_half(self):
+        pairs = set(shuffle_exchange_pattern(64).pairs)
+        for i in range(64):
+            assert (i, i ^ 1) in pairs
+
+    def test_shuffle_is_rotate_left(self):
+        pairs = set(shuffle_exchange_pattern(8).pairs)
+        assert (1, 2) in pairs   # 001 -> 010
+        assert (4, 1) in pairs   # 100 -> 001
+        assert (3, 6) in pairs   # 011 -> 110
+
+
+class TestOthers:
+    def test_transpose_excludes_diagonal(self):
+        rs = transpose_pattern(8)
+        assert len(rs) == 64 - 8
+        assert all(s != d for s, d in rs.pairs)
+
+    def test_transpose_is_involution(self):
+        pairs = set(transpose_pattern(8).pairs)
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_bit_reversal(self):
+        rs = bit_reversal_pattern(8)
+        assert (1, 4) in rs.pairs  # 001 -> 100
+        assert (3, 6) in rs.pairs  # 011 -> 110
+        assert all(s != d for s, d in rs.pairs)
+
+    def test_all_to_all_complete(self):
+        pairs = set(all_to_all_pattern(8).pairs)
+        assert len(pairs) == 56
+        assert all((s, d) in pairs for s in range(8) for d in range(8) if s != d)
+
+    def test_size_propagated(self):
+        assert all(r.size == 5 for r in ring_pattern(8, size=5))

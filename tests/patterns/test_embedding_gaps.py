@@ -1,0 +1,36 @@
+"""Gap-fill tests: embed_requests and pattern/embedding composition."""
+
+from repro.core.requests import Request
+from repro.patterns.embeddings import (
+    embed_requests,
+    gray_embedding,
+    snake_embedding,
+)
+
+
+class TestEmbedRequests:
+    def test_preserves_sizes_and_tags(self):
+        emb = snake_embedding(4, 4)
+        logical = [Request(0, 1, size=10, tag=3), Request(2, 3, size=20, tag=4)]
+        out = embed_requests(logical, emb)
+        assert [(r.size, r.tag) for r in out] == [(10, 3), (20, 4)]
+        assert out[0].pair == (emb(0), emb(1))
+
+    def test_name_attached(self):
+        emb = gray_embedding(4, 4)
+        out = embed_requests([Request(0, 1)], emb, name="demo")
+        assert out.name == "demo"
+
+    def test_snake_composes_with_scheduling(self):
+        """A logical ring embedded by snake is all physically adjacent:
+        degree 2 regardless of the numbering."""
+        from repro.core.coloring import coloring_schedule
+        from repro.core.paths import route_requests
+        from repro.patterns.classic import ring_pattern
+        from repro.topology.torus import Torus2D
+
+        topo = Torus2D(8)
+        rs = ring_pattern(64, embedding=snake_embedding(8, 8))
+        conns = route_requests(topo, rs)
+        assert all(c.num_links == 3 for c in conns)  # adjacent hops only
+        assert coloring_schedule(conns).degree == 2

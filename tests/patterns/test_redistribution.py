@@ -1,0 +1,163 @@
+"""Tests for block-cyclic redistribution patterns (Table 2 workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.redistribution import (
+    BlockCyclic,
+    Distribution,
+    random_distribution,
+    redistribution_pairs,
+    redistribution_requests,
+)
+
+
+def brute_force_pairs(src: Distribution, dst: Distribution) -> dict:
+    """Reference implementation: walk every array element."""
+    out: dict[tuple[int, int], int] = {}
+    extents = src.extents
+    import itertools
+
+    for index in itertools.product(*(range(e) for e in extents)):
+        a, b = src.owner(index), dst.owner(index)
+        if a != b:
+            out[(a, b)] = out.get((a, b), 0) + 1
+    return out
+
+
+class TestBlockCyclic:
+    def test_owner_formula(self):
+        bc = BlockCyclic(procs=4, block=2)
+        assert list(bc.owners(10)) == [0, 0, 1, 1, 2, 2, 3, 3, 0, 0]
+
+    def test_pure_block(self):
+        bc = BlockCyclic(procs=4, block=4)
+        assert list(bc.owners(16)) == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_undistributed_notation(self):
+        assert BlockCyclic(1, 1).notation() == ":"
+        assert BlockCyclic(8, 4).notation() == "8:block(4)"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BlockCyclic(0, 1)
+
+
+class TestDistribution:
+    def test_num_pes(self):
+        d = Distribution((8, 8), (BlockCyclic(4, 2), BlockCyclic(2, 4)))
+        assert d.num_pes == 8
+
+    def test_pe_id_dim0_fastest(self):
+        d = Distribution((8, 8), (BlockCyclic(4, 2), BlockCyclic(2, 4)))
+        assert d.pe_id((1, 0)) == 1
+        assert d.pe_id((0, 1)) == 4
+
+    def test_owner(self):
+        d = Distribution((8, 8), (BlockCyclic(4, 2), BlockCyclic(2, 4)))
+        assert d.owner((0, 0)) == 0
+        assert d.owner((2, 0)) == 1
+        assert d.owner((0, 4)) == 4
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Distribution((8, 8), (BlockCyclic(4, 2),))
+
+    def test_notation(self):
+        d = Distribution((8, 8), (BlockCyclic(4, 2), BlockCyclic(1, 1)))
+        assert d.notation() == "(4:block(2), :)"
+
+
+class TestRedistributionPairs:
+    @pytest.mark.parametrize("case", [
+        # (extents, src specs, dst specs)
+        ((8, 8), ((4, 2), (1, 1)), ((1, 1), (4, 2))),
+        ((8, 8), ((2, 4), (4, 1)), ((4, 1), (2, 2))),
+        ((4, 4, 4), ((2, 2), (2, 2), (1, 1)), ((1, 1), (2, 1), (2, 1))),
+        ((6, 6), ((3, 1), (2, 3)), ((2, 3), (3, 2))),
+    ])
+    def test_matches_brute_force(self, case):
+        extents, src_specs, dst_specs = case
+        src = Distribution(extents, tuple(BlockCyclic(p, b) for p, b in src_specs))
+        dst = Distribution(extents, tuple(BlockCyclic(p, b) for p, b in dst_specs))
+        assert redistribution_pairs(src, dst) == brute_force_pairs(src, dst)
+
+    def test_identity_redistribution_is_empty(self):
+        d = Distribution((8, 8), (BlockCyclic(4, 2), BlockCyclic(2, 4)))
+        assert redistribution_pairs(d, d) == {}
+
+    def test_counts_conserve_elements(self):
+        src = Distribution((16, 16), (BlockCyclic(4, 4), BlockCyclic(4, 4)))
+        dst = Distribution((16, 16), (BlockCyclic(16, 1), BlockCyclic(1, 1)))
+        moved = sum(redistribution_pairs(src, dst).values())
+        import itertools
+
+        stayed = sum(
+            1
+            for idx in itertools.product(range(16), range(16))
+            if src.owner(idx) == dst.owner(idx)
+        )
+        assert moved + stayed == 16 * 16
+
+    def test_different_arrays_rejected(self):
+        a = Distribution((8,), (BlockCyclic(4, 2),))
+        b = Distribution((16,), (BlockCyclic(4, 2),))
+        with pytest.raises(ValueError):
+            redistribution_pairs(a, b)
+
+    def test_paper_all_to_all_case(self):
+        """(:,:,:block) -> (:block,:block,:) on 64^3 over 64 PEs is the
+        paper's dense redistribution: 4032 pairs (all-to-all)."""
+        e = (64, 64, 64)
+        src = Distribution(e, (BlockCyclic(1, 1), BlockCyclic(1, 1), BlockCyclic(64, 1)))
+        dst = Distribution(e, (BlockCyclic(8, 8), BlockCyclic(8, 8), BlockCyclic(1, 1)))
+        pairs = redistribution_pairs(src, dst)
+        assert len(pairs) == 4032
+        assert set(pairs.values()) == {64}  # 8x8x1 intersection each
+
+
+class TestRedistributionRequests:
+    def test_sizes_are_counts(self):
+        e = (8, 8)
+        src = Distribution(e, (BlockCyclic(4, 2), BlockCyclic(1, 1)))
+        dst = Distribution(e, (BlockCyclic(1, 1), BlockCyclic(4, 2)))
+        rs = redistribution_requests(src, dst)
+        pairs = redistribution_pairs(src, dst)
+        assert {r.pair: r.size for r in rs} == pairs
+
+    def test_deterministic_order(self):
+        e = (8, 8)
+        src = Distribution(e, (BlockCyclic(4, 2), BlockCyclic(1, 1)))
+        dst = Distribution(e, (BlockCyclic(1, 1), BlockCyclic(4, 2)))
+        assert redistribution_requests(src, dst).pairs == \
+            redistribution_requests(src, dst).pairs
+
+
+class TestRandomDistribution:
+    def test_total_pes_exact(self):
+        for seed in range(20):
+            d = random_distribution((64, 64, 64), 64, seed=seed)
+            assert d.num_pes == 64
+
+    def test_every_pe_owns_data(self):
+        """The paper's 'precaution': block sizes keep all PEs populated."""
+        for seed in range(20):
+            d = random_distribution((64, 64, 64), 64, seed=seed)
+            for extent, bc in zip(d.extents, d.dims):
+                owners = set(bc.owners(extent))
+                assert owners == set(range(bc.procs))
+
+    def test_deterministic_given_seed(self):
+        a = random_distribution((64, 64, 64), 64, seed=9)
+        b = random_distribution((64, 64, 64), 64, seed=9)
+        assert a == b
+
+    def test_generator_advances(self):
+        rng = np.random.default_rng(0)
+        a = random_distribution((64, 64, 64), 64, seed=rng)
+        b = random_distribution((64, 64, 64), 64, seed=rng)
+        assert a != b or a.dims != b.dims  # overwhelmingly different
+
+    def test_impossible_grid_rejected(self):
+        with pytest.raises(ValueError):
+            random_distribution((2, 2), 64, seed=0)

@@ -1,0 +1,71 @@
+"""Property-based tests for block-cyclic redistribution arithmetic."""
+
+import itertools
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns.redistribution import (
+    BlockCyclic,
+    Distribution,
+    redistribution_pairs,
+)
+
+
+@st.composite
+def distribution_pairs(draw):
+    """Two random distributions of the same small 2-D array."""
+    extents = tuple(
+        draw(st.integers(2, 12)) for _ in range(draw(st.integers(1, 3)))
+    )
+
+    def dist():
+        dims = []
+        for e in extents:
+            p = draw(st.integers(1, e))
+            b = draw(st.integers(1, max(e // p, 1)))
+            dims.append(BlockCyclic(p, b))
+        return Distribution(extents, tuple(dims))
+
+    return dist(), dist()
+
+
+class TestAgainstBruteForce:
+    @given(distribution_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_pairs_match_elementwise_walk(self, case):
+        src, dst = case
+        expected: dict[tuple[int, int], int] = {}
+        for index in itertools.product(*(range(e) for e in src.extents)):
+            a, b = src.owner(index), dst.owner(index)
+            if a != b:
+                expected[(a, b)] = expected.get((a, b), 0) + 1
+        assert redistribution_pairs(src, dst) == expected
+
+    @given(distribution_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_conservation(self, case):
+        """Moved + stationary elements = array volume."""
+        src, dst = case
+        moved = sum(redistribution_pairs(src, dst).values())
+        stayed = sum(
+            1
+            for index in itertools.product(*(range(e) for e in src.extents))
+            if src.owner(index) == dst.owner(index)
+        )
+        assert moved + stayed == math.prod(src.extents)
+
+    @given(distribution_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_pe_ids_in_range(self, case):
+        src, dst = case
+        for (a, b), count in redistribution_pairs(src, dst).items():
+            assert 0 <= a < src.num_pes
+            assert 0 <= b < dst.num_pes
+            assert count >= 1
+
+    @given(distribution_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_identity_is_empty(self, case):
+        src, _ = case
+        assert redistribution_pairs(src, src) == {}

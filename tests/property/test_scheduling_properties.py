@@ -1,0 +1,98 @@
+"""Property-based tests for the connection schedulers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import max_link_load_bound
+from repro.core.coloring import coloring_schedule
+from repro.core.greedy import greedy_schedule
+from repro.core.packing import first_fit, repack
+from repro.core.paths import route_requests
+from repro.core.requests import Request, RequestSet
+from repro.topology.torus import Torus2D
+
+TORUS = Torus2D(4)  # small instance: properties must hold regardless of size
+
+
+@st.composite
+def request_sets(draw, max_requests: int = 40):
+    n = TORUS.num_nodes
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=1,
+            max_size=max_requests,
+            unique=True,
+        )
+    )
+    return RequestSet.from_pairs(pairs)
+
+
+class TestSchedulerInvariants:
+    @given(request_sets())
+    @settings(max_examples=150, deadline=None)
+    def test_greedy_valid_and_bounded(self, rs):
+        conns = route_requests(TORUS, rs)
+        schedule = greedy_schedule(conns)
+        schedule.validate(conns)
+        assert max_link_load_bound(conns) <= schedule.degree <= len(conns)
+
+    @given(request_sets())
+    @settings(max_examples=150, deadline=None)
+    def test_coloring_valid_and_bounded(self, rs):
+        conns = route_requests(TORUS, rs)
+        schedule = coloring_schedule(conns)
+        schedule.validate(conns)
+        assert max_link_load_bound(conns) <= schedule.degree <= len(conns)
+
+    @given(request_sets(), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_any_order_covers_everything(self, rs, rnd):
+        conns = route_requests(TORUS, rs)
+        order = list(range(len(conns)))
+        rnd.shuffle(order)
+        schedule = first_fit(conns, order)
+        schedule.validate(conns)
+
+    @given(request_sets())
+    @settings(max_examples=75, deadline=None)
+    def test_repack_never_increases_degree(self, rs):
+        conns = route_requests(TORUS, rs)
+        schedule = first_fit(conns)
+        before = schedule.degree
+        packed = repack(schedule)
+        packed.validate(conns)
+        assert packed.degree <= before
+
+    @given(request_sets())
+    @settings(max_examples=75, deadline=None)
+    def test_slot_map_total_and_unique(self, rs):
+        conns = route_requests(TORUS, rs)
+        slots = greedy_schedule(conns).slot_map()
+        assert sorted(slots) == list(range(len(conns)))
+
+    @given(request_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_first_configuration_is_maximal(self, rs):
+        """Greedy's first configuration is maximal: no unscheduled-to-
+        slot-0 connection could have been added to it."""
+        conns = route_requests(TORUS, rs)
+        schedule = greedy_schedule(conns)
+        first = schedule[0]
+        for cfg in list(schedule)[1:]:
+            for c in cfg:
+                assert not first.fits(c)
+
+
+class TestDuplicateRequests:
+    @given(st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicates_get_distinct_slots(self, copies):
+        """k identical requests need exactly k slots (they all share the
+        whole path)."""
+        rs = RequestSet(
+            [Request(0, 1, tag=i) for i in range(copies)], allow_duplicates=True
+        )
+        conns = route_requests(TORUS, rs)
+        assert greedy_schedule(conns).degree == copies

@@ -1,0 +1,136 @@
+"""Stateful property tests (hypothesis rule-based state machines)."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.simulator.tdm import FREE, LinkSlotState
+from repro.topology.faults import FaultyTopology
+from repro.topology.torus import Torus2D
+
+DEGREE = 4
+
+
+class LinkChannelMachine(RuleBasedStateMachine):
+    """Lifecycle of one link's virtual channels.
+
+    Models the legal operations the reservation protocol performs --
+    lock a free subset, resolve a lock into ownership or release it,
+    tear a circuit down -- and asserts the bookkeeping invariants the
+    simulator relies on.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.state = LinkSlotState(DEGREE)
+        self.next_rid = 0
+        self.locks: dict[int, list[int]] = {}   # rid -> slots locked
+        self.owners: dict[int, int] = {}        # rid -> owned slot
+
+    @rule(data=st.data())
+    def lock_some_free_slots(self, data):
+        free = self.state.free_slots()
+        if not free:
+            return
+        subset = data.draw(st.sets(st.sampled_from(free), min_size=1))
+        rid = self.next_rid
+        self.next_rid += 1
+        self.state.lock_slots(sorted(subset), rid)
+        self.locks[rid] = sorted(subset)
+
+    @precondition(lambda self: self.locks)
+    @rule(data=st.data(), keep=st.booleans())
+    def resolve_lock(self, data, keep):
+        rid = data.draw(st.sampled_from(sorted(self.locks)))
+        slots = self.locks.pop(rid)
+        if keep:
+            chosen = slots[0]
+            self.state.release_locks(rid, keep=chosen)
+            self.owners[rid] = chosen
+        else:
+            self.state.release_locks(rid)
+
+    @precondition(lambda self: self.owners)
+    @rule(data=st.data())
+    def release_circuit(self, data):
+        rid = data.draw(st.sampled_from(sorted(self.owners)))
+        del self.owners[rid]
+        self.state.release_owner(rid)
+
+    @invariant()
+    def model_matches_state(self):
+        for rid, slots in self.locks.items():
+            for k in slots:
+                assert self.state.lock[k] == rid
+        for rid, slot in self.owners.items():
+            assert self.state.owner[slot] == rid
+        # No channel is both locked and owned; counts match the model.
+        locked = sum(1 for l in self.state.lock if l != FREE)
+        owned = sum(1 for o in self.state.owner if o != FREE)
+        assert locked == sum(len(s) for s in self.locks.values())
+        assert owned == len(self.owners)
+        for k in range(DEGREE):
+            assert not (self.state.lock[k] != FREE and self.state.owner[k] != FREE)
+
+    @invariant()
+    def free_slots_consistent(self):
+        free = set(self.state.free_slots())
+        for k in range(DEGREE):
+            expected_free = self.state.lock[k] == FREE and self.state.owner[k] == FREE
+            assert (k in free) == expected_free
+
+
+TestLinkChannelMachine = LinkChannelMachine.TestCase
+TestLinkChannelMachine.settings = settings(max_examples=50, deadline=None)
+
+
+class FaultRepairMachine(RuleBasedStateMachine):
+    """Fail/restore fibers on a 4x4 torus; routing must stay coherent.
+
+    After every step: routes exist for a fixed probe set whenever the
+    surviving graph is connected, never traverse a failed fiber, and
+    restoring everything returns routing to the healthy baseline.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.base = Torus2D(4)
+        self.faulty = FaultyTopology(Torus2D(4))
+        self.healthy_routes = {
+            (s, d): self.base.route(s, d)
+            for s, d in [(0, 5), (3, 12), (15, 0), (7, 8)]
+        }
+
+    @rule(offset=st.integers(0, 63))
+    def fail(self, offset):
+        self.faulty.fail_link(self.faulty.transit_link_base + offset)
+
+    @rule(offset=st.integers(0, 63))
+    def restore(self, offset):
+        self.faulty.restore_link(self.faulty.transit_link_base + offset)
+
+    @invariant()
+    def routes_avoid_failures(self):
+        from repro.topology.base import RoutingError
+
+        for (s, d) in self.healthy_routes:
+            try:
+                path = self.faulty.route(s, d)
+            except RoutingError:
+                continue  # legitimately disconnected
+            assert self.faulty.failed_links.isdisjoint(path)
+
+    @invariant()
+    def full_restore_is_baseline(self):
+        if not self.faulty.failed_links:
+            for (s, d), route in self.healthy_routes.items():
+                assert self.faulty.route(s, d) == route
+
+
+TestFaultRepairMachine = FaultRepairMachine.TestCase
+TestFaultRepairMachine.settings = settings(max_examples=25, deadline=None)

@@ -1,0 +1,82 @@
+"""Property-based tests for topologies and routing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.kary_ncube import KAryNCube, TieBreak
+from repro.topology.linear import LinearArray
+from repro.topology.links import LinkKind
+
+
+dims_strategy = st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=3).filter(
+    lambda d: 2 <= __import__("math").prod(d) <= 128
+)
+
+
+@st.composite
+def cube_and_pair(draw):
+    dims = draw(dims_strategy)
+    tie = draw(st.sampled_from(list(TieBreak)))
+    cube = KAryNCube(dims, tie_break=tie)
+    s = draw(st.integers(0, cube.num_nodes - 1))
+    d = draw(st.integers(0, cube.num_nodes - 1).filter(lambda x: x != s))
+    return cube, s, d
+
+
+class TestRouteInvariants:
+    @given(cube_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_route_is_a_chain(self, case):
+        """Routes start at the source PE, end at the destination PE,
+        and every consecutive link pair shares a switch."""
+        cube, s, d = case
+        infos = [cube.link_info(l) for l in cube.route(s, d)]
+        assert infos[0].kind is LinkKind.INJECT and infos[0].src == s
+        assert infos[-1].kind is LinkKind.EJECT and infos[-1].dst == d
+        for a, b in zip(infos, infos[1:]):
+            assert a.dst == b.src
+
+    @given(cube_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_route_never_repeats_a_link(self, case):
+        cube, s, d = case
+        path = cube.route(s, d)
+        assert len(set(path)) == len(path)
+
+    @given(cube_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_route_is_shortest_possible(self, case):
+        """Transit hops equal the sum of per-dimension ring distances
+        (dimension-order routing never detours)."""
+        cube, s, d = case
+        sc, dc = cube.coords(s), cube.coords(d)
+        minimal = sum(
+            min((b - a) % k, (a - b) % k)
+            for a, b, k in zip(sc, dc, cube.dims)
+        )
+        assert len(cube.route(s, d)) - 2 == minimal
+
+    @given(cube_and_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_route_deterministic(self, case):
+        cube, s, d = case
+        assert cube.route(s, d) == cube.route(s, d)
+
+    @given(st.integers(2, 30), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_linear_array_routes(self, n, data):
+        lin = LinearArray(n)
+        s = data.draw(st.integers(0, n - 1))
+        d = data.draw(st.integers(0, n - 1).filter(lambda x: x != s))
+        path = lin.route(s, d)
+        assert len(path) == abs(s - d) + 2
+
+    @given(cube_and_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_link_info_total(self, case):
+        """Every link id decodes, and ids partition into the three kinds
+        with the expected counts."""
+        cube, _, _ = case
+        kinds = [cube.link_info(l).kind for l in cube.iter_links()]
+        assert kinds.count(LinkKind.INJECT) == cube.num_nodes
+        assert kinds.count(LinkKind.EJECT) == cube.num_nodes
+        assert kinds.count(LinkKind.TRANSIT) == cube.num_transit_links

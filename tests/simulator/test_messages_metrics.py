@@ -1,0 +1,53 @@
+"""Tests for message bookkeeping and result summarisation."""
+
+import pytest
+
+from repro.core.requests import RequestSet
+from repro.simulator.messages import Message, messages_from_requests
+from repro.simulator.metrics import summarize
+
+
+class TestMessages:
+    def test_from_requests_preserves_order_and_sizes(self):
+        rs = RequestSet.from_sized_pairs([(0, 1, 10), (2, 3, 20)])
+        msgs = messages_from_requests(rs)
+        assert [(m.src, m.dst, m.size) for m in msgs] == [(0, 1, 10), (2, 3, 20)]
+        assert [m.mid for m in msgs] == [0, 1]
+
+    def test_latency_none_until_delivered(self):
+        m = Message(0, 0, 1, 4)
+        assert m.latency is None
+        m.first_attempt = 5
+        m.delivered = 30
+        assert m.latency == 25
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == {"makespan": 0.0, "messages": 0.0}
+
+    def test_undelivered_raises(self):
+        with pytest.raises(ValueError, match="never delivered"):
+            summarize([Message(0, 0, 1, 4)])
+
+    def test_statistics(self):
+        msgs = []
+        for i, (start, done) in enumerate([(0, 10), (0, 20), (2, 32)]):
+            m = Message(i, 0, 1, 4)
+            m.first_attempt = start
+            m.established = start + 4
+            m.delivered = done
+            msgs.append(m)
+        out = summarize(msgs)
+        assert out["makespan"] == 32.0
+        assert out["messages"] == 3.0
+        assert out["latency_mean"] == pytest.approx((10 + 20 + 30) / 3)
+        assert out["latency_max"] == 30.0
+        assert out["establish_mean"] == 4.0
+
+    def test_retries_totalled(self):
+        m = Message(0, 0, 1, 4)
+        m.first_attempt = 0
+        m.delivered = 5
+        m.retries = 7
+        assert summarize([m])["retries"] == 7.0

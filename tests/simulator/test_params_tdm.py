@@ -1,0 +1,99 @@
+"""Tests for simulation parameters and TDM link state."""
+
+import pytest
+
+from repro.simulator.params import SimParams
+from repro.simulator.tdm import FREE, LinkSlotState, TDMNetwork
+
+
+class TestSimParams:
+    def test_defaults_documented_calibration(self):
+        p = SimParams()
+        assert p.slot_payload == 4
+        assert p.compiled_startup == 3
+        assert p.control_hop_latency == 2
+
+    @pytest.mark.parametrize("field,value", [
+        ("slot_payload", 0),
+        ("compiled_startup", -1),
+        ("control_hop_latency", 0),
+        ("retry_backoff", 0),
+        ("max_slots", 0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            SimParams(**{field: value})
+
+    def test_with_copies(self):
+        p = SimParams()
+        q = p.with_(slot_payload=8)
+        assert q.slot_payload == 8
+        assert p.slot_payload == 4
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimParams().slot_payload = 2  # type: ignore[misc]
+
+
+class TestLinkSlotState:
+    def test_initially_all_free(self):
+        st = LinkSlotState(4)
+        assert st.free_slots() == [0, 1, 2, 3]
+
+    def test_lock_hides_slots(self):
+        st = LinkSlotState(4)
+        st.lock_slots([1, 2], rid=7)
+        assert st.free_slots() == [0, 3]
+
+    def test_release_keep_promotes_to_owner(self):
+        st = LinkSlotState(4)
+        st.lock_slots([1, 2], rid=7)
+        st.release_locks(7, keep=2)
+        assert st.lock == [FREE] * 4
+        assert st.owner[2] == 7
+        assert st.free_slots() == [0, 1, 3]
+
+    def test_release_without_keep(self):
+        st = LinkSlotState(4)
+        st.lock_slots([0, 3], rid=5)
+        st.release_locks(5)
+        assert st.free_slots() == [0, 1, 2, 3]
+
+    def test_release_owner(self):
+        st = LinkSlotState(2)
+        st.lock_slots([0], rid=1)
+        st.release_locks(1, keep=0)
+        st.release_owner(1)
+        assert st.free_slots() == [0, 1]
+
+    def test_double_lock_rejected(self):
+        st = LinkSlotState(2)
+        st.lock_slots([0], rid=1)
+        with pytest.raises(RuntimeError):
+            st.lock_slots([0], rid=2)
+
+    def test_foreign_locks_untouched(self):
+        st = LinkSlotState(3)
+        st.lock_slots([0], rid=1)
+        st.lock_slots([1], rid=2)
+        st.release_locks(1)
+        assert st.lock[1] == 2
+
+
+class TestTDMNetwork:
+    def test_lazy_link_creation(self, torus8):
+        net = TDMNetwork(torus8, 4)
+        assert net.occupied_channels() == 0
+        st = net.link(5)
+        assert st is net.link(5)
+
+    def test_degree_validated(self, torus8):
+        with pytest.raises(ValueError):
+            TDMNetwork(torus8, 0)
+
+    def test_occupied_channels_counts(self, torus8):
+        net = TDMNetwork(torus8, 2)
+        st = net.link(0)
+        st.lock_slots([1], rid=9)
+        st.release_locks(9, keep=1)
+        assert net.occupied_channels() == 1

@@ -1,0 +1,106 @@
+"""Tests for register-driven simulation and weighted-frame codegen."""
+
+import pytest
+
+from repro.compiler.codegen import decode_registers, generate_registers
+from repro.core.combined import combined_schedule
+from repro.core.paths import route_requests
+from repro.core.requests import RequestSet
+from repro.core.weighted import weighted_schedule
+from repro.patterns.classic import nearest_neighbour_2d, ring_pattern
+from repro.simulator.compiled import compiled_completion_time
+from repro.simulator.params import SimParams
+from repro.simulator.register_sim import simulate_registers, weighted_registers
+
+
+@pytest.fixture()
+def compiled(torus8):
+    requests = nearest_neighbour_2d(8, 8, size=16)
+    connections = route_requests(torus8, requests)
+    schedule = combined_schedule(connections, torus8)
+    return requests, connections, schedule
+
+
+class TestSimulateRegisters:
+    def test_agrees_with_schedule_model(self, torus8, compiled):
+        """Driving the emitted registers delivers in exactly the time
+        the schedule-driven model predicts."""
+        requests, _, schedule = compiled
+        params = SimParams()
+        regs = generate_registers(torus8, schedule)
+        by_registers = simulate_registers(torus8, regs, requests, params)
+        by_schedule = compiled_completion_time(torus8, requests, params)
+        assert by_registers.completion_time == by_schedule.completion_time
+        assert sorted(m.delivered for m in by_registers.messages) == \
+            sorted(m.delivered for m in by_schedule.messages)
+
+    def test_missing_circuit_detected(self, torus8, compiled):
+        """A register image that does not serve some request must fail
+        loudly, not hang."""
+        _, _, schedule = compiled
+        regs = generate_registers(torus8, schedule)
+        stranger = RequestSet.from_pairs([(0, 63)], size=4)
+        with pytest.raises(ValueError, match="no circuit"):
+            simulate_registers(torus8, regs, stranger)
+
+    def test_duplicate_pairs_served_in_turn(self, torus8):
+        from repro.core.requests import Request
+
+        requests = RequestSet(
+            [Request(0, 1, size=8, tag=0), Request(0, 1, size=8, tag=1)],
+            allow_duplicates=True,
+        )
+        connections = route_requests(torus8, requests)
+        schedule = combined_schedule(connections, torus8)
+        regs = generate_registers(torus8, schedule)
+        result = simulate_registers(torus8, regs, requests)
+        d = sorted(m.delivered for m in result.messages)
+        assert d[0] < d[1]  # second message waits for the first
+
+
+class TestWeightedRegisters:
+    @pytest.fixture()
+    def skewed(self, torus8):
+        requests = RequestSet.from_sized_pairs(
+            [(0, 1, 400), (2, 3, 400), (0, 2, 4), (1, 3, 4), (0, 3, 4)]
+        )
+        connections = route_requests(torus8, requests)
+        schedule = combined_schedule(connections, torus8)
+        return requests, weighted_schedule(schedule)
+
+    def test_frame_length_words(self, torus8, skewed):
+        _, weighted = skewed
+        regs = weighted_registers(torus8, weighted)
+        assert regs.degree == weighted.frame_length
+
+    def test_traced_slots_match_frame(self, torus8, skewed):
+        _, weighted = skewed
+        regs = weighted_registers(torus8, weighted)
+        traced = decode_registers(regs)
+        for slot, config_idx in enumerate(weighted.frame):
+            expected = {c.pair for c in weighted.base[config_idx]}
+            assert traced[slot] == expected
+
+    def test_weighted_registers_beat_flat(self, torus8, skewed):
+        """The replicated frame's registers deliver the skewed traffic
+        faster than the flat frame's."""
+        requests, weighted = skewed
+        flat_regs = generate_registers(torus8, weighted.base)
+        heavy_regs = weighted_registers(torus8, weighted)
+        params = SimParams()
+        t_flat = simulate_registers(torus8, flat_regs, requests, params).completion_time
+        t_heavy = simulate_registers(torus8, heavy_regs, requests, params).completion_time
+        assert t_heavy < t_flat
+
+    def test_matches_analytic_weighted_model(self, torus8, skewed):
+        from repro.core.weighted import simulate_weighted
+
+        requests, weighted = skewed
+        params = SimParams()
+        analytic = simulate_weighted(
+            weighted, slot_payload=params.slot_payload,
+            startup=params.compiled_startup,
+        )
+        regs = weighted_registers(torus8, weighted)
+        driven = simulate_registers(torus8, regs, requests, params).completion_time
+        assert driven == analytic

@@ -1,0 +1,143 @@
+"""Tests for the generalized k-ary n-cube."""
+
+import pytest
+
+from repro.topology.base import RoutingError
+from repro.topology.kary_ncube import KAryNCube, TieBreak
+from repro.topology.links import LinkKind
+
+
+class TestCoordinates:
+    def test_dim0_fastest(self):
+        cube = KAryNCube((4, 2))
+        assert cube.coords(0) == (0, 0)
+        assert cube.coords(1) == (1, 0)
+        assert cube.coords(4) == (0, 1)
+
+    def test_node_at_roundtrip(self):
+        cube = KAryNCube((3, 4, 5))
+        for node in cube.iter_nodes():
+            assert cube.node_at(cube.coords(node)) == node
+
+    def test_node_at_reduces_mod_radix(self):
+        cube = KAryNCube((4, 4))
+        assert cube.node_at((5, -1)) == cube.node_at((1, 3))
+
+    def test_node_at_wrong_arity(self):
+        with pytest.raises(ValueError):
+            KAryNCube((4, 4)).node_at((1, 2, 3))
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            KAryNCube(())
+        with pytest.raises(ValueError):
+            KAryNCube((4, 0))
+
+
+class TestSignedOffset:
+    def test_short_way_positive(self):
+        cube = KAryNCube((8,))
+        assert cube.signed_offset(0, 3, 0) == 3
+
+    def test_short_way_negative(self):
+        cube = KAryNCube((8,))
+        assert cube.signed_offset(0, 6, 0) == -2
+
+    def test_zero(self):
+        cube = KAryNCube((8,))
+        assert cube.signed_offset(5, 5, 0) == 0
+
+    def test_half_ring_balanced_by_parity(self):
+        cube = KAryNCube((8,), tie_break=TieBreak.BALANCED)
+        assert cube.signed_offset(0, 4, 0) == 4     # even source: +
+        assert cube.signed_offset(1, 5, 0) == -4    # odd source: -
+
+    def test_half_ring_positive_policy(self):
+        cube = KAryNCube((8,), tie_break=TieBreak.POSITIVE)
+        assert cube.signed_offset(1, 5, 0) == 4
+
+    def test_offset_magnitude_at_most_half(self):
+        cube = KAryNCube((7,))
+        for s in range(7):
+            for d in range(7):
+                assert abs(cube.signed_offset(s, d, 0)) <= 3
+
+
+class TestRouting:
+    def test_dimension_order(self):
+        cube = KAryNCube((4, 4))
+        path = cube.route(cube.node_at((0, 0)), cube.node_at((1, 1)))
+        infos = [cube.link_info(l) for l in path]
+        assert infos[0].kind is LinkKind.INJECT
+        assert infos[-1].kind is LinkKind.EJECT
+        directions = [i.direction for i in infos[1:-1]]
+        assert directions == ["+x", "+y"]
+
+    def test_route_endpoints_consistent(self):
+        cube = KAryNCube((4, 4))
+        for s in range(16):
+            for d in range(16):
+                if s == d:
+                    continue
+                infos = [cube.link_info(l) for l in cube.route(s, d)]
+                # consecutive links chain: dst of one is src of next
+                for a, b in zip(infos, infos[1:]):
+                    assert a.dst == b.src
+                assert infos[0].src == s
+                assert infos[-1].dst == d
+
+    def test_route_transit_count_is_distance(self):
+        cube = KAryNCube((5, 3))
+        for s in range(15):
+            for d in range(15):
+                if s != d:
+                    assert len(cube.route(s, d)) - 2 == cube.distance(s, d)
+
+    def test_distance_symmetric_for_odd_radix(self):
+        cube = KAryNCube((5, 5))
+        for s in range(25):
+            for d in range(25):
+                assert cube.distance(s, d) == cube.distance(d, s)
+
+    def test_self_route_rejected(self):
+        with pytest.raises(RoutingError):
+            KAryNCube((4, 4)).route(3, 3)
+
+    def test_three_dims(self):
+        cube = KAryNCube((4, 4, 4))
+        assert cube.num_nodes == 64
+        path = cube.route(0, cube.node_at((1, 1, 1)))
+        assert len(path) == 2 + 3
+
+
+class TestTransitLinks:
+    def test_info_roundtrip(self):
+        cube = KAryNCube((4, 3))
+        seen = set()
+        for node in cube.iter_nodes():
+            for dim in range(2):
+                for positive in (True, False):
+                    link = cube.transit_link(node, dim, positive)
+                    assert link not in seen
+                    seen.add(link)
+                    info = cube.link_info(link)
+                    assert info.kind is LinkKind.TRANSIT
+                    assert info.src == node
+        assert len(seen) == cube.num_transit_links
+
+    def test_neighbour_correct(self):
+        cube = KAryNCube((4, 4))
+        info = cube.link_info(cube.transit_link(0, 0, False))
+        assert info.dst == cube.node_at((3, 0))
+        assert info.direction == "-x"
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            KAryNCube((4,)).transit_link(0, 1, True)
+
+
+class TestSignature:
+    def test_distinguishes_tie_break(self):
+        a = KAryNCube((8, 8), tie_break=TieBreak.BALANCED)
+        b = KAryNCube((8, 8), tie_break=TieBreak.POSITIVE)
+        assert a.signature != b.signature

@@ -1,0 +1,101 @@
+"""Tests for the linear-array topology (the Fig. 3 substrate)."""
+
+import pytest
+
+from repro.topology.base import RoutingError
+from repro.topology.linear import LinearArray
+from repro.topology.links import LinkKind
+
+
+class TestConstruction:
+    def test_counts(self):
+        lin = LinearArray(5)
+        assert lin.num_nodes == 5
+        assert lin.num_transit_links == 8
+        assert lin.num_links == 2 * 5 + 8
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            LinearArray(1)
+
+    def test_signature(self):
+        assert LinearArray(5).signature == "linear:5"
+
+
+class TestLinkIds:
+    def test_inject_eject_layout(self):
+        lin = LinearArray(4)
+        assert lin.inject_link(0) == 0
+        assert lin.inject_link(3) == 3
+        assert lin.eject_link(0) == 4
+        assert lin.eject_link(3) == 7
+        assert lin.transit_link_base == 8
+
+    def test_forward_backward_distinct(self):
+        lin = LinearArray(4)
+        fwd = {lin.forward_link(i) for i in range(3)}
+        bwd = {lin.backward_link(i) for i in range(3)}
+        assert fwd.isdisjoint(bwd)
+
+    def test_boundary_fibers_rejected(self):
+        lin = LinearArray(4)
+        with pytest.raises(ValueError):
+            lin.forward_link(3)
+        with pytest.raises(ValueError):
+            lin.backward_link(3)
+
+    def test_link_info_roundtrip(self):
+        lin = LinearArray(5)
+        for link_id in lin.iter_links():
+            info = lin.link_info(link_id)
+            assert info.kind in LinkKind
+
+    def test_link_info_out_of_range(self):
+        lin = LinearArray(5)
+        with pytest.raises(ValueError):
+            lin.link_info(lin.num_links)
+
+
+class TestRouting:
+    def test_route_has_inject_and_eject(self):
+        lin = LinearArray(5)
+        path = lin.route(0, 2)
+        assert path[0] == lin.inject_link(0)
+        assert path[-1] == lin.eject_link(2)
+
+    def test_forward_route_links(self):
+        lin = LinearArray(5)
+        path = lin.route(0, 2)
+        assert path == (lin.inject_link(0), lin.forward_link(0),
+                        lin.forward_link(1), lin.eject_link(2))
+
+    def test_backward_route_links(self):
+        lin = LinearArray(5)
+        path = lin.route(3, 1)
+        assert path == (lin.inject_link(3), lin.backward_link(2),
+                        lin.backward_link(1), lin.eject_link(1))
+
+    def test_adjacent_route_length(self):
+        lin = LinearArray(5)
+        assert len(lin.route(2, 3)) == 3  # inject + 1 transit + eject
+
+    def test_self_route_rejected(self):
+        with pytest.raises(RoutingError):
+            LinearArray(5).route(2, 2)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(RoutingError):
+            LinearArray(5).route(0, 5)
+
+    def test_route_length_matches_route(self):
+        lin = LinearArray(6)
+        for s in range(6):
+            for d in range(6):
+                if s != d:
+                    assert lin.route_length(s, d) == len(lin.route(s, d))
+
+    def test_opposite_routes_share_no_links(self):
+        lin = LinearArray(5)
+        fwd = set(lin.route(0, 4))
+        bwd = set(lin.route(4, 0))
+        assert fwd.isdisjoint(bwd)

@@ -1,0 +1,36 @@
+"""Tests for the directed-link model."""
+
+from repro.topology.links import Link, LinkKind
+
+
+class TestLinkKind:
+    def test_three_kinds(self):
+        assert {k.value for k in LinkKind} == {"inject", "eject", "transit"}
+
+
+class TestLink:
+    def test_inject_str(self):
+        assert str(Link(LinkKind.INJECT, 3, 3)) == "inject(3)"
+
+    def test_eject_str(self):
+        assert str(Link(LinkKind.EJECT, 5, 5)) == "eject(5)"
+
+    def test_transit_str_includes_direction(self):
+        assert str(Link(LinkKind.TRANSIT, 1, 2, direction="+x")) == "1->2[+x]"
+
+    def test_links_are_hashable_and_comparable(self):
+        a = Link(LinkKind.TRANSIT, 1, 2, direction="+x")
+        b = Link(LinkKind.TRANSIT, 1, 2, direction="+x")
+        c = Link(LinkKind.TRANSIT, 1, 2, direction="-x")
+        assert a == b
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        link = Link(LinkKind.INJECT, 0, 0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            link.src = 1  # type: ignore[misc]

@@ -1,0 +1,71 @@
+"""Tests for the ring and 2-D mesh topologies."""
+
+import pytest
+
+from repro.topology.links import LinkKind
+from repro.topology.mesh import Mesh2D
+from repro.topology.ring import Ring
+
+
+class TestRing:
+    def test_counts(self, ring8):
+        assert ring8.num_nodes == 8
+        assert ring8.num_transit_links == 16  # one +, one - fiber per node
+
+    def test_wrap_route(self, ring8):
+        path = ring8.route(7, 0)
+        assert len(path) == 3  # inject, one +x hop, eject
+
+    def test_long_way_never_taken(self, ring8):
+        for s in range(8):
+            for d in range(8):
+                if s != d:
+                    assert len(ring8.route(s, d)) - 2 <= 4
+
+    def test_signature(self, ring8):
+        assert ring8.signature.startswith("ring:8")
+
+
+class TestMesh:
+    def test_no_wraparound(self):
+        mesh = Mesh2D(4)
+        # 0 -> 3 along x must take 3 hops (no wrap link).
+        assert len(mesh.route(0, 3)) - 2 == 3
+
+    def test_xy_routing(self):
+        mesh = Mesh2D(4)
+        path = mesh.route(mesh.node(0, 0), mesh.node(2, 2))
+        dirs = [mesh.link_info(l).direction for l in path[1:-1]]
+        assert dirs == ["+x", "+x", "+y", "+y"]
+
+    def test_boundary_link_rejected(self):
+        mesh = Mesh2D(3)
+        with pytest.raises(ValueError):
+            mesh.transit_link(mesh.node(2, 0), 0)  # +x off the edge
+        with pytest.raises(ValueError):
+            mesh.transit_link(mesh.node(0, 0), 3)  # -y off the edge
+
+    def test_mesh_longer_than_torus(self, torus4):
+        mesh = Mesh2D(4)
+        longer = 0
+        for s in range(16):
+            for d in range(16):
+                if s == d:
+                    continue
+                if len(mesh.route(s, d)) > len(torus4.route(s, d)):
+                    longer += 1
+        assert longer > 0  # wraparound must help some pairs
+
+    def test_rectangular(self):
+        mesh = Mesh2D(4, 2)
+        assert mesh.num_nodes == 8
+        assert mesh.xy(5) == (1, 1)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0)
+
+    def test_link_info_kinds(self):
+        mesh = Mesh2D(3)
+        kinds = {mesh.link_info(l).kind for l in mesh.iter_links()}
+        assert kinds == set(LinkKind)

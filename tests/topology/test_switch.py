@@ -1,0 +1,79 @@
+"""Tests for the crossbar switch model."""
+
+import pytest
+
+from repro.topology.switch import (
+    CrossbarSwitch,
+    SwitchConfigError,
+    SwitchState,
+    build_switches,
+)
+
+
+class TestSwitchState:
+    def test_connect_and_query(self):
+        st = SwitchState(0)
+        st.connect(10, 20)
+        assert st.output_of(10) == 20
+        assert st.output_of(11) is None
+
+    def test_input_reuse_rejected(self):
+        st = SwitchState(0)
+        st.connect(10, 20)
+        with pytest.raises(SwitchConfigError):
+            st.connect(10, 21)
+
+    def test_output_reuse_rejected(self):
+        st = SwitchState(0)
+        st.connect(10, 20)
+        with pytest.raises(SwitchConfigError):
+            st.connect(11, 20)
+
+
+class TestBuildSwitches:
+    def test_torus_switch_ports(self, torus8):
+        switches = build_switches(torus8)
+        assert len(switches) == 64
+        sw = switches[0]
+        assert sw.radix == 5
+        assert sw.in_links[0] == torus8.inject_link(0)
+        assert sw.out_links[0] == torus8.eject_link(0)
+
+    def test_every_transit_link_appears_twice(self, torus8):
+        """Each transit fiber is an output of one switch and an input of
+        another."""
+        switches = build_switches(torus8)
+        as_input = [l for sw in switches.values() for l in sw.in_links[1:]]
+        as_output = [l for sw in switches.values() for l in sw.out_links[1:]]
+        assert sorted(as_input) == sorted(as_output)
+        assert len(as_input) == torus8.num_transit_links
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, torus8):
+        switches = build_switches(torus8)
+        sw = switches[9]
+        st = SwitchState(9)
+        st.connect(sw.in_links[1], sw.out_links[0])  # transit -> PE
+        st.connect(sw.in_links[0], sw.out_links[2])  # PE -> transit
+        word = sw.encode(st)
+        back = sw.decode(word)
+        assert back.mapping == st.mapping
+
+    def test_dark_switch_word(self, torus8):
+        switches = build_switches(torus8)
+        sw = switches[3]
+        word = sw.encode(SwitchState(3))
+        assert word == (-1,) * 5
+
+    def test_wrong_node_rejected(self, torus8):
+        switches = build_switches(torus8)
+        with pytest.raises(SwitchConfigError):
+            switches[0].encode(SwitchState(1))
+
+    def test_foreign_link_rejected(self, torus8):
+        switches = build_switches(torus8)
+        st = SwitchState(0)
+        st.connect(999999, torus8.eject_link(0))
+        with pytest.raises(SwitchConfigError):
+            switches[0].encode(st)

@@ -1,0 +1,90 @@
+"""Tests for the 2-D torus (the paper's machine)."""
+
+import pytest
+
+from repro.topology.links import LinkKind
+from repro.topology.torus import TieBreak, Torus2D
+
+
+class TestNumbering:
+    def test_paper_numbering(self, torus4):
+        # Fig. 1 numbers nodes row-major: id = x + width*y.
+        assert torus4.node(0, 0) == 0
+        assert torus4.node(3, 0) == 3
+        assert torus4.node(0, 1) == 4
+        assert torus4.node(3, 3) == 15
+
+    def test_xy_roundtrip(self, torus8):
+        for node in torus8.iter_nodes():
+            x, y = torus8.xy(node)
+            assert torus8.node(x, y) == node
+
+    def test_square_default(self):
+        t = Torus2D(6)
+        assert (t.width, t.height) == (6, 6)
+
+    def test_rectangular(self):
+        t = Torus2D(4, 2)
+        assert t.num_nodes == 8
+        assert t.coords(5) == (1, 1)
+
+
+class TestRouting:
+    def test_xy_order(self, torus8):
+        path = torus8.route(torus8.node(0, 0), torus8.node(2, 3))
+        dirs = [torus8.link_info(l).direction for l in path[1:-1]]
+        assert dirs == ["+x", "+x", "+y", "+y", "+y"]
+
+    def test_wraparound_shorter(self, torus8):
+        # 0 -> 7 in x should wrap: distance 1, not 7.
+        assert torus8.distance(torus8.node(0, 0), torus8.node(7, 0)) == 1
+
+    def test_max_distance(self, torus8):
+        # Farthest pair on 8x8 with balanced routing: (4, 4) offsets.
+        assert torus8.distance(torus8.node(0, 0), torus8.node(4, 4)) == 8
+
+    def test_five_by_five_switch(self, torus8):
+        """Every switch has 4 transit in/out plus the PE pair (Fig. 1)."""
+        from repro.topology.switch import build_switches
+
+        switches = build_switches(torus8)
+        for sw in switches.values():
+            assert len(sw.in_links) == 5
+            assert len(sw.out_links) == 5
+
+    def test_transit_link_count(self, torus8):
+        assert torus8.num_transit_links == 4 * 64
+
+
+class TestTieBreak:
+    def test_balanced_splits_half_ring(self):
+        t = Torus2D(8, tie_break=TieBreak.BALANCED)
+        pos = neg = 0
+        for y in range(8):
+            for x in range(8):
+                off = t.signed_offset(x, (x + 4) % 8, 0)
+                if off > 0:
+                    pos += 1
+                else:
+                    neg += 1
+        assert pos == neg
+
+    def test_positive_always_positive(self):
+        t = Torus2D(8, tie_break=TieBreak.POSITIVE)
+        for x in range(8):
+            assert t.signed_offset(x, (x + 4) % 8, 0) == 4
+
+
+class TestFig1Example:
+    """The configuration {(4,1),(5,3),(6,10),(8,9),(11,2)} of Fig. 1."""
+
+    def test_configuration_is_conflict_free(self, torus4):
+        from repro.core.configuration import Configuration
+        from repro.core.paths import route_requests
+        from repro.core.requests import RequestSet
+
+        requests = RequestSet.from_pairs([(4, 1), (5, 3), (6, 10), (8, 9), (11, 2)])
+        cfg = Configuration()
+        for conn in route_requests(torus4, requests):
+            cfg.add(conn)  # raises on any conflict
+        assert len(cfg) == 5
