@@ -51,6 +51,16 @@ def test_table1_sweep(benchmark, torus8, aapc_warm):
     assert dense["improvement_pct"] > 25.0
 
 
+def test_table1_parallel_matches_serial(benchmark, torus8, aapc_warm):
+    """The seed-sweep driver is deterministic: per-task spawned RNG
+    streams make the worker-pool result byte-identical to the serial
+    one (this box is single-core, so we assert equality, not speed)."""
+    kwargs = dict(connection_counts=(400, 1200), patterns_per_row=3, seed=7)
+    serial = exp.table1(**kwargs)
+    par = once(benchmark, exp.table1, workers=2, **kwargs)
+    assert par == serial
+
+
 @pytest.mark.parametrize("scheduler", ["greedy", "coloring", "aapc", "combined"])
 def test_scheduler_speed_1600_connections(benchmark, torus8, aapc_warm, scheduler):
     """Time one scheduler run at the sweep's mid density."""

@@ -51,6 +51,16 @@ def test_table2_sweep(benchmark, torus8, aapc_warm):
         assert r["aapc"] <= 64.0
 
 
+def test_table2_parallel_matches_serial(benchmark, torus8, aapc_warm):
+    """Spawned per-sample RNG streams keep the worker-pool sweep
+    byte-identical to the serial one (single-core box: equality, not
+    speed, is the claim)."""
+    kwargs = dict(samples=8, seed=7)
+    serial = exp.table2(**kwargs)
+    par = once(benchmark, exp.table2, workers=2, **kwargs)
+    assert par == serial
+
+
 def test_redistribution_pattern_generation_speed(benchmark):
     """Time the separable pair/count computation for one redistribution
     (the paper's P3M 1 layout change on a 64^3 array)."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.configuration import Configuration, ConfigurationSet
+from repro.core.linkmask import SlotOccupancy, iter_bits, required_links, resolve_kernel
 from repro.core.packing import first_fit, repack
 from repro.core.paths import Connection, route_requests
 from repro.aapc.bounds import (
@@ -138,8 +139,19 @@ def _longest_first_order(connections: Sequence[Connection]) -> list[int]:
 # packers
 # ----------------------------------------------------------------------
 
-def _best_fit(connections: Sequence[Connection], order: Sequence[int]) -> ConfigurationSet:
-    """Pack into the *fullest* (most links lit) configuration that fits."""
+def _best_fit(
+    connections: Sequence[Connection],
+    order: Sequence[int],
+    *,
+    kernel: str | None = None,
+) -> ConfigurationSet:
+    """Pack into the *fullest* (most links lit) configuration that fits.
+
+    Ties keep the earliest configuration, matching the set-kernel
+    reference exactly; both kernels produce identical packings.
+    """
+    if resolve_kernel(kernel) == "bitmask":
+        return _best_fit_bitmask(connections, order)
     configs: list[Configuration] = []
     for pos in order:
         c = connections[pos]
@@ -152,6 +164,32 @@ def _best_fit(connections: Sequence[Connection], order: Sequence[int]) -> Config
             configs.append(best)
         best.add(c)
     return ConfigurationSet(configs, scheduler="aapc-best-fit")
+
+
+def _best_fit_bitmask(
+    connections: Sequence[Connection], order: Sequence[int]
+) -> ConfigurationSet:
+    """Bitmask best-fit: one slot-mask OR yields every fitting slot."""
+    occ = SlotOccupancy(required_links(connections))
+    members: list[list[Connection]] = []
+    lit: list[int] = []  # distinct links used per configuration
+    for pos in order:
+        c = connections[pos]
+        best, best_lit = -1, -1
+        for slot in iter_bits(occ.free_slots(c.links)):
+            if lit[slot] > best_lit:
+                best, best_lit = slot, lit[slot]
+        if best < 0:
+            best = occ.num_slots
+            members.append([])
+            lit.append(0)
+        occ.place(c.links, best)
+        members[best].append(c)
+        # members are link-disjoint, so the union size is the plain sum.
+        lit[best] += len(c.link_set)
+    return ConfigurationSet(
+        [Configuration._trusted(m) for m in members], scheduler="aapc-best-fit"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +238,9 @@ def _product_schedule(
 _CACHE: dict[str, AAPCDecomposition] = {}
 
 
-def build_aapc_decomposition(topology: Topology, *, effort: str = "normal") -> AAPCDecomposition:
+def build_aapc_decomposition(
+    topology: Topology, *, effort: str = "normal", kernel: str | None = None
+) -> AAPCDecomposition:
     """Build a phased AAPC decomposition from scratch (no cache).
 
     Tries, in order:
@@ -235,9 +275,9 @@ def build_aapc_decomposition(topology: Topology, *, effort: str = "normal") -> A
 
     for name, order in orders:
         for packer in (first_fit, _best_fit):
-            candidate = packer(connections, order)
+            candidate = packer(connections, order, kernel=kernel)
             if effort != "fast":
-                candidate = repack(candidate)
+                candidate = repack(candidate, kernel=kernel)
             if best is None or candidate.degree < best.degree:
                 best = ConfigurationSet(list(candidate), scheduler=f"aapc[{name}]")
     assert best is not None

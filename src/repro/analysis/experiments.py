@@ -98,28 +98,49 @@ PAPER_TABLE1 = {
 }
 
 
+def _table1_task(task) -> dict[str, float]:
+    """One Table 1 pattern: draw it and schedule it (picklable worker)."""
+    topo, n, rng = task
+    requests = random_pattern(topo.num_nodes, n, seed=rng)
+    return schedule_degrees(topo, requests, rng, greedy_orders=1)
+
+
 def table1(
     *,
     connection_counts: tuple[int, ...] = tuple(PAPER_TABLE1),
     patterns_per_row: int = 10,
     seed: int = 0,
     topology: Torus2D | None = None,
+    workers: int | str | None = None,
 ) -> list[dict[str, float]]:
-    """Random-pattern sweep (paper runs 100 patterns per row)."""
+    """Random-pattern sweep (paper runs 100 patterns per row).
+
+    Each pattern gets an independent spawned RNG, so the results are a
+    pure function of ``seed`` -- identical for any ``workers`` value.
+    """
+    from repro.analysis.parallel import map_tasks, resolve_workers, warm_aapc_cache
+
     topo = topology or paper_torus()
-    rows = []
+    tasks = []
     for n in connection_counts:
         rng = np.random.default_rng(seed + n)
+        tasks.extend((topo, n, child) for child in rng.spawn(patterns_per_row))
+    if (resolve_workers(workers) or 1) > 1:
+        warm_aapc_cache(topo)
+    results = map_tasks(_table1_task, tasks, workers=workers)
+
+    from repro.analysis.stats import mean_std
+
+    rows = []
+    for i, n in enumerate(connection_counts):
+        group = results[i * patterns_per_row : (i + 1) * patterns_per_row]
         acc: dict[str, list[float]] = defaultdict(list)
-        for _ in range(patterns_per_row):
-            requests = random_pattern(topo.num_nodes, n, seed=rng)
-            for key, value in schedule_degrees(topo, requests, rng, greedy_orders=1).items():
+        for degrees in group:
+            for key, value in degrees.items():
                 acc[key].append(value)
         row: dict[str, float] = {"connections": float(n)}
         for key, values in acc.items():
             row[key] = fmean(values)
-        from repro.analysis.stats import mean_std
-
         for key in ("greedy", "coloring", "aapc", "combined"):
             row[f"{key}_std"] = mean_std(acc[key])[1]
         row["improvement_pct"] = (
@@ -151,25 +172,48 @@ TABLE2_BINS = (
 )
 
 
+def _table2_task(task) -> tuple[int, dict[str, float]] | None:
+    """One Table 2 redistribution sample (picklable worker).
+
+    Returns ``(num_requests, degrees)``, or ``None`` when the two
+    distributions coincide and there is nothing to communicate.
+    """
+    topo, extents, rng = task
+    src = random_distribution(extents, topo.num_nodes, seed=rng)
+    dst = random_distribution(extents, topo.num_nodes, seed=rng)
+    requests = redistribution_requests(src, dst)
+    if len(requests) == 0:
+        return None
+    return len(requests), schedule_degrees(topo, requests, rng, greedy_orders=1)
+
+
 def table2(
     *,
     samples: int = 100,
     seed: int = 0,
     extents: tuple[int, int, int] = (64, 64, 64),
     topology: Torus2D | None = None,
+    workers: int | str | None = None,
 ) -> list[dict[str, float]]:
-    """Random-redistribution sweep (paper runs 500 samples)."""
+    """Random-redistribution sweep (paper runs 500 samples).
+
+    Like :func:`table1`, one spawned RNG per sample keeps the results
+    independent of ``workers``.
+    """
+    from repro.analysis.parallel import map_tasks, resolve_workers, warm_aapc_cache
+
     topo = topology or paper_torus()
     rng = np.random.default_rng(seed)
+    tasks = [(topo, extents, child) for child in rng.spawn(samples)]
+    if (resolve_workers(workers) or 1) > 1:
+        warm_aapc_cache(topo)
+    results = map_tasks(_table2_task, tasks, workers=workers)
+
     binned: dict[tuple[int, int], list[dict[str, float]]] = defaultdict(list)
-    for _ in range(samples):
-        src = random_distribution(extents, topo.num_nodes, seed=rng)
-        dst = random_distribution(extents, topo.num_nodes, seed=rng)
-        requests = redistribution_requests(src, dst)
-        if len(requests) == 0:
+    for sample in results:
+        if sample is None:
             continue  # identical distributions: no communication
-        degrees = schedule_degrees(topo, requests, rng, greedy_orders=1)
-        n = len(requests)
+        n, degrees = sample
         for low, high in TABLE2_BINS:
             if low <= n <= high:
                 binned[(low, high)].append(degrees)

@@ -1,0 +1,107 @@
+"""Process-parallel sweep driver for the experiment tables.
+
+The table drivers are embarrassingly parallel -- hundreds of independent
+(pattern, schedule) evaluations -- so :func:`map_tasks` fans them out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Three rules
+keep parallel runs trustworthy:
+
+**Determinism.**  Results must be byte-identical to a serial run, so the
+drivers derive one independent RNG per task with ``Generator.spawn``
+(rather than threading a single stream through the loop) and tasks are
+returned in submission order.  ``workers=N`` changes wall-clock time
+only, never a number.
+
+**Counter aggregation.**  The perf counters (:mod:`repro.core.perf`)
+are process-global, so each worker task runs with freshly reset
+counters and ships its snapshot back with the result; the parent merges
+every snapshot into its own counters.  A parallel sweep therefore
+reports the same totals a serial one would.
+
+**Cache warming.**  The ordered-AAPC scheduler depends on a per-topology
+phase decomposition that takes ~1 s to build.  On fork-based platforms
+the parent warms the cache *before* the pool exists so every worker
+inherits it copy-on-write; on spawn-based platforms each worker builds
+its own copy on first use (correct, merely slower).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.core import perf
+
+__all__ = ["default_workers", "map_tasks", "warm_aapc_cache"]
+
+
+def default_workers() -> int:
+    """Worker count used for ``workers="auto"``: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | str | None) -> int | None:
+    """Normalise a ``workers`` argument (``None``/int/``"auto"``)."""
+    if workers == "auto":
+        return default_workers()
+    if workers is None:
+        return None
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def warm_aapc_cache(topology) -> None:
+    """Build the topology's AAPC decomposition in this process.
+
+    Called before the worker pool is created so fork-based workers
+    share the (expensive, immutable-after-build) cache copy-on-write.
+    """
+    from repro.aapc.phases import aapc_decomposition
+
+    aapc_decomposition(topology)
+
+
+def _run_isolated(fn_task: tuple[Callable[[Any], Any], Any]) -> tuple[Any, dict]:
+    """Worker-side wrapper: run one task under fresh perf counters."""
+    fn, task = fn_task
+    perf.reset()
+    result = fn(task)
+    return result, perf.snapshot()
+
+
+def map_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    *,
+    workers: int | str | None = None,
+) -> list[Any]:
+    """``[fn(t) for t in tasks]``, optionally fanned out over processes.
+
+    Parameters
+    ----------
+    fn:
+        Top-level (picklable) callable applied to each task.
+    tasks:
+        Task values; each must be picklable when ``workers > 1``.
+    workers:
+        ``None`` or ``1`` runs serially in this process; an int runs a
+        :class:`ProcessPoolExecutor` with that many workers; ``"auto"``
+        uses one worker per CPU.
+
+    Results come back in task order regardless of completion order, and
+    worker perf-counter snapshots are merged into this process's global
+    counters, so neither results nor counters depend on ``workers``.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers)
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+    results: list[Any] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        for result, counters in pool.map(_run_isolated, [(fn, t) for t in tasks]):
+            perf.COUNTERS.merge(counters)
+            results.append(result)
+    return results

@@ -1,0 +1,84 @@
+"""Scheduling-kernel micro-benchmark (the ``repro-tdm perf`` workload).
+
+One fixed, reproducible workload -- the paper's densest instance,
+all-to-all on the 8x8 torus (4032 connections) -- scheduled by the
+greedy, coloring and combined algorithms under a chosen placement
+kernel.  Reports wall-clock seconds, throughput in *connections
+scheduled per second*, and the process perf counters, as plain dicts so
+the CLI can print them or dump ``BENCH_kernel.json`` for CI trending.
+"""
+
+from __future__ import annotations
+
+from repro.core import perf
+from repro.core.coloring import coloring_schedule
+from repro.core.combined import combined_schedule
+from repro.core.greedy import greedy_schedule
+from repro.core.linkmask import resolve_kernel
+from repro.core.paths import route_requests
+from repro.patterns.classic import all_to_all_pattern
+from repro.topology.base import Topology
+
+#: Schedulers the benchmark times, in reporting order.
+BENCH_SCHEDULERS = ("greedy", "coloring", "combined")
+
+
+def kernel_benchmark(
+    *,
+    kernel: str | None = None,
+    repeats: int = 3,
+    topology: Topology | None = None,
+) -> dict:
+    """Time the three headline schedulers on all-to-all under ``kernel``.
+
+    Runs each scheduler ``repeats`` times and keeps the best (minimum)
+    wall time, the standard practice for micro-benchmarks on shared
+    machines.  Counters are reset first, so the returned snapshot
+    describes exactly this benchmark -- including the route-cache
+    behaviour of the initial pattern routing.
+    """
+    from repro.aapc.phases import aapc_phase_map
+    from repro.analysis.experiments import paper_torus
+
+    kernel = resolve_kernel(kernel)
+    topo = topology or paper_torus()
+    phase_of = aapc_phase_map(topo)  # exclude the one-off decomposition build
+
+    perf.reset()
+    t0 = perf.perf_timer()
+    requests = all_to_all_pattern(topo.num_nodes)
+    connections = route_requests(topo, requests)
+    route_requests(topo, requests)  # warm pass: exercises the route cache
+    route_seconds = perf.perf_timer() - t0
+
+    runs = {
+        "greedy": lambda: greedy_schedule(connections, kernel=kernel),
+        "coloring": lambda: coloring_schedule(connections, kernel=kernel),
+        "combined": lambda: combined_schedule(
+            connections, phase_of=phase_of, kernel=kernel
+        ),
+    }
+    n = len(connections)
+    schedulers: dict[str, dict[str, float]] = {}
+    for name in BENCH_SCHEDULERS:
+        best, degree = None, 0
+        for _ in range(max(1, repeats)):
+            t0 = perf.perf_timer()
+            schedule = runs[name]()
+            elapsed = perf.perf_timer() - t0
+            best = elapsed if best is None else min(best, elapsed)
+            degree = schedule.degree
+        schedulers[name] = {
+            "seconds": best,
+            "ops_per_sec": n / best if best > 0 else 0.0,
+            "degree": float(degree),
+        }
+    return {
+        "kernel": kernel,
+        "topology": topo.signature,
+        "connections": n,
+        "repeats": repeats,
+        "route_seconds": route_seconds,
+        "schedulers": schedulers,
+        "counters": perf.snapshot(),
+    }

@@ -18,12 +18,23 @@ import json
 import sys
 
 from repro.analysis import experiments as exp
+from repro.analysis.parallel import resolve_workers
 from repro.analysis.tables import format_table
 from repro.simulator.params import SimParams
 
 
+def _workers_arg(value: str) -> int:
+    try:
+        return resolve_workers(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _print_table1(args) -> None:
-    rows = exp.table1(patterns_per_row=args.patterns, seed=args.seed)
+    rows = exp.table1(
+        patterns_per_row=args.patterns, seed=args.seed,
+        workers=getattr(args, "workers", None),
+    )
     data = [
         (
             int(r["connections"]), r["greedy"], r["coloring"], r["aapc"],
@@ -40,7 +51,10 @@ def _print_table1(args) -> None:
 
 
 def _print_table2(args) -> None:
-    rows = exp.table2(samples=args.samples, seed=args.seed)
+    rows = exp.table2(
+        samples=args.samples, seed=args.seed,
+        workers=getattr(args, "workers", None),
+    )
     data = []
     for r in rows:
         if r["patterns"] == 0:
@@ -211,6 +225,47 @@ def _compile_artifact(args) -> None:
     )
 
 
+def _print_perf(args) -> None:
+    from repro.analysis.perfbench import BENCH_SCHEDULERS, kernel_benchmark
+    from repro.analysis.stats import perf_rows
+    from repro.core.linkmask import KERNELS
+
+    kernels = list(KERNELS) if args.kernel == "both" else [args.kernel]
+    reports = [
+        kernel_benchmark(kernel=k, repeats=args.repeats) for k in kernels
+    ]
+    data = []
+    for report in reports:
+        for name in BENCH_SCHEDULERS:
+            s = report["schedulers"][name]
+            data.append((
+                report["kernel"], name, int(s["degree"]),
+                f"{s['seconds'] * 1e3:.1f} ms", f"{s['ops_per_sec']:,.0f}",
+            ))
+    print(format_table(
+        ["kernel", "scheduler", "K", "best time", "conns/s"],
+        data,
+        title=(
+            f"Scheduling kernel benchmark: all-to-all on "
+            f"{reports[0]['topology']} ({reports[0]['connections']} "
+            f"connections, best of {args.repeats})"
+        ),
+    ))
+    print()
+    print(format_table(
+        ["counter", "value"],
+        perf_rows(reports[-1]["counters"]),
+        title=f"Perf counters (kernel={reports[-1]['kernel']} run)",
+    ))
+    if args.output:
+        payload = reports[0] if len(reports) == 1 else {
+            r["kernel"]: r for r in reports
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.output}")
+
+
 def _print_all(args) -> None:
     for fn in (_print_table1, _print_table2, _print_table3, _print_table4,
                _print_table5, _print_fig1, _print_fig3):
@@ -230,10 +285,14 @@ def main(argv: list[str] | None = None) -> int:
 
     p1 = sub.add_parser("table1", help="random patterns")
     p1.add_argument("--patterns", type=int, default=20, help="patterns per row (paper: 100)")
+    p1.add_argument("--workers", type=_workers_arg, default=None,
+                    help="worker processes (an int, or 'auto' = one per CPU)")
     p1.set_defaults(fn=_print_table1)
 
     p2 = sub.add_parser("table2", help="random redistributions")
     p2.add_argument("--samples", type=int, default=100, help="redistributions (paper: 500)")
+    p2.add_argument("--workers", type=_workers_arg, default=None,
+                    help="worker processes (an int, or 'auto' = one per CPU)")
     p2.set_defaults(fn=_print_table2)
 
     p3 = sub.add_parser("table3", help="frequently used patterns")
@@ -285,6 +344,13 @@ def main(argv: list[str] | None = None) -> int:
     pc.add_argument("--width", type=int, default=8)
     pc.add_argument("--height", type=int, default=8)
     pc.set_defaults(fn=_compile_artifact)
+
+    pp = sub.add_parser("perf", help="scheduling-kernel benchmark + perf counters")
+    pp.add_argument("--kernel", choices=["bitmask", "set", "both"], default="both")
+    pp.add_argument("--repeats", type=int, default=3)
+    pp.add_argument("--output", default=None,
+                    help="write the report as JSON (e.g. BENCH_kernel.json)")
+    pp.set_defaults(fn=_print_perf)
 
     pall = sub.add_parser("all", help="run every table and figure (quick settings)")
     pall.add_argument("--patterns", type=int, default=5)

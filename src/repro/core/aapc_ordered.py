@@ -23,8 +23,9 @@ merges several partially-filled phases, dropping below the bound.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.configuration import ConfigurationSet
 from repro.core.packing import first_fit
@@ -40,22 +41,30 @@ def aapc_rank_order(
 
     ``phase_of`` maps every (src, dst) pair of the topology to its AAPC
     phase index.  Returns positions into ``connections``.
-    """
-    rank: dict[int, int] = defaultdict(int)
-    for c in connections:
-        rank[phase_of[c.pair]] += c.num_links
-    # sort connections by (phase rank desc, phase id asc, index asc)
-    def key(pos: int) -> tuple[int, int, int]:
-        phase = phase_of[connections[pos].pair]
-        return (-rank[phase], phase, pos)
 
-    return sorted(range(len(connections)), key=key)
+    Vectorized: per-phase ranks accumulate with one ``bincount`` and the
+    (rank desc, phase asc, index asc) order is a single ``lexsort`` --
+    the path lengths are small integers, so the float64 rank sums are
+    exact and the order matches the tuple-sort formulation.
+    """
+    n = len(connections)
+    if n == 0:
+        return []
+    phases = np.fromiter((phase_of[c.pair] for c in connections), dtype=np.int64, count=n)
+    lengths = np.fromiter((c.num_links for c in connections), dtype=np.float64, count=n)
+    rank = np.bincount(phases, weights=lengths)
+    # sort connections by (phase rank desc, phase id asc, index asc);
+    # lexsort keys run least-significant first.
+    order = np.lexsort((np.arange(n), phases, -rank[phases]))
+    return order.tolist()
 
 
 def ordered_aapc_schedule(
     connections: Sequence[Connection],
     topology: Topology | None = None,
     phase_of: Mapping[tuple[int, int], int] | None = None,
+    *,
+    kernel: str | None = None,
 ) -> ConfigurationSet:
     """Schedule ``connections`` with the ordered-AAPC algorithm.
 
@@ -68,6 +77,9 @@ def ordered_aapc_schedule(
         AAPC phase decomposition.
     phase_of:
         Pre-built pair -> phase map; overrides ``topology``.
+    kernel:
+        Placement-test implementation for the greedy pass
+        (``"bitmask"``/``"set"``; ``None`` = process default).
     """
     if phase_of is None:
         if topology is None:
@@ -76,5 +88,6 @@ def ordered_aapc_schedule(
 
         phase_of = aapc_phase_map(topology)
     order = aapc_rank_order(connections, phase_of)
-    result = first_fit(connections, order, scheduler="aapc")
+    num_links = topology.num_links if topology is not None else None
+    result = first_fit(connections, order, scheduler="aapc", kernel=kernel, num_links=num_links)
     return result

@@ -47,8 +47,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core import perf
 from repro.core.configuration import Configuration, ConfigurationSet
 from repro.core.conflicts import links_to_connections
+from repro.core.linkmask import ConflictMatrix, resolve_kernel
 from repro.core.paths import Connection
 
 #: Valid ``priority`` arguments of :func:`coloring_schedule`.
@@ -56,7 +58,12 @@ PRIORITY_RULES = ("most-constrained", "paper-ratio")
 
 
 def _adjacency_arrays(connections: Sequence[Connection]) -> list[np.ndarray]:
-    """Conflict adjacency as sorted, deduplicated int32 arrays."""
+    """Conflict adjacency as sorted, deduplicated int32 arrays.
+
+    The ``kernel="set"`` reference build; the bitmask kernel gets the
+    same structure from :class:`repro.core.linkmask.ConflictMatrix`.
+    """
+    t0 = perf.perf_timer()
     n = len(connections)
     raw: list[list[int]] = [[] for _ in range(n)]
     for members in links_to_connections(connections).values():
@@ -71,6 +78,8 @@ def _adjacency_arrays(connections: Sequence[Connection]) -> list[np.ndarray]:
         else:
             a = np.empty(0, dtype=np.int32)
         adj.append(a)
+    perf.COUNTERS.adjacency_builds += 1
+    perf.COUNTERS.adjacency_seconds += perf.perf_timer() - t0
     return adj
 
 
@@ -78,6 +87,7 @@ def coloring_schedule(
     connections: Sequence[Connection],
     *,
     priority: str = "most-constrained",
+    kernel: str | None = None,
 ) -> ConfigurationSet:
     """Schedule ``connections`` with the Fig. 4 coloring heuristic.
 
@@ -89,18 +99,28 @@ def coloring_schedule(
         ``"most-constrained"`` (default; degree descending -- see the
         module docstring for why) or ``"paper-ratio"`` (the paper's
         literal links/degree rule, fewest conflicts first).
+    kernel:
+        ``"bitmask"`` builds the conflict adjacency as a packed bit
+        matrix (:class:`~repro.core.linkmask.ConflictMatrix`);
+        ``"set"`` uses the per-link-bucket reference build.  The
+        resulting schedules are identical (``None`` = process default).
 
-    Returns a validated-by-construction :class:`ConfigurationSet`
-    (every ``Configuration.add`` re-checks link-disjointness).
+    Returns a :class:`ConfigurationSet` whose conflict-freeness is
+    guaranteed by the adjacency knock-outs (and re-checkable with
+    ``validate()``).
     """
     if priority not in PRIORITY_RULES:
         raise ValueError(f"priority must be one of {PRIORITY_RULES}, got {priority!r}")
+    kernel = resolve_kernel(kernel)
     n = len(connections)
     if n == 0:
         return ConfigurationSet([], scheduler="coloring")
     for i, c in enumerate(connections):
         if c.index != i:
             raise ValueError("connections must be indexed 0..n-1 in order")
+
+    if kernel == "bitmask":
+        return _coloring_bitmask(connections, priority)
 
     adj = _adjacency_arrays(connections)
     deg = np.array([len(a) for a in adj], dtype=np.int64)
@@ -119,18 +139,113 @@ def coloring_schedule(
         # (deterministic tie-break).
         order = idxs[np.lexsort((idxs, -prio[idxs]))]
         in_work = uncolored.copy()
-        cfg = Configuration()
+        members: list[Connection] = []
         for i in order:
             if not in_work[i]:
                 continue
-            cfg.add(connections[i])
+            members.append(connections[i])
             uncolored[i] = False
             in_work[i] = False
             n_left -= 1
             nbrs = adj[i]
-            if nbrs.size:
-                still = nbrs[uncolored[nbrs]]
+            still = nbrs[uncolored[nbrs]] if nbrs.size else nbrs
+            if still.size:
                 deg[still] -= 1
                 in_work[still] = False
+        cfg = Configuration()
+        for c in members:
+            cfg.add(c)
         configs.append(cfg)
+    return ConfigurationSet(configs, scheduler="coloring")
+
+
+#: Window width of the bitmask round walk (see :func:`_coloring_bitmask`).
+_WALK_WINDOW = 64
+
+
+def _coloring_bitmask(
+    connections: Sequence[Connection], priority: str
+) -> ConfigurationSet:
+    """Bitmask-kernel coloring: identical output, vectorized bookkeeping.
+
+    Three observations let the round loop drop the reference version's
+    per-pick Python bookkeeping without changing a single pick:
+
+    * The degree of an uncolored node in the uncolored subgraph only
+      matters at round *starts* (the priority sort), and the nodes
+      colored within one round are mutually non-adjacent, so the
+      per-pick ``deg -= 1`` updates can be batched into one vectorized
+      subtraction of the round's members' summed adjacency rows.
+    * Within a round, skipping knocked-out nodes is a filter: keep the
+      priority-ordered candidate array, and after each pick drop every
+      candidate adjacent to it.  Doing that per *window* of
+      ``_WALK_WINDOW`` candidates -- gather the window's conflict
+      submatrix, pack its rows into per-candidate machine words, select
+      greedily with integer bit tests, then knock the union of the
+      picks' rows out of the tail once -- amortises the numpy call
+      overhead over many picks.
+    * ``lexsort((idxs, -prio))`` over an ascending index array equals a
+      single stable argsort of ``-prio``.
+    """
+    n = len(connections)
+    matrix = ConflictMatrix(connections)
+    bits = matrix.bits
+    B = matrix.unpacked()
+    deg = matrix.degrees()
+    lengths = None
+    if priority == "paper-ratio":
+        lengths = np.array([c.num_links for c in connections], dtype=np.float64)
+    uncolored = np.ones(n, dtype=bool)
+    n_left = n
+    # Degrees only decrease, so ``maxd - deg`` is a non-negative sort
+    # key whose ascending stable order equals descending-by-degree; for
+    # n < 2**16 it fits uint16, where numpy's stable sort is radix
+    # (linear-time) instead of mergesort.
+    maxd = int(deg.max()) if n else 0
+    radix = n < (1 << 16)
+
+    configs: list[Configuration] = []
+    while n_left > 0:
+        idxs = np.nonzero(uncolored)[0]
+        if priority == "paper-ratio":
+            d = deg[idxs]
+            prio = np.where(d > 0, lengths[idxs] / np.maximum(d, 1), np.inf)
+            order = idxs[np.argsort(-prio, kind="stable")]
+        elif radix:
+            key = (maxd - deg[idxs]).astype(np.uint16)
+            order = idxs[np.argsort(key, kind="stable")]
+        else:
+            order = idxs[np.argsort(-deg[idxs], kind="stable")]
+        rem = order
+        members: list[int] = []
+        while rem.size:
+            head = rem[:_WALK_WINDOW]
+            h = len(head)
+            window = B.take((head[:, None] * n + head).ravel()).reshape(h, h)
+            packed = np.packbits(window, axis=1, bitorder="little")
+            if packed.shape[1] < 8:  # short tail window: widen to one word
+                buf = np.zeros((h, 8), dtype=np.uint8)
+                buf[:, : packed.shape[1]] = packed
+                packed = buf
+            rowbits = packed.view(np.uint64).ravel().tolist()
+            selbits, sel_local = 0, []
+            for j in range(h):
+                if not rowbits[j] & selbits:
+                    sel_local.append(j)
+                    selbits |= 1 << j
+            sel = head[sel_local]
+            members.extend(sel.tolist())
+            tail = rem[h:]
+            if not tail.size:
+                break
+            blocked = np.bitwise_or.reduce(bits[sel], axis=0)
+            hit = (blocked[tail >> 3] >> (tail & 7).astype(np.uint8)) & 1
+            rem = tail[hit == 0]
+        marr = np.asarray(members)
+        uncolored[marr] = False
+        n_left -= len(members)
+        deg -= B[marr].sum(axis=0, dtype=np.uint32)
+        configs.append(
+            Configuration._trusted([connections[i] for i in members])
+        )
     return ConfigurationSet(configs, scheduler="coloring")

@@ -22,6 +22,8 @@ def combined_schedule(
     connections: Sequence[Connection],
     topology: Topology | None = None,
     phase_of: Mapping[tuple[int, int], int] | None = None,
+    *,
+    kernel: str | None = None,
 ) -> ConfigurationSet:
     """Best of :func:`coloring_schedule` and :func:`ordered_aapc_schedule`.
 
@@ -29,7 +31,7 @@ def combined_schedule(
     configurations tend to be front-loaded, but the choice does not
     affect the degree, which is all the evaluation measures).
     """
-    by_color = coloring_schedule(connections)
-    by_aapc = ordered_aapc_schedule(connections, topology, phase_of)
+    by_color = coloring_schedule(connections, kernel=kernel)
+    by_aapc = ordered_aapc_schedule(connections, topology, phase_of, kernel=kernel)
     winner = by_aapc if by_aapc.degree < by_color.degree else by_color
     return ConfigurationSet(list(winner), scheduler=f"combined({winner.scheduler})")

@@ -28,13 +28,42 @@ class ScheduleValidationError(AssertionError):
 class Configuration:
     """A conflict-free set of connections (one TDM network state)."""
 
-    __slots__ = ("connections", "used_links")
+    __slots__ = ("connections", "_used_links")
 
     def __init__(self, connections: Iterable[Connection] = ()) -> None:
         self.connections: list[Connection] = []
-        self.used_links: set[int] = set()
+        self._used_links: set[int] | None = set()
         for c in connections:
             self.add(c)
+
+    @classmethod
+    def _trusted(cls, connections: list[Connection]) -> "Configuration":
+        """Construct without per-add conflict checks.
+
+        Reserved for the bitmask kernel, which has already proven the
+        members link-disjoint; ``validate()`` still re-checks the result
+        from scratch, so a kernel bug cannot silently pass the suite.
+        The link-set union is deferred (see :attr:`used_links`) -- most
+        trusted configurations are only ever counted, not queried.
+        """
+        cfg = cls.__new__(cls)
+        cfg.connections = connections
+        cfg._used_links = None
+        return cfg
+
+    @property
+    def used_links(self) -> set[int]:
+        """The union of the members' link sets (built on first use)."""
+        ul = self._used_links
+        if ul is None:
+            ul = self._used_links = set()
+            for c in self.connections:
+                ul |= c.link_set
+        return ul
+
+    @used_links.setter
+    def used_links(self, value: set[int]) -> None:
+        self._used_links = value
 
     def fits(self, connection: Connection) -> bool:
         """True iff ``connection`` conflicts with nothing already here."""

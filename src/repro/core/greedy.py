@@ -25,6 +25,8 @@ from repro.core.paths import Connection
 def greedy_schedule(
     connections: Sequence[Connection],
     order: Sequence[int] | None = None,
+    *,
+    kernel: str | None = None,
 ) -> ConfigurationSet:
     """Schedule ``connections`` with the paper's greedy algorithm.
 
@@ -36,10 +38,13 @@ def greedy_schedule(
         Optional processing order (positions into ``connections``).
         The default is the natural request order, matching the paper's
         "arbitrary order" behaviour deterministically.
+    kernel:
+        Placement-test implementation, ``"bitmask"`` or ``"set"``
+        (``None`` = process default); both produce the same schedule.
 
     Returns
     -------
     ConfigurationSet
         A valid schedule; ``result.degree`` is the multiplexing degree.
     """
-    return first_fit(connections, order, scheduler="greedy")
+    return first_fit(connections, order, scheduler="greedy", kernel=kernel)

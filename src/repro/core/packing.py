@@ -19,14 +19,63 @@ Two building blocks live here:
     configuration.  Preserves validity by construction; used by the
     ablation schedulers and by the AAPC phase builder, *not* by the
     paper's three algorithms (they are reproduced faithfully).
+
+Both take a ``kernel`` argument selecting the placement-test
+implementation: ``"bitmask"`` (the default, see
+:mod:`repro.core.linkmask`) or ``"set"`` (the reference hash-set
+implementation).  The kernels produce *identical* schedules -- the
+property suite asserts it -- so the knob only changes speed.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections.abc import Sequence
 
+import numpy as np
+
+from repro.core import perf
 from repro.core.configuration import Configuration, ConfigurationSet
+from repro.core.linkmask import (
+    Occupancy,
+    SlotOccupancy,
+    mask_row,
+    required_links,
+    resolve_kernel,
+)
 from repro.core.paths import Connection
+
+
+def validate_order(order: Sequence[int], n: int) -> None:
+    """Raise ``ValueError`` unless ``order`` is a permutation of ``range(n)``.
+
+    First-fit silently mis-schedules on a malformed order (a duplicate
+    position schedules one connection twice; an omission breaks
+    coverage), so every caller-supplied order is checked up front.
+    """
+    arr = np.asarray(order)
+    if arr.ndim != 1 or arr.size != n:
+        raise ValueError(
+            f"order must be a permutation of range({n}): "
+            f"got {arr.size} positions, expected {n}"
+        )
+    if n == 0:
+        return
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(
+            f"order must be a permutation of range({n}): "
+            f"got non-integer positions (dtype {arr.dtype})"
+        )
+    if not np.array_equal(np.sort(arr), np.arange(n)):
+        counts = np.bincount(arr[(arr >= 0) & (arr < n)], minlength=n)
+        duplicated = np.nonzero(counts > 1)[0][:5].tolist()
+        missing = np.nonzero(counts == 0)[0][:5].tolist()
+        out_of_range = arr[(arr < 0) | (arr >= n)][:5].tolist()
+        raise ValueError(
+            f"order must be a permutation of range({n}): "
+            f"duplicated positions {duplicated}, missing positions {missing}, "
+            f"out-of-range positions {out_of_range} (first 5 of each shown)"
+        )
 
 
 def first_fit(
@@ -34,6 +83,8 @@ def first_fit(
     order: Sequence[int] | None = None,
     *,
     scheduler: str = "first-fit",
+    kernel: str | None = None,
+    num_links: int | None = None,
 ) -> ConfigurationSet:
     """Pack ``connections`` first-fit in the given order.
 
@@ -43,13 +94,38 @@ def first_fit(
         The routed request set.
     order:
         Positions into ``connections`` giving the processing order;
-        defaults to the natural (request) order.  Need not be a full
-        permutation check here -- callers pass permutations.
+        defaults to the natural (request) order.  Must be a permutation
+        of ``range(len(connections))`` (``ValueError`` otherwise).
+    kernel:
+        ``"bitmask"`` or ``"set"`` placement tests (``None`` = the
+        process default, see :mod:`repro.core.linkmask`).
+    num_links:
+        Size of the link-id space (``topology.num_links``); derived
+        from the connections when omitted.
     """
+    kernel = resolve_kernel(kernel)
+    if order is None:
+        seq = connections
+    else:
+        validate_order(order, len(connections))
+        seq = [connections[i] for i in order]
+    t0 = perf.perf_timer()
+    if kernel == "bitmask":
+        result = _first_fit_bitmask(seq, scheduler, num_links)
+    else:
+        result = _first_fit_set(seq, scheduler)
+    perf.COUNTERS.kernel_calls += 1
+    perf.COUNTERS.kernel_seconds += perf.perf_timer() - t0
+    return result
+
+
+def _first_fit_set(seq: Sequence[Connection], scheduler: str) -> ConfigurationSet:
+    """Reference first-fit: hash-set disjointness per candidate slot."""
     configs: list[Configuration] = []
-    seq = connections if order is None else [connections[i] for i in order]
+    tests = 0
     for c in seq:
         for cfg in configs:
+            tests += 1
             if cfg.fits(c):
                 cfg.add(c)
                 break
@@ -57,32 +133,138 @@ def first_fit(
             cfg = Configuration()
             cfg.add(c)
             configs.append(cfg)
+    perf.COUNTERS.fit_tests += tests
     return ConfigurationSet(configs, scheduler=scheduler)
 
 
+def _first_fit_bitmask(
+    seq: Sequence[Connection], scheduler: str, num_links: int | None
+) -> ConfigurationSet:
+    """Bitmask first-fit: one OR over the path's slot masks per placement."""
+    if num_links is None:
+        num_links = required_links(seq)
+    occ = SlotOccupancy(num_links)
+    members: list[list[Connection]] = []
+    for c in seq:
+        slot = occ.first_fit_slot(c.links)
+        if slot == len(members):
+            members.append([])
+        occ.place(c.links, slot)
+        members[slot].append(c)
+    return ConfigurationSet(
+        [Configuration._trusted(m) for m in members], scheduler=scheduler
+    )
+
+
+# ----------------------------------------------------------------------
+# repack
+# ----------------------------------------------------------------------
+
+class _SetDissolver:
+    """Reference dissolution: per-configuration hash-set fit tests."""
+
+    def __init__(self, configs: Sequence[Configuration]) -> None:
+        pass
+
+    def try_dissolve(
+        self, victim: Configuration, configs: list[Configuration], victim_pos: int
+    ) -> list[Configuration] | None:
+        """Move every member of ``victim`` into some other configuration.
+
+        All-or-nothing: on failure every tentative move is rolled back
+        and ``victim`` is left exactly as found.  Returns the receiving
+        configurations on success (for order maintenance), else None.
+        """
+        original = list(victim.connections)
+        moves: list[tuple[Connection, Configuration]] = []
+        tests = 0
+        for c in original:
+            for cfg in configs:
+                if cfg is victim:
+                    continue
+                tests += 1
+                if cfg.fits(c):
+                    victim.remove(c)
+                    cfg.add(c)
+                    moves.append((c, cfg))
+                    break
+            else:
+                # Roll back so the victim is left *exactly* as found --
+                # members in their original order, not rotated (the
+                # bitmask dissolver never touches the victim on failure,
+                # and kernel equivalence requires identical state).
+                for moved, cfg in moves:
+                    cfg.remove(moved)
+                    victim.used_links |= moved.link_set
+                victim.connections[:] = original
+                perf.COUNTERS.fit_tests += tests
+                return None
+        perf.COUNTERS.fit_tests += tests
+        return [cfg for _, cfg in moves]
+
+    def drop_config(self, victim_pos: int) -> None:
+        pass
+
+
 def _try_dissolve(victim: Configuration, others: Sequence[Configuration]) -> bool:
-    """Move every member of ``victim`` into some other configuration.
+    """Move every member of ``victim`` into some configuration of ``others``.
 
-    All-or-nothing: on failure every tentative move is rolled back and
-    ``victim`` is left exactly as found.
+    All-or-nothing with full rollback; the standalone entry point used
+    by the AAPC degree optimiser (:mod:`repro.aapc.optimize`).
     """
-    moves: list[tuple[Connection, Configuration]] = []
-    for c in list(victim.connections):
-        for cfg in others:
-            if cfg.fits(c):
-                victim.remove(c)
-                cfg.add(c)
-                moves.append((c, cfg))
-                break
-        else:
-            for moved, cfg in reversed(moves):
-                cfg.remove(moved)
-                victim.add(moved)
-            return False
-    return True
+    configs = [victim, *others]
+    return _SetDissolver(configs).try_dissolve(victim, configs, 0) is not None
 
 
-def repack(schedule: ConfigurationSet, *, max_rounds: int = 1000) -> ConfigurationSet:
+class _MaskDissolver:
+    """Bitmask dissolution: one vectorized fit test over all configs."""
+
+    def __init__(self, configs: Sequence[Configuration]) -> None:
+        self.num_links = 1 + max(
+            (max(cfg.used_links) for cfg in configs if cfg.used_links), default=-1
+        )
+        self.occ = Occupancy(self.num_links, capacity=max(len(configs), 1))
+        for pos, cfg in enumerate(configs):
+            self.occ.place(mask_row(cfg.used_links, self.num_links), pos)
+
+    def try_dissolve(
+        self, victim: Configuration, configs: list[Configuration], victim_pos: int
+    ) -> list[Configuration] | None:
+        saved = self.occ.snapshot()
+        moves: list[tuple[Connection, int]] = []
+        for c in victim.connections:
+            mask = mask_row(c.links, self.num_links)
+            fit = self.occ.fits(mask)
+            fit[victim_pos] = False
+            targets = np.nonzero(fit)[0]
+            if targets.size == 0:
+                self.occ.restore(saved)
+                return None
+            target = int(targets[0])
+            self.occ.remove(mask, victim_pos)
+            self.occ.place(mask, target)
+            moves.append((c, target))
+        # The trial succeeded on masks alone; apply it to the real
+        # configurations (``add`` re-checks disjointness, so a kernel
+        # bug surfaces as ScheduleValidationError, never silently).
+        receivers = []
+        for c, target in moves:
+            victim.remove(c)
+            configs[target].add(c)
+            receivers.append(configs[target])
+        return receivers
+
+    def drop_config(self, victim_pos: int) -> None:
+        rows = self.occ.snapshot()
+        self.occ.restore(np.delete(rows, victim_pos, axis=0))
+
+
+def repack(
+    schedule: ConfigurationSet,
+    *,
+    max_rounds: int = 1000,
+    kernel: str | None = None,
+) -> ConfigurationSet:
     """Local-search improver: dissolve configurations where possible.
 
     Repeatedly walks the configurations smallest-first and attempts an
@@ -90,18 +272,36 @@ def repack(schedule: ConfigurationSet, *, max_rounds: int = 1000) -> Configurati
     success removes one time slot.  Stops at a local optimum (no
     configuration dissolvable) or after ``max_rounds`` successes.
 
+    The candidate order (by size, creation order breaking ties) is
+    maintained incrementally: the single up-front sort is patched after
+    each successful dissolve instead of re-sorting every round.
+
     The input set's configurations are mutated; the returned set shares
     them.  Validity is preserved by construction --
     :meth:`Configuration.add` re-checks link-disjointness on every move.
     """
+    kernel = resolve_kernel(kernel)
     configs = [cfg for cfg in schedule if len(cfg) > 0]
+    dissolver = (_MaskDissolver if kernel == "bitmask" else _SetDissolver)(configs)
+    # Creation-order ranks make (len, rank) a total order, so incremental
+    # re-insertion reproduces the stable smallest-first sort exactly.
+    rank = {id(cfg): pos for pos, cfg in enumerate(configs)}
+    key = lambda cfg: (len(cfg), rank[id(cfg)])  # noqa: E731
+    ordered = sorted(configs, key=key)
+
     for _ in range(max_rounds):
         if len(configs) <= 1:
             break
-        for victim in sorted(configs, key=len):
-            others = [cfg for cfg in configs if cfg is not victim]
-            if _try_dissolve(victim, others):
-                configs.remove(victim)
+        for victim in ordered:
+            victim_pos = configs.index(victim)
+            receivers = dissolver.try_dissolve(victim, configs, victim_pos)
+            if receivers is not None:
+                dissolver.drop_config(victim_pos)
+                configs.pop(victim_pos)
+                ordered.remove(victim)
+                for cfg in {id(c): c for c in receivers}.values():
+                    ordered.remove(cfg)
+                    bisect.insort(ordered, cfg, key=key)
                 break
         else:
             break

@@ -36,13 +36,23 @@ class Connection:
         ``frozenset(links)``; the conflict footprint.
     """
 
-    __slots__ = ("index", "request", "links", "link_set")
+    __slots__ = ("index", "request", "links", "_link_set")
 
     def __init__(self, index: int, request: Request, links: tuple[int, ...]) -> None:
         self.index = index
         self.request = request
         self.links = links
-        self.link_set = frozenset(links)
+        self._link_set = None
+
+    @property
+    def link_set(self) -> frozenset[int]:
+        # Built on first use: the bitmask kernel never needs the
+        # frozenset, so eager construction would tax every routed
+        # connection for the set kernel's benefit.
+        ls = self._link_set
+        if ls is None:
+            ls = self._link_set = frozenset(self.links)
+        return ls
 
     @property
     def num_links(self) -> int:

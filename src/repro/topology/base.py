@@ -29,9 +29,24 @@ per-link state with flat numpy arrays.
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from collections.abc import Iterator
 
 from repro.topology.links import Link, LinkKind
+
+# Route-cache hit/miss counters live in repro.core.perf, but repro.core's
+# package init imports this module, so bind lazily at first route() call
+# (perf.reset() zeroes the instance in place -- the binding stays valid).
+_COUNTERS = None
+
+
+def _counters():
+    global _COUNTERS
+    if _COUNTERS is None:
+        from repro.core.perf import COUNTERS
+
+        _COUNTERS = COUNTERS
+    return _COUNTERS
 
 
 class RoutingError(ValueError):
@@ -50,6 +65,8 @@ class Topology(abc.ABC):
     num_nodes: int
     #: number of directed switch-to-switch fibers.
     num_transit_links: int
+    #: max (src, dst) entries the per-instance route cache retains.
+    route_cache_size: int = 1 << 16
 
     # ------------------------------------------------------------------
     # link id helpers
@@ -84,18 +101,53 @@ class Topology(abc.ABC):
         where ``t_i`` are transit link ids.  ``k`` equals the routing
         distance between the two switches.
 
+        Routes are deterministic, so results are memoised per instance
+        in an LRU cache of :attr:`route_cache_size` pairs -- the table
+        sweeps re-route the same (src, dst) pairs hundreds of times.
+        Subclasses whose routes can change after construction (e.g.
+        fault injection) must call :meth:`invalidate_route_cache`.
+
         Raises
         ------
         RoutingError
             If either endpoint is out of range or ``src == dst`` (a PE
             never talks to itself through the network).
         """
+        cache = self._route_cache
+        if cache is None:
+            cache = self._route_cache = OrderedDict()
+        key = (src, dst)
+        path = cache.get(key)
+        counters = _counters()
+        if path is not None:
+            counters.route_cache_hits += 1
+            cache.move_to_end(key)
+            return path
+        counters.route_cache_misses += 1
         self._check_node(src)
         self._check_node(dst)
         if src == dst:
             raise RoutingError(f"src == dst == {src}: self-connections are not routed")
         transit = self._transit_route(src, dst)
-        return (self.inject_link(src), *transit, self.eject_link(dst))
+        path = (self.inject_link(src), *transit, self.eject_link(dst))
+        cache[key] = path
+        if len(cache) > self.route_cache_size:
+            cache.popitem(last=False)
+        return path
+
+    @property
+    def _route_cache(self) -> OrderedDict | None:
+        # Lazy per-instance storage: Topology subclasses predate the
+        # cache and none call super().__init__.
+        return self.__dict__.get("_route_cache_store")
+
+    @_route_cache.setter
+    def _route_cache(self, value: OrderedDict) -> None:
+        self.__dict__["_route_cache_store"] = value
+
+    def invalidate_route_cache(self) -> None:
+        """Drop every memoised route (call after anything reroutes)."""
+        self.__dict__.pop("_route_cache_store", None)
 
     def route_length(self, src: int, dst: int) -> int:
         """Number of links of ``route(src, dst)`` (inject + transit + eject).

@@ -58,11 +58,13 @@ class FaultyTopology(Topology):
             )
         self._failed.add(link_id)
         self._graph = None
+        self.invalidate_route_cache()
 
     def restore_link(self, link_id: int) -> None:
         """Repair a previously failed fiber."""
         self._failed.discard(link_id)
         self._graph = None
+        self.invalidate_route_cache()
 
     # -- routing ------------------------------------------------------------
     def _transit_route(self, src: int, dst: int) -> tuple[int, ...]:

@@ -28,6 +28,32 @@ class TestFirstFit:
         assert first_fit(conns, [0, 3, 1, 2]).degree == 2
 
 
+class TestOrderValidation:
+    def _conns(self, topo):
+        rs = RequestSet.from_pairs([(0, 1), (1, 2), (2, 3)])
+        return route_requests(topo, rs)
+
+    def test_duplicate_positions_rejected(self, torus8):
+        with pytest.raises(ValueError, match="duplicated positions \\[1\\]"):
+            first_fit(self._conns(torus8), [0, 1, 1])
+
+    def test_missing_positions_rejected(self, torus8):
+        with pytest.raises(ValueError, match="permutation"):
+            first_fit(self._conns(torus8), [0, 1])
+
+    def test_out_of_range_rejected(self, torus8):
+        with pytest.raises(ValueError, match="out-of-range positions \\[3\\]"):
+            first_fit(self._conns(torus8), [0, 1, 3])
+
+    def test_negative_rejected(self, torus8):
+        with pytest.raises(ValueError, match="out-of-range"):
+            first_fit(self._conns(torus8), [0, 1, -1])
+
+    def test_valid_permutation_accepted(self, torus8):
+        conns = self._conns(torus8)
+        first_fit(conns, [2, 0, 1]).validate(conns)
+
+
 class TestRepack:
     def test_reduces_padded_schedule(self, torus8):
         """A schedule deliberately split into singleton configurations
@@ -54,6 +80,46 @@ class TestRepack:
     def test_scheduler_label_updated(self, torus8):
         conns = route_requests(torus8, RequestSet.from_pairs([(0, 1)]))
         assert repack(first_fit(conns)).scheduler.endswith("+repack")
+
+    def test_matches_resort_reference(self, torus8):
+        """The incrementally maintained candidate order reaches exactly
+        the local optimum of the straightforward re-sort-every-round
+        formulation (regression guard for the order bookkeeping)."""
+        from repro.core.packing import _SetDissolver
+
+        def naive_repack(schedule):
+            configs = [cfg for cfg in schedule if len(cfg) > 0]
+            dissolver = _SetDissolver(configs)
+            improved = True
+            while improved and len(configs) > 1:
+                improved = False
+                # Stable smallest-first sort, recomputed from scratch.
+                for victim in sorted(configs, key=len):
+                    pos = configs.index(victim)
+                    if dissolver.try_dissolve(victim, configs, pos) is not None:
+                        configs.pop(pos)
+                        improved = True
+                        break
+            return [[c.pair for c in cfg] for cfg in configs]
+
+        conns = route_requests(torus8, random_pattern(64, 300, seed=9))
+        padded = ConfigurationSet([Configuration([c]) for c in conns])
+        reference = naive_repack(ConfigurationSet([Configuration([c]) for c in conns]))
+        packed = repack(padded)
+        assert [[c.pair for c in cfg] for cfg in packed] == reference
+
+    def test_failed_dissolve_leaves_victim_untouched(self, linear5):
+        """A failed all-or-nothing dissolution must not reorder the
+        victim's members (the set kernel's rollback used to rotate
+        them, silently diverging from the bitmask kernel)."""
+        rs = RequestSet.from_pairs([(0, 1), (3, 4), (2, 4)])
+        conns = route_requests(linear5, rs)
+        a, b, c = conns
+        for kernel in ("set", "bitmask"):
+            schedule = ConfigurationSet([Configuration([a, b]), Configuration([c])])
+            packed = repack(schedule, kernel=kernel)
+            assert packed.degree == 2  # (3,4) can never leave: no dissolve
+            assert [m.pair for m in packed[0]] == [a.pair, b.pair], kernel
 
 
 class TestBounds:

@@ -1,0 +1,81 @@
+"""Tests for the scheduling perf counters and their reporting helpers."""
+
+from repro.analysis.stats import perf_rows
+from repro.core import perf
+from repro.core.perf import PerfCounters
+
+
+class TestPerfCounters:
+    def test_reset_zeroes_in_place(self):
+        c = perf.COUNTERS
+        c.fit_tests += 7
+        saved = perf.COUNTERS
+        perf.reset()
+        assert perf.COUNTERS is saved  # in-place: cached references stay valid
+        assert c.fit_tests == 0
+
+    def test_snapshot_has_derived_rates(self):
+        c = PerfCounters(fit_tests=100, kernel_seconds=0.5,
+                         route_cache_hits=3, route_cache_misses=1)
+        snap = c.snapshot()
+        assert snap["fit_tests"] == 100
+        assert snap["route_cache_hit_rate"] == 0.75
+        assert snap["fit_tests_per_second"] == 200.0
+
+    def test_snapshot_rates_safe_when_idle(self):
+        snap = PerfCounters().snapshot()
+        assert snap["route_cache_hit_rate"] == 0.0
+        assert snap["fit_tests_per_second"] == 0.0
+
+    def test_merge_from_counters_and_dict(self):
+        c = PerfCounters(fit_tests=1, kernel_calls=2)
+        c.merge(PerfCounters(fit_tests=10))
+        c.merge({"kernel_calls": 3, "route_cache_hit_rate": 0.9})  # extras ignored
+        assert c.fit_tests == 11
+        assert c.kernel_calls == 5
+
+    def test_schedulers_count(self):
+        from repro.core.greedy import greedy_schedule
+        from repro.core.paths import route_requests
+        from repro.patterns.random_patterns import random_pattern
+        from repro.topology.torus import Torus2D
+
+        topo = Torus2D(4)
+        conns = route_requests(topo, random_pattern(16, 30, seed=0))
+        perf.reset()
+        greedy_schedule(conns)
+        assert perf.COUNTERS.kernel_calls == 1
+        assert perf.COUNTERS.kernel_seconds > 0
+
+
+class TestPerfRows:
+    def test_formats_by_suffix(self):
+        snap = {"fit_tests": 12345, "kernel_seconds": 0.25,
+                "route_cache_hit_rate": 0.5, "fit_tests_per_second": 2000.0}
+        rows = dict(perf_rows(snap))
+        assert rows["fit_tests"] == "12,345"
+        assert rows["kernel_seconds"] == "0.2500 s"
+        assert rows["route_cache_hit_rate"] == "50.0%"
+        assert rows["fit_tests_per_second"] == "2,000/s"
+
+    def test_defaults_to_live_counters(self):
+        perf.reset()
+        perf.COUNTERS.fit_tests = 42
+        assert ("fit_tests", "42") in perf_rows()
+
+
+class TestKernelBenchmark:
+    def test_smoke_small_topology(self):
+        from repro.analysis.perfbench import BENCH_SCHEDULERS, kernel_benchmark
+        from repro.topology.torus import Torus2D
+
+        report = kernel_benchmark(kernel="bitmask", repeats=1, topology=Torus2D(4))
+        assert report["kernel"] == "bitmask"
+        assert report["connections"] == 16 * 15
+        for name in BENCH_SCHEDULERS:
+            entry = report["schedulers"][name]
+            assert entry["seconds"] > 0
+            assert entry["ops_per_sec"] > 0
+            assert entry["degree"] >= 1
+        # The warm routing pass must have hit the cache.
+        assert report["counters"]["route_cache_hits"] > 0

@@ -19,6 +19,10 @@ class TestTables:
         out = capsys.readouterr().out
         assert "redistributions" in out
 
+    def test_table1_workers_flag(self, capsys):
+        assert main(["table1", "--patterns", "1", "--workers", "2"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
     def test_table4(self, capsys):
         assert main(["table4"]) == 0
         out = capsys.readouterr().out
@@ -79,6 +83,28 @@ class TestTools:
             "--output", str(out_file), "--algorithm", "greedy",
         ]) == 0
         assert "greedy" in capsys.readouterr().out
+
+    def test_perf_single_kernel(self, capsys):
+        assert main(["perf", "--kernel", "bitmask", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduling kernel benchmark" in out
+        assert "route_cache_hits" in out
+
+    def test_perf_both_kernels_json(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_kernel.json"
+        assert main(["perf", "--repeats", "1", "--output", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert set(doc) == {"bitmask", "set"}
+        for report in doc.values():
+            assert report["connections"] == 4032
+            for entry in report["schedulers"].values():
+                assert entry["ops_per_sec"] > 0
+        # Identical schedules: the kernels must agree on every degree.
+        degrees = {
+            k: {s: v["degree"] for s, v in r["schedulers"].items()}
+            for k, r in doc.items()
+        }
+        assert degrees["bitmask"] == degrees["set"]
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,69 @@
+"""Tests for the per-topology LRU route cache."""
+
+from repro.core import perf
+from repro.topology.faults import FaultyTopology
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+
+class TestRouteCache:
+    def test_hit_returns_same_path_and_counts(self):
+        topo = Torus2D(4)
+        perf.reset()
+        first = topo.route(0, 5)
+        assert perf.COUNTERS.route_cache_misses == 1
+        assert perf.COUNTERS.route_cache_hits == 0
+        second = topo.route(0, 5)
+        assert second == first
+        assert second is first  # cached object, not a recomputation
+        assert perf.COUNTERS.route_cache_hits == 1
+
+    def test_distinct_pairs_are_distinct_entries(self):
+        topo = Torus2D(4)
+        assert topo.route(1, 2) != topo.route(2, 1)
+
+    def test_lru_eviction(self):
+        topo = Ring(8)
+        topo.route_cache_size = 2
+        perf.reset()
+        topo.route(0, 1)
+        topo.route(0, 2)
+        topo.route(0, 3)  # evicts (0, 1), the least recently used
+        misses = perf.COUNTERS.route_cache_misses
+        topo.route(0, 1)
+        assert perf.COUNTERS.route_cache_misses == misses + 1
+        # (0, 3) is still resident.
+        topo.route(0, 3)
+        assert perf.COUNTERS.route_cache_misses == misses + 1
+
+    def test_lru_touch_on_hit(self):
+        topo = Ring(8)
+        topo.route_cache_size = 2
+        topo.route(0, 1)
+        topo.route(0, 2)
+        topo.route(0, 1)  # refresh (0, 1)
+        topo.route(0, 3)  # evicts (0, 2), now the oldest
+        perf.reset()
+        topo.route(0, 1)
+        assert perf.COUNTERS.route_cache_hits == 1
+        topo.route(0, 2)
+        assert perf.COUNTERS.route_cache_misses == 1
+
+    def test_invalidate_route_cache(self):
+        topo = Torus2D(4)
+        topo.route(0, 5)
+        topo.invalidate_route_cache()
+        perf.reset()
+        topo.route(0, 5)
+        assert perf.COUNTERS.route_cache_misses == 1
+
+    def test_fault_injection_invalidates(self):
+        base = Torus2D(4)
+        topo = FaultyTopology(base)
+        healthy = topo.route(0, 1)
+        on_path = healthy[1]  # first transit fiber of the path
+        topo.fail_link(on_path)
+        rerouted = topo.route(0, 1)
+        assert on_path not in rerouted
+        topo.restore_link(on_path)
+        assert topo.route(0, 1) == healthy
