@@ -404,6 +404,111 @@ def table5_programs(
 
 
 # ----------------------------------------------------------------------
+# Fault campaign: compiled vs dynamic degradation under fiber cuts
+# ----------------------------------------------------------------------
+
+#: Patterns the fault campaign can sweep (name -> requests factory).
+FAULT_CAMPAIGN_PATTERNS = (
+    "all-to-all",
+    "ring",
+    "nearest neighbour",
+    "hypercube",
+    "shuffle-exchange",
+)
+
+
+def _campaign_requests(topo: Torus2D, pattern: str, size: int) -> RequestSet:
+    n = topo.num_nodes
+    factories = {
+        "all-to-all": lambda: all_to_all_pattern(n, size=size),
+        "ring": lambda: ring_pattern(n, size=size),
+        "nearest neighbour": lambda: nearest_neighbour_2d(
+            topo.width, topo.height, size=size
+        ),
+        "hypercube": lambda: hypercube_pattern(n, size=size),
+        "shuffle-exchange": lambda: shuffle_exchange_pattern(n, size=size),
+    }
+    try:
+        return factories[pattern]()
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign pattern {pattern!r}; "
+            f"choose from {FAULT_CAMPAIGN_PATTERNS}"
+        ) from None
+
+
+def fault_campaign(
+    *,
+    pattern: str = "all-to-all",
+    size: int = 4,
+    degree: int = 2,
+    fault_counts: tuple[int, ...] = (0, 1, 2, 4),
+    repair_after: int | None = None,
+    protocol: str = "dropping",
+    params: SimParams = SimParams(),
+    seed: int = 0,
+    topology: Torus2D | None = None,
+) -> list[dict[str, object]]:
+    """Compiled-vs-dynamic degradation sweep over fiber-cut counts.
+
+    For each entry of ``fault_counts`` a random
+    :class:`~repro.simulator.faults.FaultSchedule` cuts that many
+    distinct transit fibers at uniform slots inside the compiled run's
+    fault window (so both control models are hit mid-flight), then the
+    same schedule is injected into both simulators.  Row 0 (no faults)
+    is the healthy baseline the slowdown percentages are relative to.
+
+    ``degree`` fixes the dynamic network's multiplexing degree;
+    ``repair_after`` optionally restores every cut fiber that many
+    slots later (intermittent-fault model).  Deterministic in ``seed``.
+    """
+    from repro.simulator.compiled import simulate_compiled_faulty
+    from repro.simulator.faults import FaultSchedule, random_fault_schedule
+    from repro.simulator.metrics import recovery_summary
+
+    topo = topology or paper_torus()
+    requests = _campaign_requests(topo, pattern, size)
+    compiled_base = compiled_completion_time(topo, requests, params)
+    dynamic_base = simulate_dynamic(
+        topo, requests, degree, params, protocol=protocol
+    )
+    horizon = max(1, compiled_base.completion_time - params.compiled_startup)
+
+    rows = []
+    for n in fault_counts:
+        if n == 0:
+            schedule = FaultSchedule()
+        else:
+            schedule = random_fault_schedule(
+                topo, n, horizon, repair_after=repair_after, seed=seed + n
+            )
+        compiled = simulate_compiled_faulty(topo, requests, schedule, params)
+        dynamic = simulate_dynamic(
+            topo, requests, degree, params, protocol=protocol, faults=schedule
+        )
+        crec, drec = recovery_summary(compiled), recovery_summary(dynamic)
+        rows.append({
+            "faults": n,
+            "compiled": compiled.completion_time,
+            "compiled_slowdown_pct": 100.0
+            * (compiled.completion_time - compiled_base.completion_time)
+            / compiled_base.completion_time,
+            "compiled_ttr": crec.get("time_to_recover_mean", 0.0),
+            "compiled_degree_inflation": compiled.degree_inflation,
+            "compiled_reschedules": compiled.reschedules,
+            "compiled_lost": compiled.lost,
+            "dynamic": dynamic.completion_time,
+            "dynamic_slowdown_pct": 100.0
+            * (dynamic.completion_time - dynamic_base.completion_time)
+            / dynamic_base.completion_time,
+            "dynamic_ttr": drec.get("time_to_recover_mean", 0.0),
+            "dynamic_fault_retries": dynamic.fault_retries,
+            "dynamic_lost": dynamic.lost,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Figures 1 and 3
 # ----------------------------------------------------------------------
 

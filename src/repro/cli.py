@@ -30,6 +30,23 @@ def _workers_arg(value: str) -> int:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _nonneg_arg(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}") from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
+def _pos_arg(value: str) -> int:
+    parsed = _nonneg_arg(value)
+    if parsed == 0:
+        raise argparse.ArgumentTypeError("must be >= 1, got 0")
+    return parsed
+
+
 def _print_table1(args) -> None:
     rows = exp.table1(
         patterns_per_row=args.patterns, seed=args.seed,
@@ -266,6 +283,47 @@ def _print_perf(args) -> None:
         print(f"\nwrote {args.output}")
 
 
+def _print_faults(args) -> None:
+    params = SimParams(seed=args.seed).with_(
+        recompile_latency=args.recompile_latency
+    )
+    rows = exp.fault_campaign(
+        pattern=args.pattern,
+        size=args.size,
+        degree=args.degree,
+        fault_counts=tuple(args.faults),
+        repair_after=args.repair_after,
+        protocol=args.protocol,
+        params=params,
+        seed=args.seed,
+    )
+    data = [
+        (
+            r["faults"], r["compiled"], f"{r['compiled_slowdown_pct']:+.1f}%",
+            r["compiled_ttr"], int(r["compiled_degree_inflation"]),
+            int(r["compiled_lost"]), r["dynamic"],
+            f"{r['dynamic_slowdown_pct']:+.1f}%", r["dynamic_ttr"],
+            int(r["dynamic_fault_retries"]), int(r["dynamic_lost"]),
+        )
+        for r in rows
+    ]
+    print(format_table(
+        ["faults", "comp", "comp%", "comp-ttr", "comp-K+", "comp-lost",
+         "dyn", "dyn%", "dyn-ttr", "dyn-fretry", "dyn-lost"],
+        data,
+        title=(
+            f"Fault campaign: {args.pattern} on the "
+            f"{args.size}x{args.size} torus "
+            f"(dynamic K={args.degree}, {args.protocol} protocol, "
+            f"recompile latency {args.recompile_latency})"
+        ),
+    ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"\nwrote {args.output}")
+
+
 def _print_all(args) -> None:
     for fn in (_print_table1, _print_table2, _print_table3, _print_table4,
                _print_table5, _print_fig1, _print_fig3):
@@ -351,6 +409,28 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("--output", default=None,
                     help="write the report as JSON (e.g. BENCH_kernel.json)")
     pp.set_defaults(fn=_print_perf)
+
+    pf = sub.add_parser(
+        "faults",
+        help="runtime fiber-cut campaign: compiled vs dynamic degradation",
+    )
+    pf.add_argument(
+        "--pattern", default="all-to-all",
+        choices=list(exp.FAULT_CAMPAIGN_PATTERNS),
+    )
+    pf.add_argument("--size", type=int, default=4, help="elements per message")
+    pf.add_argument("--degree", type=int, default=2,
+                    help="dynamic network's multiplexing degree")
+    pf.add_argument("--faults", type=int, nargs="+", default=[0, 1, 2, 4],
+                    help="fiber-cut counts to sweep (0 = healthy baseline)")
+    pf.add_argument("--repair-after", type=_pos_arg, default=None,
+                    help="restore each cut fiber after this many slots")
+    pf.add_argument("--protocol", choices=["dropping", "holding"],
+                    default="dropping")
+    pf.add_argument("--recompile-latency", type=_nonneg_arg, default=3,
+                    help="slots the compiled model pays per reschedule")
+    pf.add_argument("--output", default=None, help="write rows as JSON")
+    pf.set_defaults(fn=_print_faults)
 
     pall = sub.add_parser("all", help="run every table and figure (quick settings)")
     pall.add_argument("--patterns", type=int, default=5)

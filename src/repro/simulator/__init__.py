@@ -17,9 +17,16 @@ G = 64/128/256), and every parameter is an explicit knob.
 from repro.simulator.params import SimParams
 from repro.simulator.messages import Message, messages_from_requests
 from repro.simulator.tdm import LinkSlotState, TDMNetwork
-from repro.simulator.compiled import CompiledResult, simulate_compiled, compiled_completion_time
+from repro.simulator.compiled import (
+    CompiledFaultResult,
+    CompiledResult,
+    compiled_completion_time,
+    simulate_compiled,
+    simulate_compiled_faulty,
+)
 from repro.simulator.dynamic import DynamicResult, simulate_dynamic
-from repro.simulator.metrics import summarize
+from repro.simulator.faults import FaultEvent, FaultSchedule, random_fault_schedule
+from repro.simulator.metrics import recovery_summary, summarize
 from repro.simulator.wdm import (
     WDMCompiledResult,
     simulate_dynamic_wdm,
@@ -33,11 +40,17 @@ __all__ = [
     "messages_from_requests",
     "LinkSlotState",
     "TDMNetwork",
+    "CompiledFaultResult",
     "CompiledResult",
     "simulate_compiled",
+    "simulate_compiled_faulty",
     "compiled_completion_time",
     "DynamicResult",
     "simulate_dynamic",
+    "FaultEvent",
+    "FaultSchedule",
+    "random_fault_schedule",
+    "recovery_summary",
     "summarize",
     "WDMCompiledResult",
     "simulate_dynamic_wdm",

@@ -49,6 +49,21 @@ def transfer_finish(start: int, slot: int, degree: int, chunks: int) -> int:
     return first + (chunks - 1) * degree + 1
 
 
+def chunks_in_window(start: int, end: int, slot: int, degree: int) -> int:
+    """Chunks a connection owning ``slot`` moves during ``[start, end)``.
+
+    The closed-form count of slot times congruent to ``slot`` (mod
+    ``degree``) in the window -- the fault simulator uses it to advance
+    partial transfers exactly between reschedule points.
+    """
+    if end <= start:
+        return 0
+    first = start + (slot - start) % degree
+    if first >= end:
+        return 0
+    return (end - 1 - first) // degree + 1
+
+
 @dataclass
 class CompiledResult:
     """Outcome of a compiled-communication run of one pattern."""
@@ -98,6 +113,209 @@ def compiled_completion_time(
         degree=schedule.degree,
         schedule=schedule,
         messages=messages,
+        params=params,
+    )
+
+
+@dataclass
+class CompiledFaultResult:
+    """Outcome of a compiled run through a runtime fault schedule.
+
+    Each mid-run fiber cut that touches an undelivered connection
+    triggers a **reschedule**: the compiler reroutes and reslots the
+    remainder on the degraded topology, pays
+    ``SimParams.recompile_latency`` slots of global pause (the switch
+    shift-registers are reloaded network-wide), and resumes at element
+    granularity -- the schedule records exactly what was delivered
+    when, so nothing is retransmitted.  Cuts that miss every remaining
+    route cost nothing, and repairs are absorbed lazily at the next
+    reschedule (re-establishing circuits just to use a repaired fiber
+    rarely pays for the reconfiguration).
+    """
+
+    completion_time: int
+    #: schedule degree of the initial (pre-fault) compilation.
+    initial_degree: int
+    #: largest degree any reschedule needed -- the fault's footprint.
+    max_degree: int
+    #: degree of the last active schedule.
+    final_degree: int
+    reschedules: int
+    #: total slots spent paused in recompilation.
+    recompile_slots: int
+    #: messages unroutable on the degraded network (partitioned).
+    lost: int
+    messages: list[Message]
+    #: one entry per ``fail`` event: slot, link, messages rescheduled,
+    #: time-to-recover (slots until transfers resumed; 0 for misses).
+    fault_log: list[dict]
+    params: SimParams
+
+    @property
+    def makespan(self) -> int:
+        """Alias for ``completion_time`` (slots)."""
+        return self.completion_time
+
+    @property
+    def degree_inflation(self) -> int:
+        """Extra slots per frame the faults forced on the schedule."""
+        return self.max_degree - self.initial_degree
+
+
+def simulate_compiled_faulty(
+    topology: Topology,
+    requests: RequestSet,
+    faults,
+    params: SimParams = SimParams(),
+    *,
+    scheduler: str = "combined",
+) -> CompiledFaultResult:
+    """Compiled run of ``requests`` under a runtime fault schedule.
+
+    Advances transfers in closed form between fault events; a ``fail``
+    whose fiber carries an undelivered connection pauses the network,
+    recompiles the remainder (remaining element counts, degraded
+    routes) and resumes ``recompile_latency`` slots later.  Events at
+    slot 0 degrade the topology *before* the initial compile, making
+    them equivalent to scheduling on a pre-run
+    :class:`~repro.topology.faults.FaultyTopology`.  With an empty
+    schedule this reduces exactly to :func:`compiled_completion_time`.
+    """
+    from repro.topology.base import RoutingError
+    from repro.topology.faults import FaultyTopology
+
+    if isinstance(topology, FaultyTopology):
+        topo = FaultyTopology(topology.base, topology.failed_links)
+    else:
+        topo = FaultyTopology(topology)
+    faults.validate_for(topo)
+    messages = messages_from_requests(requests)
+    remaining = {m.mid: m.size for m in messages}
+    for m in messages:
+        m.first_attempt = 0
+
+    lost_count = 0
+    degrees: list[int] = []
+    fault_log: list[dict] = []
+    reschedules = 0
+    recompile_slots = 0
+    slots: dict[int, int] = {}
+    routes: dict[int, frozenset[int]] = {}
+    degree = 1
+
+    def compile_remaining(start: int) -> None:
+        """(Re)schedule every undelivered message on the current topology."""
+        nonlocal lost_count, slots, routes, degree
+        live: list[int] = []
+        for mid in sorted(remaining):
+            m = messages[mid]
+            try:
+                topo.route(m.src, m.dst)
+            except RoutingError:
+                m.lost = start
+                lost_count += 1
+                continue
+            live.append(mid)
+        for mid in list(remaining):
+            if messages[mid].lost is not None:
+                del remaining[mid]
+        slots, routes = {}, {}
+        if not live:
+            degrees.append(degree)
+            return
+        sub = RequestSet.from_sized_pairs(
+            [(messages[mid].src, messages[mid].dst, remaining[mid]) for mid in live]
+        )
+        # A pristine wrapper routes identically to its base but hides
+        # the concrete type from structure-aware schedulers (AAPC), so
+        # compile on the base until a failure is actually in force.
+        sched_topo = topo if topo.failed_links else topo.base
+        connections = route_requests(sched_topo, sub)
+        try:
+            schedule = get_scheduler(scheduler)(connections, sched_topo)
+        except RoutingError:
+            # Structure-aware schedulers (AAPC) route node pairs beyond
+            # the surviving connections; a partition can disconnect
+            # those even when every live message is routable.
+            schedule = get_scheduler("coloring")(connections, sched_topo)
+        slot_map = schedule.slot_map()
+        degree = max(schedule.degree, 1)
+        degrees.append(schedule.degree)
+        for i, mid in enumerate(live):
+            slots[mid] = slot_map[i]
+            routes[mid] = connections[i].link_set
+            messages[mid].slot = slot_map[i]
+            messages[mid].established = start
+
+    def advance(t0: int, t1: int | None) -> None:
+        """Move data during ``[t0, t1)`` (``t1=None``: run to drain)."""
+        for mid in list(remaining):
+            m = messages[mid]
+            chunks = transfer_chunks(remaining[mid], params.slot_payload)
+            if t1 is not None:
+                got = chunks_in_window(t0, t1, slots[mid], degree)
+                if got < chunks:
+                    remaining[mid] -= got * params.slot_payload
+                    continue
+            m.delivered = transfer_finish(t0, slots[mid], degree, chunks)
+            del remaining[mid]
+
+    events = list(faults)
+    applied = 0
+    while applied < len(events) and events[applied].slot <= 0:
+        ev = events[applied]  # pre-run failures: degrade before compiling
+        (topo.fail_link if ev.action == "fail" else topo.restore_link)(ev.link)
+        applied += 1
+
+    t = params.compiled_startup
+    compile_remaining(t)
+    initial_degree = degrees[0]
+
+    for ev in events[applied:]:
+        if ev.slot > t:
+            if remaining:
+                advance(t, ev.slot)
+            t = ev.slot
+        if ev.action == "restore":
+            # Keep streaming on the current (still valid) schedule; the
+            # repaired fiber is picked up by the next recompilation.
+            topo.restore_link(ev.link)
+            continue
+        topo.fail_link(ev.link)
+        hit = any(ev.link in routes[mid] for mid in remaining)
+        if remaining and hit:
+            resume = max(t, ev.slot) + params.recompile_latency
+            compile_remaining(resume)
+            reschedules += 1
+            recompile_slots += resume - max(t, ev.slot)
+            fault_log.append(
+                {"slot": ev.slot, "link": ev.link,
+                 "rescheduled": len(remaining),
+                 "time_to_recover": resume - ev.slot}
+            )
+            t = resume
+        else:
+            fault_log.append(
+                {"slot": ev.slot, "link": ev.link, "rescheduled": 0,
+                 "time_to_recover": 0}
+            )
+    if remaining:
+        advance(t, None)
+
+    completion = max(
+        (m.delivered for m in messages if m.delivered is not None),
+        default=params.compiled_startup,
+    )
+    return CompiledFaultResult(
+        completion_time=max(completion, params.compiled_startup),
+        initial_degree=initial_degree,
+        max_degree=max(degrees),
+        final_degree=degrees[-1],
+        reschedules=reschedules,
+        recompile_slots=recompile_slots,
+        lost=lost_count,
+        messages=messages,
+        fault_log=fault_log,
         params=params,
     )
 

@@ -21,11 +21,12 @@ import numpy as np
 
 from repro.core.requests import RequestSet
 from repro.simulator.compiled import transfer_chunks, transfer_finish
+from repro.simulator.faults import FaultSchedule
 from repro.simulator.messages import Message, messages_from_requests
 from repro.simulator.dynamic.trace import ProtocolTrace
 from repro.simulator.params import SimParams
 from repro.simulator.tdm import TDMNetwork
-from repro.topology.base import Topology
+from repro.topology.base import RoutingError, Topology
 
 
 @dataclass
@@ -41,6 +42,10 @@ class _Reservation:
     parked_hop: int = -1
     #: invalidates stale park-timeout events after a wake-up.
     park_generation: int = 0
+    #: absolute slot the holding protocol gives up waiting; preserved
+    #: across wake/re-park churn so the deadlock-breaking deadline
+    #: cannot be postponed indefinitely.  Reset on hop progress.
+    park_deadline: int = -1
 
 
 @dataclass
@@ -50,14 +55,30 @@ class DynamicResult:
     completion_time: int
     degree: int
     messages: list[Message]
+    #: failed reservations due to channel contention (NACKs/timeouts).
     total_retries: int
     params: SimParams
     trace: "ProtocolTrace | None" = None
+    #: extra attempts attributable to runtime fiber cuts: circuits and
+    #: reservations torn down plus re-route retries while partitioned.
+    fault_retries: int = 0
+    #: messages abandoned because the network stayed partitioned past
+    #: ``SimParams.fault_retry_limit`` consecutive routing failures.
+    lost: int = 0
+    #: one entry per ``fail`` event: slot, link, circuits torn down,
+    #: requeued message ids and time-to-recover (slots until the last
+    #: affected message was delivered or declared lost).
+    fault_log: list[dict] = field(default_factory=list)
 
     @property
     def makespan(self) -> int:
         """Alias for ``completion_time`` (slots)."""
         return self.completion_time
+
+    @property
+    def delivered(self) -> int:
+        """Messages that completed (``len(messages) - lost``)."""
+        return sum(1 for m in self.messages if m.delivered is not None)
 
 
 class _DynamicSimulator:
@@ -70,6 +91,7 @@ class _DynamicSimulator:
         arrivals: list[int] | None = None,
         trace: "ProtocolTrace | None" = None,
         protocol: str = "dropping",
+        faults: FaultSchedule | None = None,
     ) -> None:
         if protocol not in ("dropping", "holding"):
             raise ValueError(
@@ -88,24 +110,60 @@ class _DynamicSimulator:
         if arrivals is not None and len(arrivals) != len(self.messages):
             raise ValueError("one arrival time per request required")
         self.arrivals = arrivals or [0] * len(self.messages)
+        self.faults = faults if faults else None
+        #: mutable routing view when runtime faults are scheduled; the
+        #: caller's topology is never modified (a FaultyTopology input
+        #: is re-wrapped so its failure set stays untouched).
+        self.route_topo = None
+        if self.faults is not None:
+            from repro.topology.faults import FaultyTopology
+
+            self.faults.validate_for(topology)
+            if isinstance(topology, FaultyTopology):
+                self.route_topo = FaultyTopology(
+                    topology.base, topology.failed_links
+                )
+            else:
+                self.route_topo = FaultyTopology(topology)
         self.queues: dict[int, deque[Message]] = {}
         for m in self.messages:
-            m._path = topology.route(m.src, m.dst)
+            if self.route_topo is None:
+                m._path = topology.route(m.src, m.dst)
             self.queues.setdefault(m.src, deque())
         self.outstanding: set[int] = set()  # nodes with a RES in flight
         self.events: list[tuple[int, int, str, tuple]] = []
         self._seq = itertools.count()
         self._rid = itertools.count()
         self.reservations: dict[int, _Reservation] = {}
+        #: reservation ids torn down by a fault -- their in-flight
+        #: control packets (RES/ACK/NACK/REL/data_done) evaporate.
+        self.killed: set[int] = set()
+        #: message id -> consecutive routing failures (partitioned).
+        self._route_failures: dict[int, int] = {}
         self.delivered_count = 0
+        self.lost_count = 0
         self.completion = 0
         self.total_retries = 0
+        self.fault_retries = 0
+        self.fault_log: list[dict] = []
 
     # -- event machinery -------------------------------------------------
     def _post(self, time: int, kind: str, payload: tuple) -> None:
         heapq.heappush(self.events, (time, next(self._seq), kind, payload))
 
+    @property
+    def pending_count(self) -> int:
+        """Messages neither delivered nor declared lost."""
+        return len(self.messages) - self.delivered_count - self.lost_count
+
     def run(self) -> None:
+        if self.faults is not None:
+            # Posted before the arrivals so a slot-0 failure is in
+            # force before any reservation starts (this makes a fault
+            # schedule at slot 0 bit-identical to a pre-run
+            # FaultyTopology, asserted in the test suite).
+            for ev in self.faults:
+                self._post(ev.slot, "fault", (ev.action, ev.link))
         for m in self.messages:
             self._post(self.arrivals[m.mid], "arrive", (m.mid,))
         handlers = {
@@ -117,20 +175,23 @@ class _DynamicSimulator:
             "data_done": self._on_data_done,
             "rel": self._on_rel,
             "park_timeout": self._on_park_timeout,
+            "fault": self._on_fault,
         }
         # Run until the event queue drains: the trailing REL chains
         # after the last delivery still tear their circuits down, so
         # the network ends clean (asserted by the property suite).
+        # max_slots only guards *undelivered* traffic: the teardown
+        # tail after the final delivery may legitimately cross it.
         while self.events:
             time, _, kind, payload = heapq.heappop(self.events)
-            if time > self.params.max_slots:
+            if time > self.params.max_slots and self.pending_count:
                 raise RuntimeError(
                     f"dynamic simulation exceeded max_slots="
                     f"{self.params.max_slots} with "
-                    f"{len(self.messages) - self.delivered_count} messages pending"
+                    f"{self.pending_count} messages pending"
                 )
             handlers[kind](time, *payload)
-        if self.delivered_count < len(self.messages):
+        if self.pending_count:
             raise RuntimeError("event queue drained with undelivered messages")
 
     # -- handlers ---------------------------------------------------------
@@ -143,6 +204,19 @@ class _DynamicSimulator:
         self.queues[m.src].append(m)
         self._on_node(t, m.src)
 
+    def _current_path(self, m: Message) -> tuple[int, ...]:
+        """The message's route on the network as it is *now*.
+
+        Static runs keep the paths computed at init; under a fault
+        schedule every attempt re-routes on the current degraded
+        topology (memoised by the route cache, invalidated on each
+        fail/restore), which is what lets the protocol steer around a
+        mid-run fiber cut.
+        """
+        if self.route_topo is None:
+            return m._path
+        return self.route_topo.route(m.src, m.dst)
+
     def _on_node(self, t: int, node: int) -> None:
         """Try to start a reservation for the node's head-of-line message."""
         if node in self.outstanding:
@@ -151,17 +225,120 @@ class _DynamicSimulator:
         if not queue:
             return
         m = queue[0]
+        try:
+            path = self._current_path(m)
+        except RoutingError:
+            self._no_route(t, m)
+            return
+        self._route_failures.pop(m.mid, None)
         self.outstanding.add(node)
         rid = next(self._rid)
-        res = _Reservation(rid=rid, message=m, path=m._path)
+        res = _Reservation(rid=rid, message=m, path=path)
         res.carried = list(range(self.degree))
         self.reservations[rid] = res
         if self.trace:
-            self.trace.emit(t, "res-start", m.mid, f"rid {rid}, {len(m._path)} links")
+            self.trace.emit(t, "res-start", m.mid, f"rid {rid}, {len(path)} links")
         # RES reaches (and processes) link i after i+1 hop latencies.
         self._post(t + self.params.control_hop_latency, "res", (rid, 0))
 
+    def _no_route(self, t: int, m: Message) -> None:
+        """Source and destination are disconnected by the current cuts.
+
+        Retry after backoff (a restore may reconnect them) up to
+        ``fault_retry_limit`` consecutive failures, then declare the
+        message lost so a permanently partitioned network still drains.
+        """
+        failures = self._route_failures.get(m.mid, 0) + 1
+        self._route_failures[m.mid] = failures
+        if failures > self.params.fault_retry_limit:
+            m.lost = t
+            self.lost_count += 1
+            if self.trace:
+                self.trace.emit(
+                    t, "lost", m.mid, f"no route after {failures - 1} retries"
+                )
+            self.queues[m.src].popleft()
+            self._post(t, "node", (m.src,))  # serve the next message
+            return
+        m.retries += 1
+        self.fault_retries += 1
+        backoff = 1 + int(self.rng.integers(0, self.params.retry_backoff))
+        self._post(t + backoff, "node", (m.src,))
+
+    # -- runtime faults ---------------------------------------------------
+    def _on_fault(self, t: int, action: str, link_id: int) -> None:
+        if action == "restore":
+            self.route_topo.restore_link(link_id)
+            # Partitioned messages get a fresh retry budget: the
+            # repaired fiber may have reconnected them.
+            self._route_failures.clear()
+            if self.trace:
+                self.trace.emit(t, "link-restore", -1, f"link {link_id}")
+            return
+        self.route_topo.fail_link(link_id)
+        if self.trace:
+            self.trace.emit(t, "link-fail", -1, f"link {link_id}")
+        affected = [
+            rid
+            for rid, res in list(self.reservations.items())
+            if link_id in res.path
+        ]
+        requeued = []
+        for rid in affected:
+            mid = self._kill(t, rid)
+            if mid is not None:
+                requeued.append(mid)
+        self.fault_log.append(
+            {"slot": t, "link": link_id, "torn": len(affected),
+             "requeued": requeued}
+        )
+
+    def _kill(self, t: int, rid: int) -> int | None:
+        """Tear reservation ``rid`` out of the network after a cut.
+
+        Scrubs its locks *and* owners from every link of its path
+        (whatever protocol phase it was in: RES walk, parked, ACK walk,
+        streaming, REL walk), wakes parked reservations on the freed
+        channels, and requeues the message for a fresh attempt.
+        Returns the requeued message id, or None when the message had
+        already fully delivered (only its REL teardown was interrupted).
+        """
+        res = self.reservations.pop(rid)
+        self.killed.add(rid)
+        m = res.message
+        if res.parked_hop >= 0:
+            parked = self.parked.get(res.path[res.parked_hop])
+            if parked and rid in parked:
+                parked.remove(rid)
+        for link_id in res.path:
+            freed = self.net.link(link_id).clear_reservation(rid)
+            if freed:
+                self._wake_parked(t, link_id, freed)
+        if m.delivered is not None:
+            return None
+        if self.trace:
+            self.trace.emit(t, "fault-kill", m.mid, f"rid {rid}")
+        m.retries += 1
+        self.fault_retries += 1
+        if m.established is not None:
+            # The circuit died mid-stream.  The protocol keeps no
+            # delivery ledger, so the whole message is retransmitted;
+            # requeue at the head so recovery does not wait behind the
+            # source's queued traffic.
+            m.established = None
+            m.slot = None
+            self.queues[m.src].appendleft(m)
+        else:
+            # Not yet established: the message is still at its queue
+            # head with this reservation outstanding.
+            self.outstanding.discard(m.src)
+        backoff = 1 + int(self.rng.integers(0, self.params.retry_backoff))
+        self._post(t + backoff, "node", (m.src,))
+        return m.mid
+
     def _on_res(self, t: int, rid: int, hop: int) -> None:
+        if rid in self.killed:
+            return
         res = self.reservations[rid]
         link = self.net.link(res.path[hop])
         avail = [
@@ -173,8 +350,14 @@ class _DynamicSimulator:
             if self.protocol == "holding":
                 # Park at this switch: wait for a channel to free, with
                 # a timeout to break hold-and-wait deadlock cycles.
+                # The deadline is fixed at the *first* park since the
+                # last hop progress: a woken reservation that re-parks
+                # keeps it, otherwise churn on the link would postpone
+                # the deadlock-breaking timeout indefinitely.
                 res.parked_hop = hop
                 res.park_generation += 1
+                if res.park_deadline < 0:
+                    res.park_deadline = t + self.params.hold_timeout
                 self.parked.setdefault(res.path[hop], deque()).append(rid)
                 if self.trace:
                     self.trace.emit(
@@ -182,7 +365,7 @@ class _DynamicSimulator:
                         f"rid {rid} at link {res.path[hop]}",
                     )
                 self._post(
-                    t + self.params.hold_timeout,
+                    res.park_deadline,
                     "park_timeout",
                     (rid, res.park_generation),
                 )
@@ -197,6 +380,7 @@ class _DynamicSimulator:
             return
         link.lock_slots(avail, rid)
         res.carried = avail
+        res.park_deadline = -1  # hop progress resets the deadlock clock
         if self.trace:
             self.trace.emit(
                 t, "res-hop", res.message.mid,
@@ -215,20 +399,28 @@ class _DynamicSimulator:
             )
 
     def _on_nack(self, t: int, rid: int, hop: int) -> None:
+        if rid in self.killed:
+            return
         res = self.reservations[rid]
-        self.net.link(res.path[hop]).release_locks(res.rid)
-        self._wake_parked(t, res.path[hop])
+        freed = self.net.link(res.path[hop]).release_locks(res.rid)
+        self._wake_parked(t, res.path[hop], freed)
         if hop == 0:
             self._fail(t + self.params.control_hop_latency, rid)
         else:
             self._post(t + self.params.control_hop_latency, "nack", (rid, hop - 1))
 
-    def _wake_parked(self, t: int, link_id: int) -> None:
-        """A channel on ``link_id`` freed: re-run parked reservations."""
+    def _wake_parked(self, t: int, link_id: int, freed: int) -> None:
+        """``freed`` channels on ``link_id`` freed: wake that many
+        parked reservations, FIFO.  Draining the whole queue would be a
+        thundering herd -- every woken RES beyond the freed channels
+        re-parks immediately, which both contradicts the documented
+        FIFO fairness and (before the deadline fix) kept refreshing the
+        hold timeout."""
         queue = self.parked.get(link_id)
-        if not queue:
+        if not queue or freed <= 0:
             return
-        while queue:
+        woken = 0
+        while queue and woken < freed:
             rid = queue.popleft()
             res = self.reservations.get(rid)
             if res is None or res.parked_hop < 0:
@@ -237,6 +429,7 @@ class _DynamicSimulator:
             res.parked_hop = -1
             res.park_generation += 1  # cancel the pending timeout
             self._post(t, "res", (rid, hop))
+            woken += 1
 
     def _on_park_timeout(self, t: int, rid: int, generation: int) -> None:
         res = self.reservations.get(rid)
@@ -266,9 +459,11 @@ class _DynamicSimulator:
         self._post(t + backoff, "node", (m.src,))
 
     def _on_ack(self, t: int, rid: int, hop: int) -> None:
+        if rid in self.killed:
+            return
         res = self.reservations[rid]
-        self.net.link(res.path[hop]).release_locks(rid, keep=res.chosen)
-        self._wake_parked(t, res.path[hop])
+        freed = self.net.link(res.path[hop]).release_locks(rid, keep=res.chosen)
+        self._wake_parked(t, res.path[hop], freed)
         if hop > 0:
             self._post(t + self.params.control_hop_latency, "ack", (rid, hop - 1))
         else:
@@ -284,7 +479,13 @@ class _DynamicSimulator:
         m.slot = res.chosen
         if self.trace:
             self.trace.emit(t, "established", m.mid, f"slot {res.chosen}")
-        self.queues[m.src].popleft()
+        queue = self.queues[m.src]
+        if queue and queue[0] is m:
+            queue.popleft()
+        else:
+            # A fault requeued a killed transfer at the head while this
+            # reservation's ACK was in flight for a later message.
+            queue.remove(m)
         self.outstanding.discard(m.src)
         # The node may reserve for its next message while data streams.
         self._post(t, "node", (m.src,))
@@ -293,6 +494,8 @@ class _DynamicSimulator:
         self._post(finish, "data_done", (rid,))
 
     def _on_data_done(self, t: int, rid: int) -> None:
+        if rid in self.killed:
+            return
         res = self.reservations[rid]
         m = res.message
         m.delivered = t
@@ -304,9 +507,11 @@ class _DynamicSimulator:
         self._post(t + self.params.control_hop_latency, "rel", (rid, 0))
 
     def _on_rel(self, t: int, rid: int, hop: int) -> None:
+        if rid in self.killed:
+            return
         res = self.reservations[rid]
-        self.net.link(res.path[hop]).release_owner(rid)
-        self._wake_parked(t, res.path[hop])
+        freed = self.net.link(res.path[hop]).release_owner(rid)
+        self._wake_parked(t, res.path[hop], freed)
         if hop + 1 < len(res.path):
             self._post(t + self.params.control_hop_latency, "rel", (rid, hop + 1))
         else:
@@ -324,6 +529,7 @@ def simulate_dynamic(
     arrivals: list[int] | None = None,
     trace: "ProtocolTrace | None" = None,
     protocol: str = "dropping",
+    faults: FaultSchedule | None = None,
 ) -> DynamicResult:
     """Simulate ``requests`` under dynamic control at a fixed degree.
 
@@ -339,11 +545,27 @@ def simulate_dynamic(
     ``"holding"`` (park the RES at the blocked switch until a channel
     frees, with ``SimParams.hold_timeout`` breaking hold-and-wait
     deadlocks -- the design space of the paper's refs [15, 17]).
+
+    ``faults`` optionally injects runtime fiber cuts and repairs (see
+    :class:`repro.simulator.faults.FaultSchedule`): a ``fail`` event
+    tears down every circuit and in-flight reservation crossing the
+    dead link, requeues the affected messages, and subsequent attempts
+    re-route around the cut; messages whose endpoints stay partitioned
+    past ``SimParams.fault_retry_limit`` routing attempts are declared
+    lost rather than simulated forever.
     """
     sim = _DynamicSimulator(
-        topology, requests, degree, params, arrivals, trace, protocol
+        topology, requests, degree, params, arrivals, trace, protocol, faults
     )
     sim.run()
+    for entry in sim.fault_log:
+        ends = []
+        for mid in entry["requeued"]:
+            m = sim.messages[mid]
+            ends.append(m.delivered if m.delivered is not None else m.lost)
+        entry["time_to_recover"] = (
+            max(ends) - entry["slot"] if ends else 0
+        )
     return DynamicResult(
         completion_time=sim.completion,
         degree=degree,
@@ -351,4 +573,7 @@ def simulate_dynamic(
         total_retries=sim.total_retries,
         params=params,
         trace=trace,
+        fault_retries=sim.fault_retries,
+        lost=sim.lost_count,
+        fault_log=sim.fault_log,
     )

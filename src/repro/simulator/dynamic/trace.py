@@ -23,9 +23,10 @@ class TraceEvent:
     """One protocol event."""
 
     time: int
-    kind: str   # arrive | res-start | res-hop | res-fail | established
-    #             | delivered | released
-    mid: int    # message id
+    kind: str   # arrive | res-start | res-hop | res-park | res-fail
+    #             | established | delivered | released | fault-kill
+    #             | lost | link-fail | link-restore
+    mid: int    # message id; -1 for network-level events (link-fail/-restore)
     detail: str = ""
 
 
@@ -53,20 +54,34 @@ class ProtocolTrace:
     def check_wellformed(self) -> None:
         """Assert per-message protocol ordering invariants.
 
-        For every message: exactly one ``arrive``; ``res-start`` events
-        only after it; at most one ``established`` and one
-        ``delivered``, in that order, with ``released`` last; every
-        ``res-fail`` precedes the establishment.
+        For every message: exactly one ``arrive``; at most one
+        ``delivered`` and one ``lost`` (never both); no establishment
+        after delivery and no reservation failure after the *final*
+        establishment.  A message may establish more than once only
+        when a runtime fault killed its circuit mid-transfer (the
+        ``fault-kill`` event between the establishments records why).
+        Network-level events (``mid == -1``, link fail/restore) are
+        exempt from per-message checks.
         """
-        mids = {e.mid for e in self.events}
+        mids = {e.mid for e in self.events if e.mid >= 0}
         for mid in mids:
             seq = self.of_message(mid)
             kinds = [e.kind for e in seq]
             if kinds.count("arrive") != 1:
                 raise AssertionError(f"message {mid}: {kinds.count('arrive')} arrivals")
+            if kinds.count("delivered") > 1:
+                raise AssertionError(f"message {mid}: delivered twice")
+            if kinds.count("lost") > 1:
+                raise AssertionError(f"message {mid}: lost twice")
+            if "delivered" in kinds and "lost" in kinds:
+                raise AssertionError(f"message {mid}: both delivered and lost")
             times = {k: [e.time for e in seq if e.kind == k] for k in set(kinds)}
             if "established" in times:
-                (t_est,) = times["established"]
+                if kinds.count("established") > kinds.count("fault-kill") + 1:
+                    raise AssertionError(
+                        f"message {mid}: re-established without a fault kill"
+                    )
+                t_est = max(times["established"])
                 if any(t > t_est for t in times.get("res-fail", [])):
                     raise AssertionError(f"message {mid}: failure after establishment")
                 if "delivered" in times:

@@ -1,0 +1,174 @@
+"""Runtime fault schedules: mid-run fiber cuts and repairs.
+
+`repro.topology.faults` handles *pre-run* failures: wrap the topology,
+reroute, reschedule, done.  A :class:`FaultSchedule` extends that to
+**runtime**: a list of ``(slot, fail|restore, link)`` events consumed
+by both simulators while a pattern is in flight.
+
+The two control models recover very differently, which is the point of
+injecting the same schedule into both:
+
+* the **dynamic** protocol tears down every circuit and in-flight
+  reservation crossing the dead fiber, requeues the affected messages
+  and re-reserves over a freshly routed path (whole-message retransmit:
+  the reservation protocol keeps no delivery ledger);
+* the **compiled** model reschedules the undelivered remainder on the
+  degraded topology, paying ``SimParams.recompile_latency`` slots but
+  resuming at element granularity (the schedule records exactly what
+  was delivered when).
+
+Only transit fibers may fail -- injection/ejection fibers are part of
+the PE attachment, same rule as :class:`~repro.topology.faults.FaultyTopology`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.base import Topology
+from repro.topology.links import LinkKind
+
+#: The two event kinds a schedule may contain.
+ACTIONS = ("fail", "restore")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One runtime topology change."""
+
+    slot: int
+    action: str  # "fail" | "restore"
+    link: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"fault action must be one of {ACTIONS}, got {self.action!r}"
+            )
+        if self.slot < 0:
+            raise ValueError(f"fault slot must be >= 0, got {self.slot}")
+
+
+class FaultSchedule:
+    """An ordered list of fail/restore events applied during a run.
+
+    Events are kept sorted by slot (stable for same-slot events, so a
+    ``fail`` followed by a ``restore`` of the same link in one slot
+    keeps that order).  The schedule is immutable once built.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        ordered = sorted(enumerate(events), key=lambda iv: (iv[1].slot, iv[0]))
+        self._events: tuple[FaultEvent, ...] = tuple(e for _, e in ordered)
+        self._check_consistency()
+
+    @classmethod
+    def from_tuples(
+        cls, tuples: Iterable[tuple[int, str, int]]
+    ) -> "FaultSchedule":
+        """Build from ``(slot, action, link)`` triples."""
+        return cls(FaultEvent(slot=s, action=a, link=l) for s, a, l in tuples)
+
+    def _check_consistency(self) -> None:
+        down: set[int] = set()
+        for e in self._events:
+            if e.action == "fail":
+                if e.link in down:
+                    raise ValueError(
+                        f"link {e.link} failed twice without a restore "
+                        f"(second failure at slot {e.slot})"
+                    )
+                down.add(e.link)
+            else:
+                if e.link not in down:
+                    raise ValueError(
+                        f"restore of link {e.link} at slot {e.slot} "
+                        "without a preceding failure"
+                    )
+                down.discard(e.link)
+
+    # -- container protocol -------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultSchedule({list(self._events)!r})"
+
+    # -- queries ------------------------------------------------------------
+    def failed_at(self, slot: int) -> frozenset[int]:
+        """Links down after every event with ``event.slot <= slot``."""
+        down: set[int] = set()
+        for e in self._events:
+            if e.slot > slot:
+                break
+            (down.add if e.action == "fail" else down.discard)(e.link)
+        return frozenset(down)
+
+    def links(self) -> frozenset[int]:
+        """Every link the schedule ever touches."""
+        return frozenset(e.link for e in self._events)
+
+    def validate_for(self, topology: Topology) -> None:
+        """Check every event names a transit fiber of ``topology``."""
+        for e in self._events:
+            info = topology.link_info(e.link)
+            if info.kind is not LinkKind.TRANSIT:
+                raise ValueError(
+                    f"only transit fibers can fail; link {e.link} "
+                    f"is {info.kind.value}"
+                )
+
+
+def random_fault_schedule(
+    topology: Topology,
+    num_faults: int,
+    horizon: int,
+    *,
+    repair_after: int | None = None,
+    seed: int | np.random.Generator = 0,
+) -> FaultSchedule:
+    """``num_faults`` distinct transit fibers cut at uniform slots.
+
+    Failure slots are drawn uniformly from ``[1, horizon]``; with
+    ``repair_after`` set, each cut fiber is restored that many slots
+    later (an intermittent-fault model; default: cuts are permanent).
+    Deterministic in ``seed``.
+    """
+    if num_faults < 0:
+        raise ValueError("num_faults must be >= 0")
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    if num_faults > topology.num_transit_links:
+        raise ValueError(
+            f"cannot cut {num_faults} of {topology.num_transit_links} fibers"
+        )
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    links = topology.transit_link_base + rng.choice(
+        topology.num_transit_links, size=num_faults, replace=False
+    )
+    events = []
+    for link in sorted(int(l) for l in links):
+        slot = 1 + int(rng.integers(0, horizon))
+        events.append(FaultEvent(slot=slot, action="fail", link=link))
+        if repair_after is not None:
+            events.append(
+                FaultEvent(slot=slot + repair_after, action="restore", link=link)
+            )
+    return FaultSchedule(events)

@@ -36,6 +36,9 @@ class Message:
     delivered: int | None = None
     #: number of failed reservation attempts (dynamic only).
     retries: int = 0
+    #: slot the message was declared lost (network partitioned past the
+    #: fault retry limit), or None.  Lost and delivered are exclusive.
+    lost: int | None = None
     #: slot index the connection was assigned.
     slot: int | None = None
     _path: tuple[int, ...] = field(default=(), repr=False)

@@ -35,6 +35,21 @@ substitutions (see DESIGN.md section 3):
     at a switch for a channel to free before giving up (breaks
     hold-and-wait deadlock cycles).
 
+``recompile_latency``
+    Slots the compiled model pays to reschedule the undelivered
+    remainder of a pattern after a **mid-run** fiber cut: recompute
+    routes and slots on the degraded topology and reload the switch
+    shift-registers.  Defaults to ``compiled_startup`` (the reload is
+    the same operation); the fault campaign sweeps it to ask when
+    re-establishing circuits pays off at all.
+
+``fault_retry_limit``
+    Dynamic control under faults: consecutive routing failures (source
+    and destination disconnected by the current fiber cuts) a message
+    tolerates before it is declared **lost**.  Retries due to channel
+    contention are never bounded -- only a partitioned network can
+    exhaust this.
+
 ``max_slots``
     Safety horizon: the dynamic simulator raises if a workload has not
     drained by then (a protocol bug, not a result).
@@ -54,6 +69,8 @@ class SimParams:
     control_hop_latency: int = 2
     retry_backoff: int = 16
     hold_timeout: int = 64
+    recompile_latency: int = 3
+    fault_retry_limit: int = 32
     seed: int = 0
     max_slots: int = 10_000_000
 
@@ -68,6 +85,10 @@ class SimParams:
             raise ValueError("retry_backoff must be >= 1")
         if self.hold_timeout < 1:
             raise ValueError("hold_timeout must be >= 1")
+        if self.recompile_latency < 0:
+            raise ValueError("recompile_latency must be >= 0")
+        if self.fault_retry_limit < 1:
+            raise ValueError("fault_retry_limit must be >= 1")
         if self.max_slots < 1:
             raise ValueError("max_slots must be >= 1")
 

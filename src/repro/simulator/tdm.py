@@ -48,19 +48,41 @@ class LinkSlotState:
                 raise RuntimeError(f"slot {k} not free to lock")
             self.lock[k] = rid
 
-    def release_locks(self, rid: int, keep: int | None = None) -> None:
-        """Drop ``rid``'s locks; if ``keep`` is given, that slot becomes owned."""
+    def release_locks(self, rid: int, keep: int | None = None) -> int:
+        """Drop ``rid``'s locks; if ``keep`` is given, that slot becomes owned.
+
+        Returns the number of channels that became free (the kept slot
+        turns into an owned circuit, so it does not count) -- the
+        holding protocol wakes at most that many parked reservations.
+        """
+        freed = 0
         for k, holder in enumerate(self.lock):
             if holder == rid:
                 self.lock[k] = FREE
                 if k == keep:
                     self.owner[k] = rid
+                else:
+                    freed += 1
+        return freed
 
-    def release_owner(self, rid: int) -> None:
-        """Tear down ``rid``'s established channel(s)."""
+    def release_owner(self, rid: int) -> int:
+        """Tear down ``rid``'s established channel(s); returns channels freed."""
+        freed = 0
         for k, holder in enumerate(self.owner):
             if holder == rid:
                 self.owner[k] = FREE
+                freed += 1
+        return freed
+
+    def clear_reservation(self, rid: int) -> int:
+        """Forcibly drop every trace of ``rid`` -- locks *and* owners.
+
+        Fault recovery uses this to tear a dead link's circuits and
+        in-flight reservations out of the slot state regardless of which
+        protocol phase (RES walk, ACK walk, streaming, REL walk) the
+        reservation was in.  Returns the number of channels freed.
+        """
+        return self.release_locks(rid) + self.release_owner(rid)
 
 
 class TDMNetwork:
@@ -86,3 +108,20 @@ class TDMNetwork:
         return sum(
             sum(1 for o in st.owner if o != FREE) for st in self._links.values()
         )
+
+    def orphans(self) -> list[tuple[int, int, str, int]]:
+        """Every non-free (link, slot) channel as ``(link, slot, kind, holder)``.
+
+        A drained network must return ``[]``: any surviving lock or
+        owner is a leaked reservation (the fault-recovery property suite
+        asserts this after arbitrary fault schedules).
+        """
+        out: list[tuple[int, int, str, int]] = []
+        for link_id, st in self._links.items():
+            for k, holder in enumerate(st.owner):
+                if holder != FREE:
+                    out.append((link_id, k, "owner", holder))
+            for k, holder in enumerate(st.lock):
+                if holder != FREE:
+                    out.append((link_id, k, "lock", holder))
+        return out

@@ -1,0 +1,104 @@
+"""Property-based tests for runtime fault injection.
+
+Whatever fiber cuts and repairs a run suffers, two invariants must
+hold at drain time:
+
+* **Clean network** -- no (link, slot) channel is still locked or
+  owned once the event queue empties (no orphaned circuits).
+* **Conservation** -- every message is accounted for exactly once:
+  delivered or declared lost, never both, never neither.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.requests import RequestSet
+from repro.simulator.compiled import simulate_compiled_faulty
+from repro.simulator.dynamic.control import _DynamicSimulator
+from repro.simulator.faults import random_fault_schedule
+from repro.simulator.params import SimParams
+from repro.topology.torus import Torus2D
+
+TORUS = Torus2D(4)
+PARAMS = SimParams(retry_backoff=8, fault_retry_limit=8)
+
+
+@st.composite
+def fault_scenarios(draw):
+    n = TORUS.num_nodes
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    size = draw(st.integers(1, 12))
+    num_faults = draw(st.integers(0, 3))
+    horizon = draw(st.integers(1, 300))
+    repair_after = draw(st.one_of(st.none(), st.integers(1, 100)))
+    seed = draw(st.integers(0, 2**16))
+    requests = RequestSet.from_pairs(pairs, size=size)
+    faults = random_fault_schedule(
+        TORUS, num_faults, horizon, repair_after=repair_after, seed=seed
+    )
+    return requests, faults
+
+
+class TestDynamicFaultProperties:
+    @given(fault_scenarios(), st.sampled_from(["dropping", "holding"]))
+    @settings(max_examples=25, deadline=None)
+    def test_network_drains_clean(self, scenario, protocol):
+        requests, faults = scenario
+        sim = _DynamicSimulator(
+            TORUS, requests, 2, PARAMS, protocol=protocol, faults=faults
+        )
+        sim.run()
+        assert sim.net.orphans() == []
+
+    @given(fault_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_messages_conserved(self, scenario):
+        requests, faults = scenario
+        sim = _DynamicSimulator(TORUS, requests, 2, PARAMS, faults=faults)
+        sim.run()
+        for m in sim.messages:
+            assert (m.delivered is None) or (m.lost is None)
+        delivered = sum(1 for m in sim.messages if m.delivered is not None)
+        lost = sum(1 for m in sim.messages if m.lost is not None)
+        assert delivered + lost == len(sim.messages)
+        assert delivered == sim.delivered_count
+        assert lost == sim.lost_count
+
+
+class TestCompiledFaultProperties:
+    @given(fault_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_messages_conserved(self, scenario):
+        requests, faults = scenario
+        result = simulate_compiled_faulty(TORUS, requests, faults, PARAMS)
+        for m in result.messages:
+            assert (m.delivered is None) or (m.lost is None)
+        delivered = sum(
+            1 for m in result.messages if m.delivered is not None
+        )
+        lost = sum(1 for m in result.messages if m.lost is not None)
+        assert delivered + lost == len(result.messages)
+        assert lost == result.lost
+        assert result.completion_time >= PARAMS.compiled_startup
+        if delivered:
+            assert result.completion_time == max(
+                m.delivered for m in result.messages if m.delivered is not None
+            )
+
+    @given(fault_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_caller_topology_untouched(self, scenario):
+        requests, faults = scenario
+        simulate_compiled_faulty(TORUS, requests, faults, PARAMS)
+        # The simulator must degrade a private copy, never the input.
+        assert not hasattr(TORUS, "failed_links")
