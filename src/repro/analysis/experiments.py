@@ -448,6 +448,7 @@ def fault_campaign(
     params: SimParams = SimParams(),
     seed: int = 0,
     topology: Torus2D | None = None,
+    cache=None,
 ) -> list[dict[str, object]]:
     """Compiled-vs-dynamic degradation sweep over fiber-cut counts.
 
@@ -461,6 +462,9 @@ def fault_campaign(
     ``degree`` fixes the dynamic network's multiplexing degree;
     ``repair_after`` optionally restores every cut fiber that many
     slots later (intermittent-fault model).  Deterministic in ``seed``.
+    ``cache`` (an :class:`repro.service.cache.ArtifactCache`) lets the
+    compiled model's reschedules reuse previously compiled artifacts
+    for recurring degraded states.
     """
     from repro.simulator.compiled import simulate_compiled_faulty
     from repro.simulator.faults import FaultSchedule, random_fault_schedule
@@ -482,7 +486,9 @@ def fault_campaign(
             schedule = random_fault_schedule(
                 topo, n, horizon, repair_after=repair_after, seed=seed + n
             )
-        compiled = simulate_compiled_faulty(topo, requests, schedule, params)
+        compiled = simulate_compiled_faulty(
+            topo, requests, schedule, params, cache=cache
+        )
         dynamic = simulate_dynamic(
             topo, requests, degree, params, protocol=protocol, faults=schedule
         )

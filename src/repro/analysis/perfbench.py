@@ -82,3 +82,81 @@ def kernel_benchmark(
         "schedulers": schedulers,
         "counters": perf.snapshot(),
     }
+
+
+def cache_benchmark(
+    *,
+    repeats: int = 3,
+    topology: Topology | None = None,
+    scheduler: str = "combined",
+) -> dict:
+    """Cold vs warm artifact-cache compile of the densest instance.
+
+    Measures three service paths on all-to-all (registers included, the
+    full artifact): a **cold** compile into an empty cache, a **warm**
+    recompile of the same pattern, and a warm compile of a *translated*
+    variant (every endpoint shifted by one admissible torus offset),
+    which must also hit thanks to canonicalization.  Warm numbers are
+    the best of ``repeats``; cold is a single run per fresh cache,
+    repeated, keeping the minimum.  ``speedup`` = cold / warm -- the
+    compile-once-run-many ratio the CI perf gate asserts on.
+    """
+    from repro.analysis.experiments import paper_torus
+    from repro.service.cache import ArtifactCache
+    from repro.service.canonical import translation_group
+    from repro.service.compile import compile_pattern
+
+    topo = topology or paper_torus()
+    requests = all_to_all_pattern(topo.num_nodes)
+    group = translation_group(topo)
+    shift = next((t for t in group if any(t)), group[0])
+    coords = [topo.coords(v) for v in range(topo.num_nodes)]
+    sigma = [
+        topo.node_at([c + t for c, t in zip(coords[v], shift)])
+        for v in range(topo.num_nodes)
+    ]
+    translated = [(sigma[r.src], sigma[r.dst], r.size, r.tag) for r in requests]
+
+    cold = warm = moved = None
+    cache = None
+    for _ in range(max(1, repeats)):
+        cache = ArtifactCache()  # fresh -> genuinely cold
+        t0 = perf.perf_timer()
+        first = compile_pattern(
+            topo, requests, cache=cache, scheduler=scheduler,
+            include_registers=True,
+        )
+        elapsed = perf.perf_timer() - t0
+        assert first.cache == "miss"
+        cold = elapsed if cold is None else min(cold, elapsed)
+
+        t0 = perf.perf_timer()
+        again = compile_pattern(
+            topo, requests, cache=cache, scheduler=scheduler,
+            include_registers=True,
+        )
+        elapsed = perf.perf_timer() - t0
+        assert again.cache == "hit"
+        assert again.schedule_doc == first.schedule_doc
+        warm = elapsed if warm is None else min(warm, elapsed)
+
+        t0 = perf.perf_timer()
+        shifted = compile_pattern(
+            topo, translated, cache=cache, scheduler=scheduler,
+            include_registers=True,
+        )
+        elapsed = perf.perf_timer() - t0
+        assert shifted.cache == "hit" or not any(shift)
+        moved = elapsed if moved is None else min(moved, elapsed)
+
+    return {
+        "topology": topo.signature,
+        "scheduler": scheduler,
+        "connections": len(requests),
+        "repeats": repeats,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "translated_seconds": moved,
+        "speedup": cold / warm if warm else 0.0,
+        "cache_stats": cache.stats.as_dict(),
+    }

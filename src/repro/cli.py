@@ -225,21 +225,25 @@ def _print_trace(args) -> None:
 
 def _compile_artifact(args) -> None:
     from repro.compiler.recognition import recognize
-    from repro.compiler.serialize import save_artifact
-    from repro.core.paths import route_requests
-    from repro.core.registry import get_scheduler
+    from repro.compiler.serialize import save_artifact, schedule_from_dict
+    from repro.service import ArtifactCache, compile_pattern
     from repro.topology.torus import Torus2D
 
     topo = Torus2D(args.width, args.height)
     requests = recognize(json.loads(args.spec))
-    connections = route_requests(topo, requests)
-    schedule = get_scheduler(args.algorithm)(connections, topo)
-    schedule.validate(connections)
-    save_artifact(args.output, topo, schedule, name=args.spec)
-    print(
-        f"compiled {len(requests)} connections at degree {schedule.degree} "
-        f"({args.algorithm}) -> {args.output}"
+    cache = ArtifactCache(args.cache) if args.cache else None
+    result = compile_pattern(
+        topo, requests, cache=cache, scheduler=args.algorithm
     )
+    outcome = f"cache {result.cache}" if cache is not None else "no cache"
+    print(
+        f"compiled {len(requests)} connections at degree {result.degree} "
+        f"({args.algorithm}, {outcome}, {result.seconds * 1e3:.1f} ms)"
+    )
+    if args.output:
+        schedule, _ = schedule_from_dict(topo, result.schedule_doc)
+        save_artifact(args.output, topo, schedule, name=args.spec)
+        print(f"wrote {args.output}")
 
 
 def _print_perf(args) -> None:
@@ -287,6 +291,11 @@ def _print_faults(args) -> None:
     params = SimParams(seed=args.seed).with_(
         recompile_latency=args.recompile_latency
     )
+    cache = None
+    if args.cache:
+        from repro.service import ArtifactCache
+
+        cache = ArtifactCache(args.cache)
     rows = exp.fault_campaign(
         pattern=args.pattern,
         size=args.size,
@@ -296,6 +305,7 @@ def _print_faults(args) -> None:
         protocol=args.protocol,
         params=params,
         seed=args.seed,
+        cache=cache,
     )
     data = [
         (
@@ -318,9 +328,67 @@ def _print_faults(args) -> None:
             f"recompile latency {args.recompile_latency})"
         ),
     ))
+    if cache is not None:
+        s = cache.stats
+        print(
+            f"\nartifact cache: {s.hits} hits / {s.misses} misses "
+            f"({s.stores} stored)"
+        )
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(rows, fh, indent=2)
+        print(f"\nwrote {args.output}")
+
+
+def _serve(args) -> None:
+    import asyncio
+
+    from repro.service.server import CompileServer
+
+    async def run() -> None:
+        server = CompileServer(
+            cache=args.cache,
+            workers=args.workers if args.workers is not None else 0,
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            scheduler=args.algorithm,
+        )
+        await server.start()
+        where = server.address
+        if isinstance(where, tuple):
+            where = f"{where[0]}:{where[1]}"
+        cache_where = args.cache or "memory only"
+        print(f"compile server on {where} (cache: {cache_where})", flush=True)
+        try:
+            await server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            await server.shutdown()
+
+    asyncio.run(run())
+
+
+def _print_cachebench(args) -> None:
+    from repro.analysis.perfbench import cache_benchmark
+
+    report = cache_benchmark(repeats=args.repeats)
+    print(format_table(
+        ["phase", "time", "outcome"],
+        [
+            ("cold compile", f"{report['cold_seconds'] * 1e3:.1f} ms", "miss"),
+            ("warm compile", f"{report['warm_seconds'] * 1e3:.1f} ms", "hit"),
+            ("translated warm", f"{report['translated_seconds'] * 1e3:.1f} ms",
+             "hit"),
+        ],
+        title=(
+            f"Artifact cache: all-to-all on {report['topology']} "
+            f"(best of {args.repeats}; warm speedup "
+            f"{report['speedup']:.1f}x)"
+        ),
+    ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2)
         print(f"\nwrote {args.output}")
 
 
@@ -397,11 +465,30 @@ def main(argv: list[str] | None = None) -> int:
 
     pc = sub.add_parser("compile", help="compile a pattern spec to an artifact file")
     pc.add_argument("--spec", required=True)
-    pc.add_argument("--output", required=True, help="artifact JSON path")
+    pc.add_argument("--output", default=None, help="artifact JSON path")
     pc.add_argument("--algorithm", default="combined")
+    pc.add_argument("--cache", default=None,
+                    help="artifact cache directory (reused across runs)")
     pc.add_argument("--width", type=int, default=8)
     pc.add_argument("--height", type=int, default=8)
     pc.set_defaults(fn=_compile_artifact)
+
+    pv = sub.add_parser("serve", help="run the batch compile server")
+    pv.add_argument("--socket", default=None, help="unix socket path")
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=7853)
+    pv.add_argument("--cache", default=None, help="artifact cache directory")
+    pv.add_argument("--workers", type=_workers_arg, default=None,
+                    help="compile worker processes (default: in-process)")
+    pv.add_argument("--algorithm", default="combined")
+    pv.set_defaults(fn=_serve)
+
+    pcb = sub.add_parser(
+        "cachebench", help="cold vs warm artifact-cache compile benchmark"
+    )
+    pcb.add_argument("--repeats", type=int, default=3)
+    pcb.add_argument("--output", default=None, help="write the report as JSON")
+    pcb.set_defaults(fn=_print_cachebench)
 
     pp = sub.add_parser("perf", help="scheduling-kernel benchmark + perf counters")
     pp.add_argument("--kernel", choices=["bitmask", "set", "both"], default="both")
@@ -429,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
                     default="dropping")
     pf.add_argument("--recompile-latency", type=_nonneg_arg, default=3,
                     help="slots the compiled model pays per reschedule")
+    pf.add_argument("--cache", default=None,
+                    help="artifact cache directory for recompilations")
     pf.add_argument("--output", default=None, help="write rows as JSON")
     pf.set_defaults(fn=_print_faults)
 

@@ -20,7 +20,9 @@ bundle both plus metadata into one document.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -42,19 +44,72 @@ class ArtifactError(ValueError):
 
 
 # ----------------------------------------------------------------------
+# canonical JSON + digests
+# ----------------------------------------------------------------------
+
+def canonical_json(obj: Any) -> Any:
+    """Normalise ``obj`` so equal artifacts serialize identically.
+
+    Recursively
+
+    * coerces dict keys to strings (the only key type JSON has anyway),
+    * collapses integral floats to ints (``2.0`` and ``2`` must hash
+      the same -- the degree travels as an int in one process and may
+      come back as a float through a JSON round trip in another),
+    * rejects NaN/Inf, whose JSON spellings are implementation-defined.
+
+    Raises :class:`ArtifactError` for non-finite floats or types JSON
+    cannot represent, rather than letting ``json.dumps`` pick a
+    platform-dependent fallback.
+    """
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ArtifactError(f"non-finite float {obj!r} in artifact document")
+        return int(obj) if obj.is_integer() else obj
+    if isinstance(obj, dict):
+        return {str(k): canonical_json(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_json(v) for v in obj]
+    raise ArtifactError(f"type {type(obj).__name__} is not JSON-serialisable")
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace,
+    canonicalised scalars.  The same logical document produces the same
+    bytes in every process, which is what makes content-addressed
+    artifact caching possible."""
+    return json.dumps(
+        canonical_json(obj), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True, allow_nan=False,
+    )
+
+
+def artifact_digest(doc: dict[str, Any]) -> str:
+    """SHA-256 hex digest of a document's canonical encoding."""
+    return hashlib.sha256(canonical_dumps(doc).encode("ascii")).hexdigest()
+
+
+# ----------------------------------------------------------------------
 # schedules
 # ----------------------------------------------------------------------
 
 def schedule_to_dict(schedule: ConfigurationSet) -> dict[str, Any]:
-    """Serialise a configuration set (requests per slot)."""
+    """Serialise a configuration set (requests per slot).
+
+    The output is digest-stable: every field is coerced to a plain int
+    or str, so two processes serialising the same schedule produce
+    byte-identical canonical JSON (see :func:`artifact_digest`).
+    """
     return {
         "version": FORMAT_VERSION,
-        "scheduler": schedule.scheduler,
-        "degree": schedule.degree,
+        "scheduler": str(schedule.scheduler),
+        "degree": int(schedule.degree),
         "slots": [
             [
-                {"src": c.request.src, "dst": c.request.dst,
-                 "size": c.request.size, "tag": c.request.tag}
+                {"src": int(c.request.src), "dst": int(c.request.dst),
+                 "size": int(c.request.size), "tag": int(c.request.tag)}
                 for c in cfg
             ]
             for cfg in schedule
@@ -104,13 +159,14 @@ def schedule_from_dict(topology: Topology, data: dict[str, Any]) -> tuple[Config
 # ----------------------------------------------------------------------
 
 def registers_to_dict(regs: RegisterSchedule) -> dict[str, Any]:
-    """Serialise per-switch register words."""
+    """Serialise per-switch register words (digest-stable, see
+    :func:`schedule_to_dict`)."""
     return {
         "version": FORMAT_VERSION,
         "topology": regs.topology.signature,
-        "degree": regs.degree,
-        "words": {str(node): [list(w) for w in words]
-                  for node, words in regs.words.items()},
+        "degree": int(regs.degree),
+        "words": {str(node): [[int(p) for p in w] for w in words]
+                  for node, words in sorted(regs.words.items())},
     }
 
 
@@ -157,7 +213,9 @@ def save_artifact(
         "schedule": schedule_to_dict(schedule),
         "registers": registers_to_dict(regs),
     }
-    Path(path).write_text(json.dumps(doc, indent=1))
+    # Sorted keys so the file bytes (and hence any digest of them) do
+    # not depend on dict construction order.
+    Path(path).write_text(json.dumps(canonical_json(doc), indent=1, sort_keys=True))
 
 
 def load_artifact(

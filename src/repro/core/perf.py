@@ -45,6 +45,14 @@ class PerfCounters:
     route_cache_hits: int = 0
     #: route computations that had to run the routing algorithm.
     route_cache_misses: int = 0
+    #: compiled-artifact cache hits (memory or disk tier).
+    artifact_cache_hits: int = 0
+    #: artifact cache lookups that had to run a scheduler.
+    artifact_cache_misses: int = 0
+    #: artifacts written into the cache.
+    artifact_cache_stores: int = 0
+    #: memory-tier entries dropped by the LRU policy.
+    artifact_cache_evictions: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""
@@ -60,6 +68,10 @@ class PerfCounters:
         )
         out["fit_tests_per_second"] = (
             self.fit_tests / self.kernel_seconds if self.kernel_seconds > 0 else 0.0
+        )
+        compiles = self.artifact_cache_hits + self.artifact_cache_misses
+        out["artifact_cache_hit_rate"] = (
+            self.artifact_cache_hits / compiles if compiles else 0.0
         )
         return out
 

@@ -1,0 +1,48 @@
+"""Schedule compilation service -- the run-time face of compiled
+communication.
+
+The paper's premise is that connection scheduling happens **once**,
+off-line, and is reused at run time.  This package turns the compiler
+into exactly that: a service whose compiled schedules are
+content-addressed, persistent, servable artifacts.
+
+* :mod:`repro.service.canonical` -- pattern canonicalization under
+  torus translation symmetry, so shifted/relabelled instances of the
+  same pattern collapse to one cache entry;
+* :mod:`repro.service.cache` -- a two-tier (in-process LRU + on-disk)
+  content-addressed artifact store with atomic writes;
+* :mod:`repro.service.compile` -- the synchronous compile core gluing
+  canonicalization, the scheduler registry and the cache together;
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- an
+  asyncio JSON-lines batch compile server with in-flight request
+  deduplication, plus async and blocking clients;
+* :mod:`repro.service.specs` -- JSON topology specs (the wire format
+  naming a topology in a compile request).
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.canonical import (
+    CanonicalPattern,
+    canonicalize,
+    translation_group,
+)
+from repro.service.compile import CompileResult, CompileService, compile_pattern
+from repro.service.client import AsyncCompileClient, CompileClient
+from repro.service.server import CompileServer
+from repro.service.specs import topology_from_spec, topology_to_spec
+
+__all__ = [
+    "ArtifactCache",
+    "AsyncCompileClient",
+    "CacheStats",
+    "CanonicalPattern",
+    "CompileClient",
+    "CompileResult",
+    "CompileServer",
+    "CompileService",
+    "canonicalize",
+    "compile_pattern",
+    "topology_from_spec",
+    "topology_to_spec",
+    "translation_group",
+]

@@ -1,0 +1,195 @@
+"""Content-addressed artifact store for compiled schedules.
+
+Two tiers:
+
+* an **in-process LRU** of parsed documents (``memory_entries`` deep),
+  so a hot pattern costs a dict lookup;
+* an **on-disk store** under ``root/<digest[:2]>/<digest>.json`` that
+  survives processes and is shared between them.
+
+Disk writes are atomic (temp file + ``os.replace`` in the same
+directory), so concurrent writers -- several compile servers, the CLI
+and a fault campaign all pointed at one directory -- can never expose a
+half-written artifact; the worst case is both doing the same work and
+one rename winning.  Each file carries a ``payload_sha256`` over its
+canonical encoding; a corrupted or truncated entry fails that check on
+read, is quarantined (unlinked) and treated as a miss, because the
+compiler can always regenerate it.
+
+Hit/miss/store/eviction counts feed both a per-cache
+:class:`CacheStats` and the process-global perf counters
+(:mod:`repro.core.perf`), so ``repro-tdm perf``-style reporting sees
+cache behaviour alongside kernel and route-cache activity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any
+
+from repro.compiler.serialize import artifact_digest
+from repro.core import perf
+
+#: Default depth of the in-process LRU tier.
+DEFAULT_MEMORY_ENTRIES = 64
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ArtifactCache` instance."""
+
+    #: lookups answered from either tier.
+    hits: int = 0
+    #: of those, answered by the in-process LRU.
+    memory_hits: int = 0
+    #: of those, answered by a disk read.
+    disk_hits: int = 0
+    #: lookups that found nothing.
+    misses: int = 0
+    #: artifacts written.
+    stores: int = 0
+    #: memory-tier entries dropped by the LRU policy.
+    evictions: int = 0
+    #: disk entries that failed their integrity check and were removed.
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        out: dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        looked_up = self.hits + self.misses
+        out["hit_rate"] = self.hits / looked_up if looked_up else 0.0
+        return out
+
+
+class ArtifactCache:
+    """Two-tier content-addressed store of compiled-schedule documents.
+
+    Parameters
+    ----------
+    root:
+        Directory of the disk tier; created on first store.  ``None``
+        disables the disk tier (in-process LRU only).
+    memory_entries:
+        LRU depth of the in-process tier; ``0`` disables it.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = int(memory_entries)
+        self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> dict[str, Any] | None:
+        """The cached document for ``digest``, or ``None``.
+
+        Promotes disk hits into the memory tier.
+        """
+        doc = self._memory.get(digest)
+        if doc is not None:
+            self._memory.move_to_end(digest)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            perf.COUNTERS.artifact_cache_hits += 1
+            return doc
+        doc = self._disk_read(digest)
+        if doc is not None:
+            self._memory_put(digest, doc)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            perf.COUNTERS.artifact_cache_hits += 1
+            return doc
+        self.stats.misses += 1
+        perf.COUNTERS.artifact_cache_misses += 1
+        return None
+
+    def put(self, digest: str, doc: dict[str, Any]) -> None:
+        """Store ``doc`` under ``digest`` in both tiers (atomic on disk)."""
+        self._memory_put(digest, doc)
+        if self.root is not None:
+            self._disk_write(digest, doc)
+        self.stats.stores += 1
+        perf.COUNTERS.artifact_cache_stores += 1
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._memory or self._path(digest).is_file()
+
+    def __len__(self) -> int:
+        """Number of distinct artifacts reachable from this cache."""
+        on_disk = (
+            {p.stem for p in self.root.glob("??/*.json")}
+            if self.root is not None and self.root.is_dir()
+            else set()
+        )
+        return len(on_disk | set(self._memory))
+
+    # ------------------------------------------------------------------
+    # memory tier
+    # ------------------------------------------------------------------
+    def _memory_put(self, digest: str, doc: dict[str, Any]) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._memory[digest] = doc
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            perf.COUNTERS.artifact_cache_evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        if self.root is None:
+            return Path(os.devnull)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _disk_read(self, digest: str) -> dict[str, Any] | None:
+        if self.root is None:
+            return None
+        path = self._path(digest)
+        try:
+            wrapped = json.loads(path.read_text())
+            doc = wrapped["artifact"]
+            if artifact_digest(doc) != wrapped["payload_sha256"]:
+                raise ValueError("payload digest mismatch")
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt / truncated / tampered: quarantine and recompile.
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlinkers
+                pass
+            return None
+        return doc
+
+    def _disk_write(self, digest: str, doc: dict[str, Any]) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        wrapped = {"artifact": doc, "payload_sha256": artifact_digest(doc)}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(wrapped, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

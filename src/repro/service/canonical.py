@@ -1,0 +1,316 @@
+"""Pattern canonicalization under torus translation symmetry.
+
+A k-ary n-cube is vertex-transitive under coordinate translation: the
+map ``sigma_t(v) = v + t`` (per-dimension, mod the radix) permutes the
+nodes, carries every link onto a link of the same dimension/direction,
+and therefore carries any conflict-free schedule onto a conflict-free
+schedule of the translated pattern with the same multiplexing degree.
+Two patterns that differ only by such a translation -- e.g. the
+transpose pattern started from any grid offset, or a shift pattern
+rebased at another node -- are the *same* compilation problem, so the
+compile service collapses them onto one canonical representative and
+one cache entry.
+
+Admissible translations
+-----------------------
+Degree preservation needs the translation to be a **routing**
+symmetry, not merely a graph symmetry: the scheduler sees routed link
+sets, so ``route(sigma(s), sigma(d))`` must equal the link-translated
+``route(s, d)``.  Dimension-order routing chooses, per dimension, the
+signed offset ``signed_offset(src_c, dst_c)`` which depends only on
+``(dst_c - src_c) mod k`` -- translation-invariant -- *except* at
+half-ring ties (offset exactly ``k/2`` on an even radix), where the
+``BALANCED`` tie-break consults the source coordinate's parity.  Hence:
+
+* ``TieBreak.POSITIVE``: every translation is admissible;
+* ``TieBreak.BALANCED``: a translation is admissible iff its component
+  is even in every even-radix dimension (parity-preserving, so every
+  tie resolves identically).  Odd radices never tie and are
+  unrestricted.
+
+Topologies without translation symmetry (mesh, linear array, omega,
+fault-degraded wrappers) get the trivial group ``{identity}`` --
+canonicalization then only sorts the request list into a deterministic
+order.
+
+Canonical form
+--------------
+Requests are packed as integers ``((src * N + dst) << 36) | (size <<
+16) | tag`` (a numpy int64 fast path; arbitrary sizes fall back to
+tuples), translated by every admissible ``sigma``, sorted, and the
+lexicographically smallest image wins.  Ties between translations are
+broken by group enumeration order, so every process picks the same
+``sigma`` -- which matters because cache *responses* are translated
+back through ``sigma^-1`` and must be byte-identical across processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.requests import Request, RequestSet
+from repro.topology.kary_ncube import KAryNCube, TieBreak
+
+#: Packing limits of the int64 fast path: (src*N+dst) < 2**24 needs
+#: N <= 4096 nodes; sizes below 2**20 and tags below 2**16 then fit in
+#: the low 36 bits with no overlap (total < 2**61).
+_MAX_PACK_NODES = 4096
+_MAX_PACK_SIZE = 1 << 20
+_MAX_PACK_TAG = 1 << 16
+
+RequestTuple = tuple[int, int, int, int]  # (src, dst, size, tag)
+
+
+def translation_group(topology: Any) -> list[tuple[int, ...]]:
+    """Admissible translation vectors of ``topology``.
+
+    Returns coordinate offsets (one per dimension) for
+    :class:`KAryNCube` substrates, restricted to routing symmetries as
+    described in the module docstring; any other topology yields just
+    the identity.  The list order is deterministic (row-major product),
+    which fixes the canonical tie-break.
+    """
+    if not isinstance(topology, KAryNCube):
+        return [()]
+    ranges = []
+    for k in topology.dims:
+        if topology.tie_break is TieBreak.BALANCED and k % 2 == 0:
+            ranges.append(range(0, k, 2))
+        else:
+            ranges.append(range(k))
+    return [tuple(t) for t in itertools.product(*ranges)]
+
+
+def node_permutation(topology: Any, translation: tuple[int, ...]) -> list[int]:
+    """``sigma`` as a dense list: ``sigma[v]`` = image of node ``v``."""
+    if not translation or not any(translation):
+        return list(range(topology.num_nodes))
+    return [
+        topology.node_at([c + t for c, t in zip(topology.coords(v), translation)])
+        for v in range(topology.num_nodes)
+    ]
+
+
+def invert_permutation(sigma: Sequence[int]) -> list[int]:
+    """The inverse of a node permutation."""
+    inv = [0] * len(sigma)
+    for v, image in enumerate(sigma):
+        inv[image] = v
+    return inv
+
+
+def translate_link(topology: Any, link_id: int, sigma: Sequence[int]) -> int:
+    """Image of ``link_id`` under the node permutation ``sigma``.
+
+    Injection/ejection fibers follow their node; a transit fiber keeps
+    its dimension and direction but moves to the translated source
+    switch.  Only valid for permutations induced by translations (which
+    preserve per-node transit fan-out).
+    """
+    n = topology.num_nodes
+    if link_id < n:  # injection
+        return sigma[link_id]
+    if link_id < 2 * n:  # ejection
+        return n + sigma[link_id - n]
+    offset = link_id - topology.transit_link_base
+    fanout = 2 * len(topology.dims)
+    node, rest = divmod(offset, fanout)
+    return topology.transit_link_base + sigma[node] * fanout + rest
+
+
+@dataclass
+class CanonicalPattern:
+    """The canonical representative of a pattern's translation class.
+
+    Attributes
+    ----------
+    requests:
+        The canonical request tuples ``(src, dst, size, tag)``, sorted.
+    key_bytes:
+        Deterministic byte encoding of ``requests`` -- the pattern
+        component of the cache digest.
+    sigma:
+        Node permutation mapping the *submitted* pattern onto the
+        canonical one (``canonical request = sigma applied to original``).
+    sigma_inv:
+        Its inverse -- applied to cached artifacts before they are
+        served, so the caller gets a schedule in its own node ids.
+    translation:
+        The winning translation vector (``()`` for the identity on
+        asymmetric topologies).
+    """
+
+    requests: list[RequestTuple]
+    key_bytes: bytes
+    sigma: list[int]
+    sigma_inv: list[int]
+    translation: tuple[int, ...]
+
+    @property
+    def is_identity(self) -> bool:
+        return not any(self.translation)
+
+    def request_set(self) -> RequestSet:
+        """The canonical pattern as a schedulable :class:`RequestSet`."""
+        return RequestSet(
+            (Request(s, d, size=size, tag=tag) for s, d, size, tag in self.requests),
+            allow_duplicates=True,
+            name="canonical",
+        )
+
+
+def _as_tuples(requests: Sequence) -> list[RequestTuple]:
+    out = []
+    for r in requests:
+        if isinstance(r, tuple):
+            s, d, size, tag = (*r, 1, 0)[:4] if len(r) < 4 else r
+        else:
+            s, d, size, tag = r.src, r.dst, r.size, r.tag
+        out.append((int(s), int(d), int(size), int(tag)))
+    return out
+
+
+def _packable(n_nodes: int, tuples: list[RequestTuple]) -> bool:
+    return (
+        n_nodes <= _MAX_PACK_NODES
+        and all(
+            0 < size < _MAX_PACK_SIZE and 0 <= tag < _MAX_PACK_TAG
+            for _, _, size, tag in tuples
+        )
+    )
+
+
+def _unpack(packed: np.ndarray, n_nodes: int) -> list[RequestTuple]:
+    pairs = packed >> 36
+    sizes = (packed >> 16) & (_MAX_PACK_SIZE - 1)
+    tags = packed & (_MAX_PACK_TAG - 1)
+    return [
+        (int(p) // n_nodes, int(p) % n_nodes, int(size), int(tag))
+        for p, size, tag in zip(pairs, sizes, tags)
+    ]
+
+
+def canonicalize(topology: Any, requests: Sequence) -> CanonicalPattern:
+    """Canonical representative of ``requests`` on ``topology``.
+
+    ``requests`` may be a :class:`RequestSet`, a sequence of
+    :class:`Request`, or of ``(src, dst[, size[, tag]])`` tuples.  The
+    result is independent of the submitted request *order* and, on
+    translation-symmetric topologies, of any admissible translation of
+    the whole pattern.
+    """
+    tuples = _as_tuples(requests)
+    n = topology.num_nodes
+    group = translation_group(topology)
+
+    if _packable(n, tuples):
+        return _canonicalize_packed(topology, tuples, group)
+    return _canonicalize_tuples(topology, tuples, group)
+
+
+def _canonicalize_packed(
+    topology: Any, tuples: list[RequestTuple], group: list[tuple[int, ...]]
+) -> CanonicalPattern:
+    """int64 fast path: one vectorised sort per admissible translation."""
+    n = topology.num_nodes
+    src = np.fromiter((t[0] for t in tuples), dtype=np.int64, count=len(tuples))
+    dst = np.fromiter((t[1] for t in tuples), dtype=np.int64, count=len(tuples))
+    rest = np.fromiter(
+        ((t[2] << 16) | t[3] for t in tuples), dtype=np.int64, count=len(tuples)
+    )
+    # sigmas: (|group|, N) matrix of node images.
+    sigmas = np.asarray([node_permutation(topology, t) for t in group], dtype=np.int64)
+    images = np.sort((sigmas[:, src] * n + sigmas[:, dst]) << 36 | rest, axis=1)
+    best = 0
+    for i in range(1, images.shape[0]):
+        diff = np.nonzero(images[i] != images[best])[0]
+        if diff.size and images[i, diff[0]] < images[best, diff[0]]:
+            best = i
+    sigma = [int(v) for v in sigmas[best]]
+    return CanonicalPattern(
+        requests=_unpack(images[best], n),
+        key_bytes=b"packed\0" + images[best].astype("<i8").tobytes(),
+        sigma=sigma,
+        sigma_inv=invert_permutation(sigma),
+        translation=group[best],
+    )
+
+
+def _canonicalize_tuples(
+    topology: Any, tuples: list[RequestTuple], group: list[tuple[int, ...]]
+) -> CanonicalPattern:
+    """Fallback for huge node counts / sizes: plain tuple sorting."""
+    best_key: list[RequestTuple] | None = None
+    best_t: tuple[int, ...] = group[0]
+    best_sigma: list[int] = []
+    for t in group:
+        sigma = node_permutation(topology, t)
+        key = sorted((sigma[s], sigma[d], size, tag) for s, d, size, tag in tuples)
+        if best_key is None or key < best_key:
+            best_key, best_t, best_sigma = key, t, sigma
+    assert best_key is not None
+    encoded = ";".join(f"{s},{d},{size},{tag}" for s, d, size, tag in best_key)
+    return CanonicalPattern(
+        requests=best_key,
+        key_bytes=b"tuples\0" + encoded.encode("ascii"),
+        sigma=best_sigma,
+        sigma_inv=invert_permutation(best_sigma),
+        translation=best_t,
+    )
+
+
+# ----------------------------------------------------------------------
+# applying permutations to serialized artifacts
+# ----------------------------------------------------------------------
+
+def permute_schedule_dict(doc: dict, sigma: Sequence[int]) -> dict:
+    """A schedule document with every endpoint mapped through ``sigma``.
+
+    Slot structure, sizes and tags are untouched; used to translate a
+    canonical cached schedule back into the caller's node ids.
+    """
+    return {
+        **doc,
+        "slots": [
+            [
+                {**e, "src": sigma[e["src"]], "dst": sigma[e["dst"]]}
+                for e in slot
+            ]
+            for slot in doc["slots"]
+        ],
+    }
+
+
+def permute_registers_dict(topology: Any, doc: dict, sigma: Sequence[int]) -> dict:
+    """A register-image document translated through ``sigma``.
+
+    Each switch word is decoded to its link-level crossbar mapping,
+    every link is carried through the translation, and the mapping is
+    re-encoded at the image switch.  (Port indices are *not* simply
+    renamed: a switch's input ports are ordered by incoming link id,
+    which depends on the neighbours' absolute node ids.)
+    """
+    from repro.topology.switch import SwitchState, build_switches
+
+    switches = build_switches(topology)
+    words: dict[str, list[list[int]]] = {}
+    for node_str, node_words in doc["words"].items():
+        node = int(node_str)
+        image = sigma[node]
+        decoder, encoder = switches[node], switches[image]
+        out = []
+        for w in node_words:
+            state = decoder.decode(tuple(w))
+            mapped = SwitchState(image)
+            for in_link, out_link in state.mapping.items():
+                mapped.connect(
+                    translate_link(topology, in_link, sigma),
+                    translate_link(topology, out_link, sigma),
+                )
+            out.append(list(encoder.encode(mapped)))
+        words[str(image)] = out
+    return {**doc, "words": words}

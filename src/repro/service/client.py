@@ -1,0 +1,245 @@
+"""Clients for the JSON-lines compile server.
+
+:class:`AsyncCompileClient` speaks the protocol over an asyncio stream;
+:class:`CompileClient` is a blocking wrapper over a plain socket for
+scripts, the CLI and CI.  Both support TCP (``host``/``port``) and unix
+sockets (``socket_path``) and can be used as context managers::
+
+    with CompileClient(socket_path="/tmp/repro.sock") as c:
+        reply = c.compile({"kind": "torus", "width": 8},
+                          pattern={"pattern": "all-to-all", "nodes": 64})
+        assert reply["ok"] and reply["cache"] in ("hit", "miss")
+
+Server-side failures come back as ``{"ok": false, "error": ...}``; the
+helpers raise :class:`ServerError` for those so callers don't have to
+check two channels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from typing import Any
+
+
+#: Stream line-length ceiling, both directions.  A serialized 8x8
+#: all-to-all schedule with registers is a few hundred KiB on one line,
+#: well past asyncio's 64 KiB default.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+
+def _check(reply: dict[str, Any]) -> dict[str, Any]:
+    if not isinstance(reply, dict):
+        raise ServerError(f"malformed reply: {reply!r}")
+    if not reply.get("ok"):
+        raise ServerError(reply.get("error", "unknown server error"))
+    return reply
+
+
+def _compile_request(
+    topology: dict[str, Any],
+    *,
+    pattern: dict[str, Any] | None,
+    pairs: list | None,
+    scheduler: str | None,
+    registers: bool,
+    request_id: int,
+) -> dict[str, Any]:
+    req: dict[str, Any] = {"op": "compile", "id": request_id, "topology": topology}
+    if pattern is not None:
+        req["pattern"] = pattern
+    if pairs is not None:
+        req["pairs"] = [list(p) for p in pairs]
+    if scheduler is not None:
+        req["scheduler"] = scheduler
+    if registers:
+        req["registers"] = True
+    return req
+
+
+class AsyncCompileClient:
+    """One connection to a compile server, asyncio flavour."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        socket_path: str | None = None,
+    ) -> None:
+        self.host, self.port, self.socket_path = host, port, socket_path
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+
+    async def connect(self) -> "AsyncCompileClient":
+        if self.socket_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.socket_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncCompileClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def request(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Send one raw request object, await its reply line."""
+        assert self._reader is not None and self._writer is not None, "not connected"
+        self._writer.write(json.dumps(req).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServerError("server closed the connection")
+        return _check(json.loads(line))
+
+    async def ping(self) -> dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request({"op": "stats"})
+
+    async def shutdown(self) -> dict[str, Any]:
+        return await self.request({"op": "shutdown"})
+
+    async def compile(
+        self,
+        topology: dict[str, Any],
+        *,
+        pattern: dict[str, Any] | None = None,
+        pairs: list | None = None,
+        scheduler: str | None = None,
+        registers: bool = False,
+    ) -> dict[str, Any]:
+        self._next_id += 1
+        return await self.request(
+            _compile_request(
+                topology,
+                pattern=pattern,
+                pairs=pairs,
+                scheduler=scheduler,
+                registers=registers,
+                request_id=self._next_id,
+            )
+        )
+
+
+class CompileClient:
+    """Blocking client over a plain socket (CLI / CI / scripts)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        socket_path: str | None = None,
+        timeout: float | None = 60.0,
+    ) -> None:
+        self.host, self.port, self.socket_path = host, port, socket_path
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    def connect(self) -> "CompileClient":
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        return self
+
+    def wait_until_ready(self, deadline: float = 10.0, interval: float = 0.05) -> "CompileClient":
+        """Connect, retrying until the server is accepting or ``deadline``.
+
+        Lets callers start a server process and a client back-to-back
+        without racing the bind.
+        """
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                return self.connect()
+            except OSError:
+                if time.monotonic() >= end:
+                    raise
+                time.sleep(interval)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "CompileClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def request(self, req: dict[str, Any]) -> dict[str, Any]:
+        assert self._sock is not None and self._file is not None, "not connected"
+        self._sock.sendall(json.dumps(req).encode() + b"\n")
+        line = self._file.readline()
+        if not line:
+            raise ServerError("server closed the connection")
+        return _check(json.loads(line))
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def compile(
+        self,
+        topology: dict[str, Any],
+        *,
+        pattern: dict[str, Any] | None = None,
+        pairs: list | None = None,
+        scheduler: str | None = None,
+        registers: bool = False,
+    ) -> dict[str, Any]:
+        self._next_id += 1
+        return self.request(
+            _compile_request(
+                topology,
+                pattern=pattern,
+                pairs=pairs,
+                scheduler=scheduler,
+                registers=registers,
+                request_id=self._next_id,
+            )
+        )

@@ -1,0 +1,248 @@
+"""The synchronous compile core: canonicalize -> cache -> scheduler.
+
+Every compile -- whether issued by the CLI, the asyncio server, or the
+fault-recovery path of the compiled simulator -- goes through
+:func:`compile_pattern`:
+
+1. the pattern is canonicalized (:mod:`repro.service.canonical`), so
+   any translated/reordered instance maps to one digest;
+2. the digest keys the artifact cache; a hit skips the scheduler
+   entirely;
+3. a miss routes and schedules the *canonical* pattern, validates the
+   result, serialises it (schedule, and optionally the register image)
+   and stores it under the digest;
+4. either way, the canonical artifact is translated back through the
+   inverse node permutation before being returned, so the caller sees
+   its own node ids.
+
+Because both the cold and the warm path serve the stored canonical
+document through the same translation, a cache hit is byte-identical
+(post-serialization) to the cold compile that populated it -- asserted
+by the test suite.
+
+Determinism note: the service always schedules the canonical request
+*order* (sorted), so order-sensitive schedulers (the paper's greedy)
+see one fixed order per equivalence class.  That is the price of
+collapsing relabelled instances; the paper's production schedulers are
+priority-driven and unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.compiler.serialize import FORMAT_VERSION, schedule_to_dict
+from repro.core import perf
+from repro.core.linkmask import resolve_kernel
+from repro.core.paths import route_requests
+from repro.core.registry import get_scheduler
+from repro.service.cache import ArtifactCache
+from repro.service.canonical import (
+    CanonicalPattern,
+    canonicalize,
+    permute_registers_dict,
+    permute_schedule_dict,
+)
+from repro.topology.base import Topology
+
+
+def compile_digest(
+    topology: Topology,
+    canonical: CanonicalPattern,
+    scheduler: str,
+    kernel: str | None,
+) -> str:
+    """Stable content address of one compilation problem.
+
+    Keyed by (artifact format version, topology signature -- which
+    already encodes every routing-relevant parameter, scheduler name,
+    placement kernel, canonical pattern bytes).  Anything that can
+    change the produced schedule must appear here; bumping
+    ``FORMAT_VERSION`` retires every old entry at once.
+    """
+    h = hashlib.sha256()
+    header = (
+        f"repro-artifact/v{FORMAT_VERSION}\0{topology.signature}\0"
+        f"{scheduler}\0{resolve_kernel(kernel)}\0"
+    )
+    h.update(header.encode("ascii"))
+    h.update(canonical.key_bytes)
+    return h.hexdigest()
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one service compile.
+
+    ``schedule_doc`` (and ``registers_doc`` when requested) are in the
+    *caller's* node ids; feed them to
+    :func:`repro.compiler.serialize.schedule_from_dict` /
+    ``registers_from_dict``, which re-validate on load.
+    """
+
+    digest: str
+    #: ``"hit"`` or ``"miss"`` (the server adds ``"inflight"``).
+    cache: str
+    degree: int
+    schedule_doc: dict[str, Any]
+    registers_doc: dict[str, Any] | None
+    #: wall-clock seconds this compile spent in the service.
+    seconds: float
+    #: canonicalizing translation applied (``()``/all-zero = identity).
+    translation: tuple[int, ...]
+
+
+def build_canonical_artifact(
+    topology: Topology,
+    canonical_requests: Sequence[tuple[int, int, int, int]],
+    scheduler: str = "combined",
+    *,
+    include_registers: bool = True,
+) -> dict[str, Any]:
+    """Cold-compile a canonical pattern into a cacheable document.
+
+    Pure function of its arguments (runs the scheduler; no cache
+    access), so it can execute in a worker process.  The schedule is
+    validated before serialisation -- an illegal schedule can never
+    enter a cache.
+    """
+    from repro.core.requests import Request, RequestSet
+
+    requests = RequestSet(
+        (Request(s, d, size=size, tag=tag)
+         for s, d, size, tag in canonical_requests),
+        allow_duplicates=True,
+        name="canonical",
+    )
+    connections = route_requests(topology, requests)
+    schedule = get_scheduler(scheduler)(connections, topology)
+    schedule.validate(connections)
+    doc: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "topology": topology.signature,
+        "scheduler": scheduler,
+        "schedule": schedule_to_dict(schedule),
+    }
+    if include_registers:
+        from repro.compiler.codegen import generate_registers
+        from repro.compiler.serialize import registers_to_dict
+
+        doc["registers"] = registers_to_dict(
+            generate_registers(topology, schedule)
+        )
+    return doc
+
+
+def compile_pattern(
+    topology: Topology,
+    requests: Sequence,
+    *,
+    cache: ArtifactCache | None = None,
+    scheduler: str = "combined",
+    kernel: str | None = None,
+    include_registers: bool = False,
+) -> CompileResult:
+    """Compile ``requests`` on ``topology`` through the artifact cache.
+
+    With ``cache=None`` the compile still runs (cold) but nothing is
+    stored.  ``include_registers`` additionally returns (and caches)
+    the switch register image.
+    """
+    t0 = perf.perf_timer()
+    canonical = canonicalize(topology, requests)
+    digest = compile_digest(topology, canonical, scheduler, kernel)
+
+    doc = cache.get(digest) if cache is not None else None
+    outcome = "hit"
+    if doc is not None and include_registers and "registers" not in doc:
+        # Cached by a schedule-only compile; upgrade the entry in place.
+        doc = None
+    if doc is None:
+        outcome = "miss"
+        if cache is None:
+            perf.COUNTERS.artifact_cache_misses += 1
+        doc = build_canonical_artifact(
+            topology, canonical.requests, scheduler,
+            include_registers=include_registers,
+        )
+        if cache is not None:
+            cache.put(digest, doc)
+
+    schedule_doc = doc["schedule"]
+    registers_doc = doc.get("registers") if include_registers else None
+    if not canonical.is_identity:
+        schedule_doc = permute_schedule_dict(schedule_doc, canonical.sigma_inv)
+        if registers_doc is not None:
+            registers_doc = permute_registers_dict(
+                topology, registers_doc, canonical.sigma_inv
+            )
+    return CompileResult(
+        digest=digest,
+        cache=outcome,
+        degree=int(schedule_doc["degree"]),
+        schedule_doc=schedule_doc,
+        registers_doc=registers_doc,
+        seconds=perf.perf_timer() - t0,
+        translation=canonical.translation,
+    )
+
+
+class CompileService:
+    """A cache-bound compile front-end (what the server wraps).
+
+    Keeps per-outcome latency accumulators so a long-running server can
+    report cold vs warm service times.
+    """
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        *,
+        scheduler: str = "combined",
+        kernel: str | None = None,
+    ) -> None:
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.default_scheduler = scheduler
+        self.default_kernel = kernel
+        self.latency: dict[str, dict[str, float]] = {
+            "miss": {"count": 0, "seconds": 0.0},
+            "hit": {"count": 0, "seconds": 0.0},
+        }
+
+    def compile(
+        self,
+        topology: Topology,
+        requests: Sequence,
+        *,
+        scheduler: str | None = None,
+        kernel: str | None = None,
+        include_registers: bool = False,
+    ) -> CompileResult:
+        result = compile_pattern(
+            topology,
+            requests,
+            cache=self.cache,
+            scheduler=scheduler or self.default_scheduler,
+            kernel=kernel if kernel is not None else self.default_kernel,
+            include_registers=include_registers,
+        )
+        bucket = self.latency[result.cache]
+        bucket["count"] += 1
+        bucket["seconds"] += result.seconds
+        return result
+
+    def stats(self) -> dict[str, Any]:
+        """Cache counters plus mean service latency per outcome."""
+        out: dict[str, Any] = {"cache": self.cache.stats.as_dict()}
+        latency = {}
+        for outcome, bucket in self.latency.items():
+            n = int(bucket["count"])
+            latency[outcome] = {
+                "count": n,
+                "seconds": bucket["seconds"],
+                "mean_seconds": bucket["seconds"] / n if n else 0.0,
+            }
+        out["latency"] = latency
+        return out

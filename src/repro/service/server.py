@@ -1,0 +1,341 @@
+"""Asyncio JSON-lines compile server.
+
+Protocol: one JSON object per line, one response line per request.
+
+Verbs::
+
+    {"op": "ping"}
+    {"op": "compile", "id": 7, "topology": {"kind": "torus", "width": 8},
+     "pattern": {"pattern": "all-to-all", "nodes": 64},
+     "scheduler": "combined", "registers": false}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+``pattern`` is a declarative spec (:mod:`repro.compiler.recognition`);
+``pairs`` -- a list of ``[src, dst]``/``[src, dst, size]``/``[src, dst,
+size, tag]`` rows -- is accepted instead.  Responses echo ``id`` and
+carry ``ok``; a compile response adds ``digest``, ``cache``
+(``hit``/``miss``/``inflight``), ``degree``, ``seconds`` and the
+serialized ``schedule`` (plus ``registers`` when requested).
+
+Execution model
+---------------
+The event loop only parses requests, canonicalizes patterns and serves
+cache hits; scheduler runs are fanned out to a worker pool.  Identical
+in-flight requests (same digest) are **deduplicated**: followers await
+the leader's future and are answered from the same artifact with
+``cache: "inflight"`` -- N concurrent identical requests trigger
+exactly one scheduler run.  Distinct requests batch naturally across
+the pool (``workers`` processes, reusing the perf-counter shipping of
+:mod:`repro.analysis.parallel`); ``workers=0`` runs compiles on a
+single worker thread instead, which tests use to keep everything
+monkeypatchable in one process.
+
+Shutdown drains: the listener closes first, in-flight compiles finish
+and are answered, then the pool is torn down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+from repro.analysis.parallel import _run_isolated, resolve_workers
+from repro.core import perf
+from repro.service.cache import ArtifactCache
+from repro.service.client import MAX_LINE_BYTES
+from repro.service.compile import CompileService, compile_digest
+from repro.service.canonical import (
+    canonicalize,
+    permute_registers_dict,
+    permute_schedule_dict,
+)
+from repro.service import compile as _compile_mod
+from repro.service.specs import topology_from_spec
+
+
+class ProtocolError(ValueError):
+    """A request line the server cannot serve."""
+
+
+def _worker_compile(task: dict[str, Any]) -> dict[str, Any]:
+    """Top-level (picklable) worker: cold-compile a canonical pattern."""
+    topology = topology_from_spec(task["topology_spec"])
+    return _compile_mod.build_canonical_artifact(
+        topology,
+        [tuple(r) for r in task["requests"]],
+        task["scheduler"],
+        include_registers=task["include_registers"],
+    )
+
+
+def _parse_pattern(req: dict[str, Any]) -> list[tuple[int, int, int, int]]:
+    """Request tuples from either a ``pattern`` spec or a ``pairs`` list."""
+    if "pattern" in req:
+        from repro.compiler.recognition import recognize
+
+        return [(r.src, r.dst, r.size, r.tag) for r in recognize(req["pattern"])]
+    if "pairs" in req:
+        out = []
+        for row in req["pairs"]:
+            if not 2 <= len(row) <= 4:
+                raise ProtocolError(f"bad pair row {row!r}")
+            s, d, *rest = row
+            size = int(rest[0]) if rest else 1
+            tag = int(rest[1]) if len(rest) > 1 else 0
+            out.append((int(s), int(d), size, tag))
+        return out
+    raise ProtocolError("compile request needs 'pattern' or 'pairs'")
+
+
+class CompileServer:
+    """The batch compile server.
+
+    Parameters
+    ----------
+    cache:
+        Shared :class:`ArtifactCache` (or a directory path for its disk
+        tier; ``None`` = memory-only).
+    workers:
+        Worker processes for cold compiles (int or ``"auto"``);
+        ``0`` uses one worker *thread* (single-process mode for tests).
+    host, port:
+        TCP endpoint (``port=0`` binds an ephemeral port, read it back
+        from :attr:`address`).  Mutually exclusive with ``socket_path``.
+    socket_path:
+        Unix-domain socket endpoint (preferred for local tooling/CI).
+    """
+
+    def __init__(
+        self,
+        cache: ArtifactCache | str | None = None,
+        *,
+        workers: int | str | None = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | None = None,
+        scheduler: str = "combined",
+    ) -> None:
+        if isinstance(cache, ArtifactCache):
+            self.cache = cache
+        else:
+            self.cache = ArtifactCache(cache)
+        self.service = CompileService(self.cache, scheduler=scheduler)
+        self.workers = 0 if workers == 0 else (resolve_workers(workers) or 1)
+        self.host, self.port, self.socket_path = host, port, socket_path
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending: set[asyncio.Future] = set()
+        self._shutdown = asyncio.Event()
+        self.requests_served = 0
+        self.inflight_coalesced = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int] | str:
+        """Bound endpoint: ``(host, port)`` or the unix socket path."""
+        if self.socket_path is not None:
+            return self.socket_path
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "CompileServer":
+        """Bind the endpoint and start accepting connections."""
+        if self.workers == 0:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-compile"
+            )
+        else:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.socket_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port,
+                limit=MAX_LINE_BYTES,
+            )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or the ``shutdown`` verb)."""
+        assert self._server is not None, "call start() first"
+        await self._shutdown.wait()
+
+    async def shutdown(self) -> None:
+        """Drain cleanly: stop accepting, finish in-flight work, stop."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pending:
+            await asyncio.gather(*self._pending, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("op") == "shutdown":
+                    # Answer first, then drain in the background so the
+                    # client is not held hostage to slow stragglers.
+                    asyncio.ensure_future(self.shutdown())
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict[str, Any]:
+        try:
+            req = json.loads(line)
+            if not isinstance(req, dict):
+                raise ProtocolError("request must be a JSON object")
+            op = req.get("op", "compile")
+            self.requests_served += 1
+            if op == "ping":
+                return self._reply(req, op="ping")
+            if op == "stats":
+                return self._reply(req, op="stats", **self._stats())
+            if op == "shutdown":
+                return self._reply(req, op="shutdown")
+            if op == "compile":
+                return await self._compile(req)
+            raise ProtocolError(f"unknown op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            req = req if isinstance(locals().get("req"), dict) else {}
+            return {
+                "id": req.get("id"),
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    def _reply(self, req: dict[str, Any], **payload: Any) -> dict[str, Any]:
+        return {"id": req.get("id"), "ok": True, **payload}
+
+    def _stats(self) -> dict[str, Any]:
+        return {
+            **self.service.stats(),
+            "inflight": len(self._inflight),
+            "inflight_coalesced": self.inflight_coalesced,
+            "requests": self.requests_served,
+            "workers": self.workers,
+        }
+
+    # ------------------------------------------------------------------
+    # the compile verb
+    # ------------------------------------------------------------------
+    async def _compile(self, req: dict[str, Any]) -> dict[str, Any]:
+        t0 = perf.perf_timer()
+        if "topology" not in req:
+            raise ProtocolError("compile request needs 'topology'")
+        topology = topology_from_spec(req["topology"])
+        scheduler = req.get("scheduler") or self.service.default_scheduler
+        include_registers = bool(req.get("registers", False))
+        tuples = _parse_pattern(req)
+        canonical = canonicalize(topology, tuples)
+        digest = compile_digest(topology, canonical, scheduler, req.get("kernel"))
+
+        outcome = "hit"
+        doc = self.cache.get(digest)
+        if doc is not None and include_registers and "registers" not in doc:
+            doc = None
+        if doc is None:
+            leader = self._inflight.get(digest)
+            if leader is not None:
+                # Identical request already compiling: await its result.
+                self.inflight_coalesced += 1
+                doc = await asyncio.shield(leader)
+                outcome = "inflight"
+            else:
+                outcome = "miss"
+                doc = await self._lead_compile(
+                    digest, req["topology"], canonical.requests, scheduler,
+                    include_registers,
+                )
+
+        schedule_doc = doc["schedule"]
+        registers_doc = doc.get("registers") if include_registers else None
+        if not canonical.is_identity:
+            schedule_doc = permute_schedule_dict(schedule_doc, canonical.sigma_inv)
+            if registers_doc is not None:
+                registers_doc = permute_registers_dict(
+                    topology, registers_doc, canonical.sigma_inv
+                )
+        seconds = perf.perf_timer() - t0
+        bucket = self.service.latency["hit" if outcome != "miss" else "miss"]
+        bucket["count"] += 1
+        bucket["seconds"] += seconds
+        out = self._reply(
+            req,
+            op="compile",
+            digest=digest,
+            cache=outcome,
+            degree=int(schedule_doc["degree"]),
+            seconds=seconds,
+            schedule=schedule_doc,
+        )
+        if registers_doc is not None:
+            out["registers"] = registers_doc
+        return out
+
+    async def _lead_compile(
+        self,
+        digest: str,
+        topology_spec: dict[str, Any],
+        canonical_requests: list[tuple[int, int, int, int]],
+        scheduler: str,
+        include_registers: bool,
+    ) -> dict[str, Any]:
+        """Run one cold compile on the pool, publishing it for followers."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[digest] = future
+        self._pending.add(future)
+        task = {
+            "topology_spec": topology_spec,
+            "requests": [list(r) for r in canonical_requests],
+            "scheduler": scheduler,
+            "include_registers": include_registers,
+        }
+        try:
+            doc, counters = await loop.run_in_executor(
+                self._executor, _run_isolated, (_worker_compile, task)
+            )
+            if self.workers:  # thread mode shares the global counters already
+                perf.COUNTERS.merge(counters)
+            self.cache.put(digest, doc)
+            future.set_result(doc)
+            return doc
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        finally:
+            self._inflight.pop(digest, None)
+            self._pending.discard(future)
+            # A failed leader must not crash followers with "exception
+            # was never retrieved" noise if none are waiting.
+            if future.done() and future.exception() is not None:
+                future.exception()

@@ -1,0 +1,109 @@
+"""JSON topology specs -- how compile requests name a topology.
+
+A spec is a plain dict, e.g.::
+
+    {"kind": "torus", "width": 8, "height": 8}
+    {"kind": "ring", "nodes": 16, "tie_break": "positive"}
+    {"kind": "kary", "dims": [4, 4, 4]}
+    {"kind": "faulty", "base": {"kind": "torus", "width": 8}, "failed": [130]}
+
+:func:`topology_from_spec` builds the topology; :func:`topology_to_spec`
+is its inverse for the concrete classes the service knows about.  The
+*digest* key of a cached artifact uses ``topology.signature`` (which
+already encodes every routing-relevant parameter), so specs only need
+to be faithful, not canonical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.topology.base import Topology
+from repro.topology.faults import FaultyTopology
+from repro.topology.kary_ncube import KAryNCube, TieBreak
+from repro.topology.linear import LinearArray
+from repro.topology.mesh import Mesh2D
+from repro.topology.omega import OmegaNetwork
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+
+class TopologySpecError(ValueError):
+    """A malformed or unrecognised topology spec."""
+
+
+def _tie_break(spec: Mapping) -> TieBreak:
+    name = spec.get("tie_break", TieBreak.BALANCED.value)
+    try:
+        return TieBreak(name)
+    except ValueError:
+        raise TopologySpecError(
+            f"unknown tie_break {name!r}; choose one of "
+            f"{[t.value for t in TieBreak]}"
+        ) from None
+
+
+def topology_from_spec(spec: Mapping) -> Topology:
+    """Build a topology from its JSON spec.
+
+    Raises :class:`TopologySpecError` for unknown kinds or missing
+    fields.
+    """
+    if not isinstance(spec, Mapping) or "kind" not in spec:
+        raise TopologySpecError(f"topology spec needs a 'kind' key: {spec!r}")
+    kind = spec["kind"]
+    try:
+        if kind == "torus":
+            width = int(spec["width"])
+            return Torus2D(width, int(spec.get("height", width)),
+                           tie_break=_tie_break(spec))
+        if kind == "mesh":
+            width = int(spec["width"])
+            return Mesh2D(width, int(spec.get("height", width)))
+        if kind == "ring":
+            return Ring(int(spec["nodes"]), tie_break=_tie_break(spec))
+        if kind == "linear":
+            return LinearArray(int(spec["nodes"]))
+        if kind == "omega":
+            return OmegaNetwork(int(spec["nodes"]))
+        if kind == "kary":
+            return KAryNCube([int(k) for k in spec["dims"]],
+                             tie_break=_tie_break(spec))
+        if kind == "faulty":
+            base = topology_from_spec(spec["base"])
+            return FaultyTopology(base, [int(l) for l in spec.get("failed", ())])
+    except KeyError as exc:
+        raise TopologySpecError(
+            f"topology spec {kind!r} is missing key {exc.args[0]!r}"
+        ) from None
+    raise TopologySpecError(f"unknown topology kind {kind!r}")
+
+
+def topology_to_spec(topology: Topology) -> dict[str, Any]:
+    """Inverse of :func:`topology_from_spec` for known classes."""
+    if isinstance(topology, FaultyTopology):
+        return {
+            "kind": "faulty",
+            "base": topology_to_spec(topology.base),
+            "failed": sorted(topology.failed_links),
+        }
+    if isinstance(topology, Torus2D):
+        return {"kind": "torus", "width": topology.width,
+                "height": topology.height,
+                "tie_break": topology.tie_break.value}
+    if isinstance(topology, Ring):
+        return {"kind": "ring", "nodes": topology.num_nodes,
+                "tie_break": topology.tie_break.value}
+    if isinstance(topology, KAryNCube):
+        return {"kind": "kary", "dims": list(topology.dims),
+                "tie_break": topology.tie_break.value}
+    if isinstance(topology, Mesh2D):
+        return {"kind": "mesh", "width": topology.width,
+                "height": topology.height}
+    if isinstance(topology, LinearArray):
+        return {"kind": "linear", "nodes": topology.num_nodes}
+    if isinstance(topology, OmegaNetwork):
+        return {"kind": "omega", "nodes": topology.num_nodes}
+    raise TopologySpecError(
+        f"no spec form for topology class {type(topology).__name__}"
+    )

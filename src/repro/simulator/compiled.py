@@ -169,6 +169,7 @@ def simulate_compiled_faulty(
     params: SimParams = SimParams(),
     *,
     scheduler: str = "combined",
+    cache=None,
 ) -> CompiledFaultResult:
     """Compiled run of ``requests`` under a runtime fault schedule.
 
@@ -180,6 +181,16 @@ def simulate_compiled_faulty(
     them equivalent to scheduling on a pre-run
     :class:`~repro.topology.faults.FaultyTopology`.  With an empty
     schedule this reduces exactly to :func:`compiled_completion_time`.
+
+    ``cache`` (an :class:`repro.service.cache.ArtifactCache`) routes
+    every (re)compilation through the artifact cache: repeated faults
+    that leave the network in a previously-compiled degraded state --
+    common in long campaigns that cut and repair the same fibers --
+    reuse the stored schedule and pay only the simulated
+    ``recompile_latency``, no host-side scheduler run.  Cached compiles
+    schedule the *canonical* form of the remainder, so slot numbering
+    (not validity or simulated cost model) can differ from an uncached
+    run when the scheduler is sensitive to request order.
     """
     from repro.topology.base import RoutingError
     from repro.topology.faults import FaultyTopology
@@ -223,13 +234,44 @@ def simulate_compiled_faulty(
         if not live:
             degrees.append(degree)
             return
-        sub = RequestSet.from_sized_pairs(
-            [(messages[mid].src, messages[mid].dst, remaining[mid]) for mid in live]
-        )
         # A pristine wrapper routes identically to its base but hides
         # the concrete type from structure-aware schedulers (AAPC), so
         # compile on the base until a failure is actually in force.
         sched_topo = topo if topo.failed_links else topo.base
+        if cache is not None:
+            from repro.service.compile import compile_pattern
+
+            # Tag each sub-request with its message id so the cached
+            # (canonical, detranslated) slot entries map back to
+            # messages regardless of request order.
+            tuples = [
+                (messages[mid].src, messages[mid].dst, remaining[mid], mid)
+                for mid in live
+            ]
+            try:
+                result = compile_pattern(
+                    sched_topo, tuples, cache=cache, scheduler=scheduler
+                )
+            except RoutingError:
+                result = compile_pattern(
+                    sched_topo, tuples, cache=cache, scheduler="coloring"
+                )
+            degree = max(result.degree, 1)
+            degrees.append(result.degree)
+            for slot_idx, entries in enumerate(result.schedule_doc["slots"]):
+                for e in entries:
+                    mid = e["tag"]
+                    slots[mid] = slot_idx
+                    messages[mid].slot = slot_idx
+                    messages[mid].established = start
+            for mid in live:
+                routes[mid] = frozenset(
+                    sched_topo.route(messages[mid].src, messages[mid].dst)
+                )
+            return
+        sub = RequestSet.from_sized_pairs(
+            [(messages[mid].src, messages[mid].dst, remaining[mid]) for mid in live]
+        )
         connections = route_requests(sched_topo, sub)
         try:
             schedule = get_scheduler(scheduler)(connections, sched_topo)

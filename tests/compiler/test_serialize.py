@@ -120,3 +120,69 @@ class TestArtifactFiles:
         save_artifact(path, torus8, schedule)
         with pytest.raises(ArtifactError, match="loader topology"):
             load_artifact(path, torus4)
+
+
+class TestCanonicalJson:
+    def test_sorts_keys_and_compacts(self):
+        from repro.compiler.serialize import canonical_dumps
+
+        assert canonical_dumps({"b": 1, "a": [2, {"z": 3, "y": 4}]}) == (
+            '{"a":[2,{"y":4,"z":3}],"b":1}'
+        )
+
+    def test_integral_floats_coerced(self):
+        from repro.compiler.serialize import canonical_dumps
+
+        assert canonical_dumps({"k": 3.0}) == canonical_dumps({"k": 3})
+        assert canonical_dumps(2.5) == "2.5"
+
+    def test_non_finite_rejected(self):
+        from repro.compiler.serialize import canonical_dumps
+
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ArtifactError, match="non-finite"):
+                canonical_dumps({"k": bad})
+
+    def test_non_string_keys_coerced(self):
+        from repro.compiler.serialize import canonical_dumps
+
+        assert canonical_dumps({1: "x"}) == canonical_dumps({"1": "x"})
+
+    def test_unsupported_types_rejected(self):
+        from repro.compiler.serialize import canonical_dumps
+
+        with pytest.raises(ArtifactError, match="type"):
+            canonical_dumps({"k": {1, 2}})
+
+
+class TestArtifactDigest:
+    def test_golden_digest_of_fixed_doc(self):
+        # Pins the canonical encoding itself.  If this moves, every
+        # payload_sha256 in every cache directory is invalidated --
+        # intended only alongside a FORMAT_VERSION bump.
+        from repro.compiler.serialize import artifact_digest
+
+        doc = {"version": 1, "b": [1, 2.0], "a": {"nested": True, "s": "x"}}
+        assert artifact_digest(doc) == (
+            "c4ff8fc4b1e10321a0e0b9c36d790116e9f4e17b7c2032947825ac3223244b0d"
+        )
+
+    def test_key_order_invariant(self):
+        from repro.compiler.serialize import artifact_digest
+
+        assert artifact_digest({"a": 1, "b": 2}) == artifact_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_golden_digest_of_compiled_schedule(self, torus4):
+        # End-to-end determinism: routing + coloring + serialisation
+        # must be byte-stable across processes and platforms.
+        from repro.compiler.serialize import artifact_digest
+        from repro.core.coloring import coloring_schedule
+        from repro.patterns.classic import transpose_pattern
+
+        requests = transpose_pattern(4)
+        schedule = coloring_schedule(route_requests(torus4, requests))
+        assert artifact_digest(schedule_to_dict(schedule)) == (
+            "68be61eab1b0072a09f70244df715e1899ae20519174ea6e0968686d4c88a82f"
+        )

@@ -109,3 +109,65 @@ class TestTools:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServiceCommands:
+    def test_compile_with_cache_hits_second_time(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        spec = '{"pattern": "transpose", "width": 8}'
+        assert main(["compile", "--spec", spec, "--cache", cache_dir]) == 0
+        assert "cache miss" in capsys.readouterr().out
+        assert main(["compile", "--spec", spec, "--cache", cache_dir]) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_compile_without_output_or_cache(self, capsys):
+        assert main([
+            "compile", "--spec", '{"pattern": "pairs", "pairs": [[0, 1]]}',
+        ]) == 0
+        assert "no cache" in capsys.readouterr().out
+
+    def test_cachebench(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_cache.json"
+        assert main(["cachebench", "--repeats", "1", "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "warm speedup" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["speedup"] > 1.0
+        assert doc["cache_stats"]["hits"] >= 2  # warm + translated
+
+    def test_faults_with_cache(self, tmp_path, capsys):
+        assert main([
+            "faults", "--faults", "0", "--cache", str(tmp_path / "cache"),
+        ]) == 0
+        assert "artifact cache:" in capsys.readouterr().out
+
+    def test_serve_client_roundtrip(self, tmp_path):
+        # The CI smoke flow in-process: server on a unix socket, two
+        # identical compiles, second must be a cache hit.
+        import asyncio
+
+        from repro.service.client import AsyncCompileClient
+        from repro.service.server import CompileServer
+
+        sock = str(tmp_path / "compile.sock")
+
+        async def go():
+            server = CompileServer(
+                cache=str(tmp_path / "cache"), socket_path=sock
+            )
+            await server.start()
+            try:
+                async with AsyncCompileClient(socket_path=sock) as c:
+                    first = await c.compile(
+                        {"kind": "torus", "width": 8},
+                        pattern={"pattern": "all-to-all", "nodes": 64},
+                    )
+                    second = await c.compile(
+                        {"kind": "torus", "width": 8},
+                        pattern={"pattern": "all-to-all", "nodes": 64},
+                    )
+                return first["cache"], second["cache"]
+            finally:
+                await server.shutdown()
+
+        assert asyncio.run(go()) == ("miss", "hit")

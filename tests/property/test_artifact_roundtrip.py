@@ -1,0 +1,140 @@
+"""Artifact round-trip properties: every topology x every scheduler.
+
+``save_artifact``/``load_artifact`` is the trust boundary of the whole
+compile-once story (and of the service cache built on the same
+serialisation), so the round trip is exercised over the full registry
+on every topology family, plus tampered-file rejection.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler.codegen import decode_registers
+from repro.compiler.serialize import (
+    ArtifactError,
+    load_artifact,
+    save_artifact,
+)
+from repro.core.paths import route_requests
+from repro.core.registry import get_scheduler, scheduler_names
+from repro.core.requests import RequestSet
+from repro.topology.kary_ncube import KAryNCube
+from repro.topology.linear import LinearArray
+from repro.topology.mesh import Mesh2D
+from repro.topology.omega import OmegaNetwork
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+#: Topologies whose per-node crossbar model supports register codegen
+#: (the full ``save_artifact`` document).
+TOPOLOGIES = {
+    "torus": Torus2D(4),
+    "mesh": Mesh2D(4),
+    "ring": Ring(8),
+    "linear": LinearArray(5),
+    "kary3": KAryNCube([2, 2, 2]),
+}
+
+#: The omega network schedules fine but its transit fibers belong to
+#: stage switches, not nodes, so only the schedule document round-trips.
+OMEGA = OmegaNetwork(8)
+
+
+def neighbour_requests(topo) -> RequestSet:
+    """A routable one-hop-ish permutation: i -> i+1 (mod n)."""
+    n = topo.num_nodes
+    return RequestSet.from_pairs([(i, (i + 1) % n) for i in range(n)])
+
+
+def compiled(topo, scheduler):
+    requests = neighbour_requests(topo)
+    connections = route_requests(topo, requests)
+    schedule = get_scheduler(scheduler)(connections, topo)
+    schedule.validate(connections)
+    return schedule
+
+
+class TestRoundTripMatrix:
+    @pytest.mark.parametrize("topo_name", list(TOPOLOGIES))
+    @pytest.mark.parametrize("scheduler", scheduler_names())
+    def test_save_load_roundtrip(self, tmp_path, topo_name, scheduler):
+        topo = TOPOLOGIES[topo_name]
+        schedule = compiled(topo, scheduler)
+        path = tmp_path / "artifact.json"
+        save_artifact(path, topo, schedule, name=f"{topo_name}/{scheduler}")
+        loaded, regs = load_artifact(path, topo)
+        assert loaded.degree == schedule.degree
+        assert [
+            {c.pair for c in cfg} for cfg in loaded
+        ] == [
+            {c.pair for c in cfg} for cfg in schedule
+        ]
+        # The register image realises exactly the declared circuits.
+        assert decode_registers(regs) == [
+            {c.pair for c in cfg} for cfg in schedule
+        ]
+
+    @pytest.mark.parametrize("scheduler", scheduler_names())
+    def test_omega_schedule_roundtrip(self, scheduler):
+        from repro.compiler.serialize import schedule_from_dict, schedule_to_dict
+
+        schedule = compiled(OMEGA, scheduler)
+        loaded, conns = schedule_from_dict(OMEGA, schedule_to_dict(schedule))
+        loaded.validate(conns)
+        assert loaded.degree == schedule.degree
+
+    @pytest.mark.parametrize("topo_name", list(TOPOLOGIES))
+    def test_file_bytes_deterministic(self, tmp_path, topo_name):
+        topo = TOPOLOGIES[topo_name]
+        schedule = compiled(topo, "coloring")
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_artifact(a, topo, schedule)
+        save_artifact(b, topo, schedule)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestTamperRejection:
+    @pytest.fixture()
+    def artifact(self, tmp_path):
+        topo = TOPOLOGIES["torus"]
+        schedule = compiled(topo, "combined")
+        path = tmp_path / "artifact.json"
+        save_artifact(path, topo, schedule)
+        return topo, path
+
+    def test_wrong_topology_rejected(self, artifact):
+        _, path = artifact
+        with pytest.raises(ArtifactError, match="built for"):
+            load_artifact(path, Torus2D(8))
+
+    def test_redirected_connection_rejected(self, artifact):
+        topo, path = artifact
+        doc = json.loads(path.read_text())
+        entry = doc["schedule"]["slots"][0][0]
+        entry["dst"] = (entry["dst"] + 1) % topo.num_nodes
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ArtifactError):
+            load_artifact(path, topo)
+
+    def test_tampered_register_word_rejected(self, artifact):
+        topo, path = artifact
+        doc = json.loads(path.read_text())
+        words = doc["registers"]["words"]
+        node = next(iter(words))
+        word = words[node][0]
+        # Swap the first two output assignments of one switch word.
+        word[0], word[1] = word[1], word[0]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ArtifactError):
+            load_artifact(path, topo)
+
+    def test_dropped_connection_rejected(self, artifact):
+        # Removing one declared circuit leaves the register image
+        # realising a connection the schedule no longer admits to.
+        topo, path = artifact
+        doc = json.loads(path.read_text())
+        doc["schedule"]["slots"][0] = doc["schedule"]["slots"][0][1:]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ArtifactError):
+            load_artifact(path, topo)

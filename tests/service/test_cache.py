@@ -1,0 +1,125 @@
+"""Tests for the content-addressed artifact cache."""
+
+import json
+
+import pytest
+
+from repro.core import perf
+from repro.service.cache import ArtifactCache
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+DOC = {"version": 1, "schedule": {"degree": 3, "slots": []}}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        assert cache.get(DIGEST) is None
+        cache.put(DIGEST, DOC)
+        assert cache.get(DIGEST) == DOC
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.stores == 1
+
+    def test_lru_eviction_counts(self):
+        cache = ArtifactCache(memory_entries=2)
+        cache.put("a" * 64, DOC)
+        cache.put("b" * 64, DOC)
+        cache.get("a" * 64)  # refresh: now b is the oldest
+        cache.put("c" * 64, DOC)
+        assert cache.stats.evictions == 1
+        assert cache.get("a" * 64) is not None
+        assert cache.get("b" * 64) is None
+
+    def test_zero_memory_entries_disables_tier(self):
+        cache = ArtifactCache(memory_entries=0)
+        cache.put(DIGEST, DOC)
+        assert cache.get(DIGEST) is None  # no disk tier either
+
+    def test_len_and_contains(self):
+        cache = ArtifactCache()
+        assert DIGEST not in cache and len(cache) == 0
+        cache.put(DIGEST, DOC)
+        assert DIGEST in cache and len(cache) == 1
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get(DIGEST) == DOC
+        assert fresh.stats.disk_hits == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(DIGEST, DOC)
+        assert (tmp_path / DIGEST[:2] / f"{DIGEST}.json").is_file()
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        fresh = ArtifactCache(tmp_path)
+        fresh.get(DIGEST)
+        fresh.get(DIGEST)
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.memory_hits == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(DIGEST, DOC)
+        cache.put(OTHER, DOC)
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(DIGEST, DOC)
+        path = tmp_path / DIGEST[:2] / f"{DIGEST}.json"
+        path.write_text(path.read_text()[:20])
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get(DIGEST) is None
+        assert fresh.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_tampered_payload_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(DIGEST, DOC)
+        path = tmp_path / DIGEST[:2] / f"{DIGEST}.json"
+        wrapped = json.loads(path.read_text())
+        wrapped["artifact"]["schedule"]["degree"] = 1  # lie about the degree
+        path.write_text(json.dumps(wrapped))
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get(DIGEST) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_len_spans_both_tiers(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memory_entries=1)
+        cache.put(DIGEST, DOC)
+        cache.put(OTHER, DOC)  # evicts DIGEST from memory, both on disk
+        assert len(cache) == 2
+        assert DIGEST in cache
+
+
+class TestCounters:
+    def test_perf_counters_wired(self):
+        perf.reset()
+        cache = ArtifactCache(memory_entries=1)
+        cache.get(DIGEST)
+        cache.put(DIGEST, DOC)
+        cache.get(DIGEST)
+        cache.put(OTHER, DOC)  # evicts
+        assert perf.COUNTERS.artifact_cache_misses == 1
+        assert perf.COUNTERS.artifact_cache_hits == 1
+        assert perf.COUNTERS.artifact_cache_stores == 2
+        assert perf.COUNTERS.artifact_cache_evictions == 1
+        snap = perf.snapshot()
+        assert snap["artifact_cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_stats_dict_has_hit_rate(self):
+        cache = ArtifactCache()
+        cache.put(DIGEST, DOC)
+        cache.get(DIGEST)
+        out = cache.stats.as_dict()
+        assert out["hit_rate"] == 1.0
+        assert out["stores"] == 1

@@ -1,0 +1,216 @@
+"""Tests for the asyncio compile server and its clients."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import compile as compile_mod
+from repro.service.cache import ArtifactCache
+from repro.service.client import AsyncCompileClient, ServerError
+from repro.service.server import CompileServer, _parse_pattern
+
+TORUS4 = {"kind": "torus", "width": 4}
+TRANSPOSE4 = {"pattern": "transpose", "width": 4}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(fn, **server_kwargs):
+    """Start a TCP server on an ephemeral port, run ``fn``, drain."""
+    server = CompileServer(**server_kwargs)
+    await server.start()
+    host, port = server.address
+    try:
+        return await fn(server, host, port)
+    finally:
+        await server.shutdown()
+
+
+class TestProtocol:
+    def test_ping_and_stats(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                assert (await c.ping())["ok"]
+                stats = await c.stats()
+                assert stats["cache"]["hits"] == 0
+                assert stats["workers"] == 0
+
+        run(with_server(go))
+
+    def test_compile_miss_then_hit(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                first = await c.compile(TORUS4, pattern=TRANSPOSE4)
+                second = await c.compile(TORUS4, pattern=TRANSPOSE4)
+            assert first["cache"] == "miss" and second["cache"] == "hit"
+            assert second["schedule"] == first["schedule"]
+            assert first["degree"] >= 1
+            assert len(first["digest"]) == 64
+
+        run(with_server(go))
+
+    def test_pairs_request_and_registers(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                reply = await c.compile(
+                    TORUS4, pairs=[[0, 1], [2, 3, 4], [5, 6, 1, 7]],
+                    registers=True,
+                )
+            assert reply["ok"] and "registers" in reply
+            entries = [e for slot in reply["schedule"]["slots"] for e in slot]
+            assert {(e["src"], e["dst"]) for e in entries} == {(0, 1), (2, 3), (5, 6)}
+            assert {e["tag"] for e in entries} == {0, 7}
+
+        run(with_server(go))
+
+    def test_errors_are_replies_not_disconnects(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                for bad in (
+                    {"op": "warp"},
+                    {"op": "compile", "topology": {"kind": "moebius"}, "pairs": [[0, 1]]},
+                    {"op": "compile", "topology": TORUS4},
+                    {"op": "compile", "topology": TORUS4, "pattern": {"pattern": "nope"}},
+                ):
+                    with pytest.raises(ServerError):
+                        await c.request(bad)
+                # The connection survived all four errors.
+                assert (await c.ping())["ok"]
+
+        run(with_server(go))
+
+    def test_malformed_json_line(self):
+        async def go(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            assert reply["ok"] is False
+            writer.close()
+            await writer.wait_closed()
+
+        run(with_server(go))
+
+    def test_unix_socket_endpoint(self, tmp_path):
+        sock = str(tmp_path / "compile.sock")
+
+        async def go():
+            server = CompileServer(socket_path=sock)
+            await server.start()
+            assert server.address == sock
+            try:
+                async with AsyncCompileClient(socket_path=sock) as c:
+                    reply = await c.compile(TORUS4, pattern=TRANSPOSE4)
+                    assert reply["cache"] == "miss"
+            finally:
+                await server.shutdown()
+
+        run(go())
+
+
+class TestDedupAndConcurrency:
+    def test_concurrent_identical_requests_compile_once(self, monkeypatch):
+        calls = []
+        real = compile_mod.build_canonical_artifact
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        # workers=0 runs compiles on an in-process thread, so the
+        # monkeypatch is visible to the worker.
+        monkeypatch.setattr(compile_mod, "build_canonical_artifact", counting)
+
+        async def go(server, host, port):
+            async def one():
+                async with AsyncCompileClient(host, port) as c:
+                    return await c.compile(TORUS4, pattern=TRANSPOSE4)
+
+            replies = await asyncio.gather(*[one() for _ in range(8)])
+            outcomes = sorted(r["cache"] for r in replies)
+            assert outcomes.count("miss") == 1
+            assert all(o in ("miss", "inflight", "hit") for o in outcomes)
+            assert len({json.dumps(r["schedule"], sort_keys=True) for r in replies}) == 1
+            stats = await (await AsyncCompileClient(host, port).connect()).stats()
+            assert stats["inflight"] == 0
+            return replies
+
+        run(with_server(go))
+        assert len(calls) == 1  # exactly one scheduler run for 8 clients
+
+    def test_distinct_requests_not_coalesced(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                a = await c.compile(TORUS4, pairs=[[0, 1]])
+                b = await c.compile(TORUS4, pairs=[[0, 2]])
+            assert a["digest"] != b["digest"]
+            assert a["cache"] == b["cache"] == "miss"
+
+        run(with_server(go))
+
+    def test_failed_leader_reported_to_all(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("scheduler exploded")
+
+        monkeypatch.setattr(compile_mod, "build_canonical_artifact", boom)
+
+        async def go(server, host, port):
+            async def one():
+                async with AsyncCompileClient(host, port) as c:
+                    try:
+                        await c.compile(TORUS4, pattern=TRANSPOSE4)
+                        return None
+                    except ServerError as exc:
+                        return str(exc)
+
+            errors = await asyncio.gather(*[one() for _ in range(4)])
+            assert all(e is not None for e in errors)
+            assert server._inflight == {}
+
+        run(with_server(go))
+
+
+class TestLifecycle:
+    def test_shutdown_verb_drains(self, tmp_path):
+        async def go():
+            server = CompileServer(cache=ArtifactCache(tmp_path))
+            await server.start()
+            host, port = server.address
+            serve = asyncio.ensure_future(server.serve_forever())
+            async with AsyncCompileClient(host, port) as c:
+                await c.compile(TORUS4, pattern=TRANSPOSE4)
+                reply = await c.shutdown()
+                assert reply["ok"]
+            await asyncio.wait_for(serve, timeout=10)
+            # New connections are refused after drain.
+            with pytest.raises(OSError):
+                await asyncio.open_connection(host, port)
+
+        run(go())
+
+    def test_cache_shared_across_restarts(self, tmp_path):
+        async def round_trip():
+            server = CompileServer(cache=str(tmp_path))
+            await server.start()
+            host, port = server.address
+            try:
+                async with AsyncCompileClient(host, port) as c:
+                    return (await c.compile(TORUS4, pattern=TRANSPOSE4))["cache"]
+            finally:
+                await server.shutdown()
+
+        assert run(round_trip()) == "miss"
+        assert run(round_trip()) == "hit"  # served from the disk tier
+
+
+class TestParsePattern:
+    def test_bad_pair_row_rejected(self):
+        with pytest.raises(ValueError, match="bad pair row"):
+            _parse_pattern({"pairs": [[1]]})
+
+    def test_needs_pattern_or_pairs(self):
+        with pytest.raises(ValueError, match="needs 'pattern' or 'pairs'"):
+            _parse_pattern({})

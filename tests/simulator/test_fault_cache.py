@@ -1,0 +1,79 @@
+"""Tests for artifact-cache-backed fault recovery in the compiled sim."""
+
+from repro.patterns.classic import all_to_all_pattern
+from repro.service.cache import ArtifactCache
+from repro.simulator.compiled import simulate_compiled_faulty
+from repro.simulator.faults import FaultEvent, FaultSchedule
+from repro.topology.torus import Torus2D
+
+
+def fixed_faults(topo, slot=40):
+    link = topo.transit_link_base + 5
+    return FaultSchedule([FaultEvent(slot, "fail", link)])
+
+
+class TestCachedFaultRecovery:
+    def test_results_match_uncached(self, torus4):
+        requests = all_to_all_pattern(16, size=16)
+        faults = fixed_faults(torus4)
+        plain = simulate_compiled_faulty(torus4, requests, faults)
+        cached = simulate_compiled_faulty(
+            torus4, requests, faults, cache=ArtifactCache()
+        )
+        assert cached.reschedules == plain.reschedules == 1
+        assert cached.initial_degree == plain.initial_degree
+        assert cached.max_degree == plain.max_degree
+        assert cached.lost == plain.lost == 0
+        assert cached.completion_time == plain.completion_time
+
+    def test_repeat_run_hits_for_every_compile(self, torus4):
+        requests = all_to_all_pattern(16, size=16)
+        faults = fixed_faults(torus4)
+        cache = ArtifactCache()
+        first = simulate_compiled_faulty(torus4, requests, faults, cache=cache)
+        stores = cache.stats.stores
+        second = simulate_compiled_faulty(torus4, requests, faults, cache=cache)
+        # Identical campaign: initial compile + reschedule both hit.
+        assert cache.stats.stores == stores  # nothing new compiled
+        assert cache.stats.hits >= 2
+        assert second.completion_time == first.completion_time
+        assert second.fault_log == first.fault_log
+
+    def test_cached_run_is_deterministic(self, torus4):
+        requests = all_to_all_pattern(16, size=8)
+        faults = fixed_faults(torus4)
+        results = [
+            simulate_compiled_faulty(
+                torus4, requests, faults, cache=ArtifactCache()
+            ).completion_time
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_pre_run_fault_compiles_on_degraded_topology(self, torus4):
+        requests = all_to_all_pattern(16, size=4)
+        link = torus4.transit_link_base + 3
+        faults = FaultSchedule([FaultEvent(0, "fail", link)])
+        cache = ArtifactCache()
+        result = simulate_compiled_faulty(torus4, requests, faults, cache=cache)
+        assert result.lost == 0
+        assert result.reschedules == 0
+        again = simulate_compiled_faulty(torus4, requests, faults, cache=cache)
+        assert cache.stats.hits >= 1
+        assert again.completion_time == result.completion_time
+
+    def test_lost_messages_with_cache(self):
+        # Cut every fiber out of node 0's switch: its messages are lost,
+        # the rest still complete -- same as the uncached path.
+        topo = Torus2D(4)
+        requests = all_to_all_pattern(16, size=2)
+        degraded = [
+            link for link in range(topo.transit_link_base, topo.num_links)
+            if topo.link_info(link).src == 0
+        ]
+        events = [FaultEvent(1, "fail", link) for link in degraded]
+        plain = simulate_compiled_faulty(topo, requests, FaultSchedule(events))
+        cached = simulate_compiled_faulty(
+            topo, requests, FaultSchedule(events), cache=ArtifactCache()
+        )
+        assert cached.lost == plain.lost > 0

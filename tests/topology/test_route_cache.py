@@ -67,3 +67,55 @@ class TestRouteCache:
         assert on_path not in rerouted
         topo.restore_link(on_path)
         assert topo.route(0, 1) == healthy
+
+
+class TestRestoreInvalidation:
+    """Regression: ``restore_link`` must also invalidate cached routes.
+
+    A cached detour is still *valid* after the repair, but keeping it
+    would silently pin traffic to the longer path -- and, worse, a
+    cached detour through a fiber that is cut *later* would be served
+    stale.  The audit confirmed ``FaultyTopology.restore_link`` calls
+    ``invalidate_route_cache``; these tests pin that behaviour.
+    """
+
+    def test_restore_recomputes_not_serves_cached_detour(self):
+        topo = FaultyTopology(Torus2D(4))
+        healthy = topo.route(0, 1)
+        cut = healthy[1]
+        topo.fail_link(cut)
+        detour = topo.route(0, 1)
+        assert detour != healthy
+        topo.restore_link(cut)
+        perf.reset()
+        after = topo.route(0, 1)
+        # Recomputed (cache was invalidated), and back on the short path.
+        assert perf.COUNTERS.route_cache_misses == 1
+        assert after == healthy
+
+    def test_restore_one_while_other_still_cut(self):
+        # Restoring A must not resurrect any route through still-cut B.
+        topo = FaultyTopology(Torus2D(4))
+        healthy = topo.route(0, 1)
+        a = healthy[1]
+        topo.fail_link(a)
+        detour = topo.route(0, 1)
+        b = detour[1]  # first fiber of the detour
+        topo.fail_link(b)
+        topo.route(0, 1)  # caches a second detour avoiding both
+        topo.restore_link(a)
+        after = topo.route(0, 1)
+        assert b not in after
+        assert after == healthy  # a is usable again
+
+    def test_restore_of_unused_link_still_invalidates(self):
+        # The invalidation is global (cheap and simple); pin that a
+        # restore that touches no cached route still flushes.
+        topo = FaultyTopology(Torus2D(4))
+        spare = topo.route(5, 6)[1]
+        topo.fail_link(spare)
+        topo.route(0, 1)
+        topo.restore_link(spare)
+        perf.reset()
+        topo.route(0, 1)
+        assert perf.COUNTERS.route_cache_misses == 1
