@@ -343,6 +343,7 @@ def _print_faults(args) -> None:
 def _serve(args) -> None:
     import asyncio
 
+    from repro.service.policy import ServerPolicy
     from repro.service.server import CompileServer
 
     async def run() -> None:
@@ -353,6 +354,10 @@ def _serve(args) -> None:
             port=args.port,
             socket_path=args.socket,
             scheduler=args.algorithm,
+            policy=ServerPolicy(
+                request_deadline=args.deadline,
+                max_pending=args.max_pending,
+            ),
         )
         await server.start()
         where = server.address
@@ -390,6 +395,74 @@ def _print_cachebench(args) -> None:
         with open(args.output, "w") as fh:
             json.dump(report, fh, indent=2)
         print(f"\nwrote {args.output}")
+
+
+def _print_chaos(args) -> None:
+    import tempfile
+
+    from repro.service.chaos import ChaosConfig, run_chaos_campaign
+
+    config = ChaosConfig(
+        drop_rate=args.drop,
+        delay_rate=args.delay,
+        delay_seconds=args.delay_seconds,
+        truncate_rate=args.truncate,
+        garble_rate=args.garble,
+        seed=args.seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as fallback:
+        report = run_chaos_campaign(
+            args.requests,
+            config=config,
+            cache_dir=args.cache or fallback,
+            kill_writer=not args.no_kill_writer,
+            seed=args.seed,
+            deadline=args.deadline,
+        )
+    typed = sum(report["typed_failures"].values())
+    rows = [
+        ("requests", report["requests"], ""),
+        ("completed byte-identical", report["completed"], ""),
+        ("typed failures", typed,
+         ", ".join(f"{k}={v}" for k, v in
+                   sorted(report["typed_failures"].items())) or "-"),
+        ("UNTYPED failures", len(report["untyped_failures"]),
+         "; ".join(report["untyped_failures"][:3]) or "-"),
+        ("CORRUPTED replies", len(report["corrupted"]), ""),
+        ("client retries", report["client_retries"], ""),
+        ("frames mauled", report["proxy"]["frames"],
+         f"drop={report['proxy']['dropped']} "
+         f"delay={report['proxy']['delayed']} "
+         f"trunc={report['proxy']['truncated']} "
+         f"garble={report['proxy']['garbled']}"),
+        ("server shed / deadline", report["server"]["shed"],
+         f"cancels={report['server']['deadline_cancels']}"),
+        ("cache verify scan", report["verify_scan"]["ok"],
+         f"of {report['verify_scan']['checked']} "
+         f"(quarantined: {len(report['verify_scan']['quarantined'])})"),
+    ]
+    if "kill_mid_write" in report:
+        k = report["kill_mid_write"]
+        rows.append((
+            "kill-mid-write recovery", k["stats"]["recovered"],
+            f"quarantined={k['stats']['quarantined']} "
+            f"torn-served={k['torn_digest_served']}",
+        ))
+    print(format_table(
+        ["check", "count", "detail"],
+        rows,
+        title=(
+            f"Chaos campaign: {args.requests} requests through "
+            f"drop/delay/truncate/garble proxy (seed {args.seed}) -- "
+            + ("INVARIANT HOLDS" if report["ok"] else "INVARIANT VIOLATED")
+        ),
+    ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"\nwrote {args.output}")
+    if not report["ok"]:
+        raise SystemExit(70)  # EX_SOFTWARE: the service corrupted data
 
 
 def _print_all(args) -> None:
@@ -481,7 +554,35 @@ def main(argv: list[str] | None = None) -> int:
     pv.add_argument("--workers", type=_workers_arg, default=None,
                     help="compile worker processes (default: in-process)")
     pv.add_argument("--algorithm", default="combined")
+    pv.add_argument("--deadline", type=float, default=60.0,
+                    help="per-request compile budget in seconds")
+    pv.add_argument("--max-pending", type=_pos_arg, default=64,
+                    help="admission high-water mark before load shedding")
     pv.set_defaults(fn=_serve)
+
+    px = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign against the compile service",
+    )
+    px.add_argument("--requests", type=_pos_arg, default=200)
+    px.add_argument("--drop", type=float, default=0.05,
+                    help="per-frame probability of drop + connection cut")
+    px.add_argument("--delay", type=float, default=0.10,
+                    help="per-frame probability of an injected delay")
+    px.add_argument("--delay-seconds", type=float, default=0.05,
+                    help="max injected delay per frame")
+    px.add_argument("--truncate", type=float, default=0.05,
+                    help="per-frame probability of truncation + cut")
+    px.add_argument("--garble", type=float, default=0.05,
+                    help="per-frame probability of byte corruption")
+    px.add_argument("--deadline", type=float, default=30.0,
+                    help="server-side per-request budget")
+    px.add_argument("--cache", default=None,
+                    help="artifact cache dir (default: fresh temp dir)")
+    px.add_argument("--no-kill-writer", action="store_true",
+                    help="skip the kill-mid-write cache crash test")
+    px.add_argument("--output", default=None, help="write the report as JSON")
+    px.set_defaults(fn=_print_chaos)
 
     pcb = sub.add_parser(
         "cachebench", help="cold vs warm artifact-cache compile benchmark"
@@ -529,7 +630,18 @@ def main(argv: list[str] | None = None) -> int:
     pall.set_defaults(fn=_print_all)
 
     args = parser.parse_args(argv)
-    args.fn(args)
+    try:
+        args.fn(args)
+    except Exception as exc:
+        # Typed service failures become their conventional exit codes
+        # (65 protocol, 69 unavailable, 75 overloaded/breaker, 124
+        # timeout) so scripts can branch without parsing stderr.
+        from repro.service.errors import ServiceError
+
+        if isinstance(exc, ServiceError):
+            print(f"repro-tdm: {exc.code}: {exc}", file=sys.stderr)
+            return exc.exit_code
+        raise
     return 0
 
 

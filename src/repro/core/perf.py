@@ -53,6 +53,22 @@ class PerfCounters:
     artifact_cache_stores: int = 0
     #: memory-tier entries dropped by the LRU policy.
     artifact_cache_evictions: int = 0
+    #: disk entries quarantined (corrupt, torn, or failed verification).
+    artifact_cache_quarantined: int = 0
+    #: torn writes detected and cleaned by the startup recovery scan.
+    artifact_cache_recovered: int = 0
+    #: served artifacts that failed the semantic conflict re-check.
+    artifact_verify_failures: int = 0
+    #: compile requests shed by server admission control.
+    service_shed: int = 0
+    #: server-side compiles cancelled by the request deadline.
+    service_deadline_cancels: int = 0
+    #: client request retries (after backoff).
+    client_retries: int = 0
+    #: client requests fast-failed by an open circuit breaker.
+    client_breaker_rejections: int = 0
+    #: closed -> open circuit-breaker transitions.
+    client_breaker_trips: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -17,7 +17,13 @@ content-addressed, persistent, servable artifacts.
   asyncio JSON-lines batch compile server with in-flight request
   deduplication, plus async and blocking clients;
 * :mod:`repro.service.specs` -- JSON topology specs (the wire format
-  naming a topology in a compile request).
+  naming a topology in a compile request);
+* :mod:`repro.service.errors` -- the typed failure taxonomy every
+  caller sees (``error_type`` on the wire, exit codes in the CLI);
+* :mod:`repro.service.policy` -- retry/backoff, circuit-breaker and
+  server admission/deadline policies;
+* :mod:`repro.service.chaos` -- the fault-injecting proxy and
+  kill-mid-write crash harness (``repro-tdm chaos``).
 """
 
 from repro.service.cache import ArtifactCache, CacheStats
@@ -26,8 +32,28 @@ from repro.service.canonical import (
     canonicalize,
     translation_group,
 )
-from repro.service.compile import CompileResult, CompileService, compile_pattern
+from repro.service.compile import (
+    CompileResult,
+    CompileService,
+    compile_pattern,
+    verify_artifact,
+)
 from repro.service.client import AsyncCompileClient, CompileClient
+from repro.service.errors import (
+    CircuitOpen,
+    Overloaded,
+    ProtocolError,
+    ServerError,
+    ServiceError,
+    ServiceTimeout,
+    TransportError,
+)
+from repro.service.policy import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServerPolicy,
+    request_digest,
+)
 from repro.service.server import CompileServer
 from repro.service.specs import topology_from_spec, topology_to_spec
 
@@ -36,13 +62,25 @@ __all__ = [
     "AsyncCompileClient",
     "CacheStats",
     "CanonicalPattern",
+    "CircuitBreaker",
+    "CircuitOpen",
     "CompileClient",
     "CompileResult",
     "CompileServer",
     "CompileService",
+    "Overloaded",
+    "ProtocolError",
+    "RetryPolicy",
+    "ServerError",
+    "ServerPolicy",
+    "ServiceError",
+    "ServiceTimeout",
+    "TransportError",
     "canonicalize",
     "compile_pattern",
+    "request_digest",
     "topology_from_spec",
     "topology_to_spec",
     "translation_group",
+    "verify_artifact",
 ]

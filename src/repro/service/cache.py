@@ -8,15 +8,22 @@ Two tiers:
   survives processes and is shared between them.
 
 Disk writes are atomic (temp file + ``os.replace`` in the same
-directory), so concurrent writers -- several compile servers, the CLI
-and a fault campaign all pointed at one directory -- can never expose a
-half-written artifact; the worst case is both doing the same work and
-one rename winning.  Each file carries a ``payload_sha256`` over its
-canonical encoding; a corrupted or truncated entry fails that check on
-read, is quarantined (unlinked) and treated as a miss, because the
-compiler can always regenerate it.
+directory) and **journaled**: before touching the shard the writer
+records an intent under ``root/journal/<digest>.intent``, and removes
+it only after the rename has landed.  A crash mid-write therefore
+leaves evidence -- a leftover intent and possibly a torn temp or shard
+file -- and the **startup recovery scan** (:meth:`ArtifactCache.recover`,
+run on open) uses it: shards named by a leftover intent are re-verified
+against their embedded ``payload_sha256`` and *quarantined* (moved to
+``root/quarantine/``) when torn, stray ``.tmp-*`` files are swept, and
+clean shards simply have their intent retired.  The read path applies
+the same payload-hash check on every disk load, and callers can pass a
+``verifier`` (semantic conflict re-check against the topology,
+:func:`repro.service.compile.verify_artifact`) for defense-in-depth
+beyond the hash; any failure quarantines the entry and reads as a
+miss, because the compiler can always regenerate it.
 
-Hit/miss/store/eviction counts feed both a per-cache
+Hit/miss/store/quarantine/recovery counts feed both a per-cache
 :class:`CacheStats` and the process-global perf counters
 (:mod:`repro.core.perf`), so ``repro-tdm perf``-style reporting sees
 cache behaviour alongside kernel and route-cache activity.
@@ -30,13 +37,18 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.compiler.serialize import artifact_digest
 from repro.core import perf
 
 #: Default depth of the in-process LRU tier.
 DEFAULT_MEMORY_ENTRIES = 64
+
+#: Subdirectories reserved by the store (never shard prefixes: shard
+#: dirs are two hex chars).
+JOURNAL_DIR = "journal"
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -57,6 +69,12 @@ class CacheStats:
     evictions: int = 0
     #: disk entries that failed their integrity check and were removed.
     corrupt: int = 0
+    #: disk entries moved to the quarantine directory.
+    quarantined: int = 0
+    #: torn writes detected and cleaned by the startup recovery scan.
+    recovered: int = 0
+    #: served artifacts rejected by a semantic verifier.
+    verify_failures: int = 0
 
     def as_dict(self) -> dict[str, float]:
         out: dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
@@ -75,6 +93,9 @@ class ArtifactCache:
         disables the disk tier (in-process LRU only).
     memory_entries:
         LRU depth of the in-process tier; ``0`` disables it.
+    recover:
+        Run the crash-recovery scan on open (default).  Only tests
+        that stage torn state *after* opening turn this off.
     """
 
     def __init__(
@@ -82,19 +103,31 @@ class ArtifactCache:
         root: str | Path | None = None,
         *,
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        recover: bool = True,
     ) -> None:
         self.root = Path(root) if root is not None else None
         self.memory_entries = int(memory_entries)
         self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self.stats = CacheStats()
+        if recover and self.root is not None and self.root.is_dir():
+            self.recover()
 
     # ------------------------------------------------------------------
     # lookup / store
     # ------------------------------------------------------------------
-    def get(self, digest: str) -> dict[str, Any] | None:
+    def get(
+        self,
+        digest: str,
+        *,
+        verifier: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any] | None:
         """The cached document for ``digest``, or ``None``.
 
-        Promotes disk hits into the memory tier.
+        Promotes disk hits into the memory tier.  ``verifier`` (raise
+        to reject) runs on documents crossing the disk -> process
+        boundary -- the untrusted one; memory-tier entries already
+        passed it, or were produced by a validated compile in-process.
+        A rejected document is quarantined and the lookup is a miss.
         """
         doc = self._memory.get(digest)
         if doc is not None:
@@ -104,6 +137,14 @@ class ArtifactCache:
             perf.COUNTERS.artifact_cache_hits += 1
             return doc
         doc = self._disk_read(digest)
+        if doc is not None and verifier is not None:
+            try:
+                verifier(doc)
+            except Exception:
+                self.stats.verify_failures += 1
+                perf.COUNTERS.artifact_verify_failures += 1
+                self._quarantine(self._path(digest))
+                doc = None
         if doc is not None:
             self._memory_put(digest, doc)
             self.stats.hits += 1
@@ -155,6 +196,30 @@ class ArtifactCache:
             return Path(os.devnull)
         return self.root / digest[:2] / f"{digest}.json"
 
+    def _intent_path(self, digest: str) -> Path:
+        assert self.root is not None
+        return self.root / JOURNAL_DIR / f"{digest}.intent"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a suspect file out of the serving tree (never serve it).
+
+        Falls back to unlinking when the move itself fails; either way
+        the path stops being servable.
+        """
+        if self.root is None or not path.exists():
+            return
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:  # pragma: no cover - racing quarantiners
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+        perf.COUNTERS.artifact_cache_quarantined += 1
+
     def _disk_read(self, digest: str) -> dict[str, Any] | None:
         if self.root is None:
             return None
@@ -169,10 +234,7 @@ class ArtifactCache:
         except (ValueError, KeyError, TypeError, OSError):
             # Corrupt / truncated / tampered: quarantine and recompile.
             self.stats.corrupt += 1
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing unlinkers
-                pass
+            self._quarantine(path)
             return None
         return doc
 
@@ -180,6 +242,7 @@ class ArtifactCache:
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         wrapped = {"artifact": doc, "payload_sha256": artifact_digest(doc)}
+        intent = self._write_intent(digest)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
@@ -193,3 +256,87 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        finally:
+            # The shard either landed atomically or was cleaned up:
+            # either way the intent is settled.
+            try:
+                intent.unlink()
+            except OSError:  # pragma: no cover - racing writers
+                pass
+
+    def _write_intent(self, digest: str) -> Path:
+        """Journal the upcoming shard write (crash evidence)."""
+        intent = self._intent_path(digest)
+        intent.parent.mkdir(parents=True, exist_ok=True)
+        intent.write_text(json.dumps({"digest": digest}))
+        return intent
+
+    # ------------------------------------------------------------------
+    # crash recovery / verification
+    # ------------------------------------------------------------------
+    def recover(self) -> dict[str, Any]:
+        """Scan the journal for torn writes; quarantine, sweep, retire.
+
+        Runs on open.  For every leftover intent the named shard is
+        re-read under the payload-hash check: a clean shard means the
+        rename landed before the crash (intent retired), a torn one is
+        quarantined, a missing one means the crash hit before the
+        rename (nothing to clean but the temp sweep).  Stray ``.tmp-*``
+        files are always quarantined -- their write never committed.
+        """
+        report: dict[str, Any] = {"intents": 0, "quarantined": [], "swept": 0}
+        if self.root is None or not self.root.is_dir():
+            return report
+        journal = self.root / JOURNAL_DIR
+        for intent in sorted(journal.glob("*.intent")) if journal.is_dir() else []:
+            report["intents"] += 1
+            digest = intent.stem
+            path = self._path(digest)
+            if path.is_file():
+                before = self.stats.corrupt
+                # _disk_read quarantines on failure and counts corrupt.
+                if self._disk_read(digest) is None and self.stats.corrupt > before:
+                    report["quarantined"].append(digest)
+            self.stats.recovered += 1
+            perf.COUNTERS.artifact_cache_recovered += 1
+            try:
+                intent.unlink()
+            except OSError:  # pragma: no cover - racing recoverers
+                pass
+        for tmp in sorted(self.root.glob("??/.tmp-*")):
+            self._quarantine(tmp)
+            report["swept"] += 1
+        return report
+
+    def verify_scan(
+        self,
+        *,
+        verifier: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """Full integrity pass over the disk tier.
+
+        Every shard is payload-hash checked (and, with ``verifier``,
+        semantically re-checked); failures are quarantined.  Returns
+        ``{"checked": n, "ok": n, "quarantined": [digests]}`` -- a
+        clean cache reports ``checked == ok``.
+        """
+        report: dict[str, Any] = {"checked": 0, "ok": 0, "quarantined": []}
+        if self.root is None or not self.root.is_dir():
+            return report
+        for shard in sorted(self.root.glob("??/*.json")):
+            digest = shard.stem
+            report["checked"] += 1
+            doc = self._disk_read(digest)
+            if doc is not None and verifier is not None:
+                try:
+                    verifier(doc)
+                except Exception:
+                    self.stats.verify_failures += 1
+                    perf.COUNTERS.artifact_verify_failures += 1
+                    self._quarantine(shard)
+                    doc = None
+            if doc is None:
+                report["quarantined"].append(digest)
+            else:
+                report["ok"] += 1
+        return report

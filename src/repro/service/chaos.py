@@ -1,0 +1,470 @@
+"""Chaos harness: fault-injecting proxy + crash tests for the service.
+
+Production circuit-switched systems treat partial failure as the
+common case; this module makes the compile stack prove it.  Three
+pieces:
+
+* :class:`ChaosProxy` -- a frame-aware TCP proxy between client and
+  server that **drops** frames (connection cut), **delays** them,
+  **truncates** them mid-byte (torn frame, then cut), and **garbles**
+  payload bytes, each with an independent seeded probability, in both
+  directions;
+* :func:`kill_mid_write` -- spawns a subprocess that SIGKILLs *itself*
+  between the cache's temp-file write and the atomic rename, staging
+  exactly the torn state the write-ahead journal exists for (plus a
+  torn-shard variant written directly), then verifies the reopened
+  cache's recovery scan quarantines everything suspect;
+* :func:`run_chaos_campaign` -- the end-to-end invariant check: N
+  requests through the proxy against a clean-run baseline, asserting
+  **every request either completes byte-identical to the clean run or
+  fails with a typed** :class:`~repro.service.errors.ServiceError`,
+  and that a final :meth:`~repro.service.cache.ArtifactCache.verify_scan`
+  finds zero quarantined-but-served entries.
+
+Everything is deterministic under ``seed`` so a CI gate on the report's
+``ok`` flag cannot flake.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.compiler.serialize import canonical_dumps
+from repro.service.cache import ArtifactCache, JOURNAL_DIR
+from repro.service.client import AsyncCompileClient
+from repro.service.errors import ServiceError
+from repro.service.policy import CircuitBreaker, RetryPolicy, ServerPolicy
+from repro.service.server import CompileServer
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-frame fault probabilities of one :class:`ChaosProxy`."""
+
+    #: swallow the frame and cut the connection (packet-loss analogue).
+    drop_rate: float = 0.0
+    #: hold the frame for up to ``delay_seconds`` before forwarding.
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.05
+    #: forward a strict prefix of the frame, then cut the connection.
+    truncate_rate: float = 0.0
+    #: flip payload bytes (frame still delivered, content lies).
+    garble_rate: float = 0.0
+    seed: int = 0
+
+    @property
+    def active(self) -> bool:
+        return any(
+            r > 0 for r in (self.drop_rate, self.delay_rate,
+                            self.truncate_rate, self.garble_rate)
+        )
+
+
+@dataclass
+class ChaosStats:
+    """What the proxy actually did (for the campaign report)."""
+
+    frames: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    truncated: int = 0
+    garbled: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Cut(Exception):
+    """Internal: this connection was chosen to die."""
+
+
+class ChaosProxy:
+    """Frame-aware fault-injecting proxy in front of a compile server.
+
+    Listens on its own ephemeral TCP endpoint; every accepted client
+    gets a fresh upstream connection.  Faults are decided per *frame*
+    (newline-terminated JSON line) independently in each direction, by
+    a single seeded RNG, so a campaign is reproducible.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        config: ChaosConfig,
+        *,
+        host: str = "127.0.0.1",
+        limit: int = 64 * 1024 * 1024,
+    ) -> None:
+        self.upstream = upstream
+        self.config = config
+        self.host = host
+        self.limit = limit
+        self.stats = ChaosStats()
+        self._rng = random.Random(config.seed)
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[asyncio.Task] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None, "proxy not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "ChaosProxy":
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=0, limit=self.limit
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            conn.cancel()
+        if self._conns:
+            await asyncio.gather(*self._conns, return_exceptions=True)
+            self._conns.clear()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conns.add(asyncio.current_task())
+        try:
+            await self._proxy_one(reader, writer)
+        except asyncio.CancelledError:
+            # Teardown: exit cleanly so the streams connection-task
+            # callback never sees a cancelled handler.
+            pass
+        finally:
+            self._conns.discard(asyncio.current_task())
+
+    async def _proxy_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self.upstream, limit=self.limit
+            )
+        except OSError:
+            writer.close()
+            return
+        pumps = [
+            asyncio.ensure_future(self._pump(reader, up_writer)),
+            asyncio.ensure_future(self._pump(up_reader, writer)),
+        ]
+        try:
+            # Either side dying (EOF or injected cut) tears down both,
+            # so a dropped frame surfaces to the client as a dead
+            # connection -- the same thing a cut fiber looks like.
+            await asyncio.wait(pumps, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for pump in pumps:
+                pump.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+            for w in (writer, up_writer):
+                w.close()
+                try:
+                    await w.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                frame = await reader.readline()
+                if not frame:
+                    return
+                try:
+                    frame = await self._maul(frame, writer)
+                except _Cut:
+                    return
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return
+
+    async def _maul(self, frame: bytes, writer: asyncio.StreamWriter) -> bytes:
+        """Apply at most one fault to ``frame`` (rates are per-frame)."""
+        cfg, rng = self.config, self._rng
+        self.stats.frames += 1
+        roll = rng.random()
+        if roll < cfg.drop_rate:
+            self.stats.dropped += 1
+            raise _Cut
+        roll -= cfg.drop_rate
+        if roll < cfg.truncate_rate and len(frame) > 2:
+            self.stats.truncated += 1
+            cut = rng.randrange(1, len(frame) - 1)
+            writer.write(frame[:cut])
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            raise _Cut
+        roll -= cfg.truncate_rate
+        if roll < cfg.garble_rate and len(frame) > 2:
+            self.stats.garbled += 1
+            body = bytearray(frame)
+            for _ in range(max(1, len(body) // 256)):
+                # Never touch the terminator: a garbled frame is still
+                # a frame, just a lying one.
+                body[rng.randrange(0, len(body) - 1)] = rng.randrange(256)
+            frame = bytes(body)
+        roll -= cfg.garble_rate
+        if roll < cfg.delay_rate:
+            self.stats.delayed += 1
+            await asyncio.sleep(rng.uniform(0.0, cfg.delay_seconds))
+        return frame
+
+
+# ----------------------------------------------------------------------
+# kill-mid-write crash staging
+# ----------------------------------------------------------------------
+
+#: Runs in a subprocess: replaces the commit rename with SIGKILL, so the
+#: cache dies with a journaled intent and a torn temp file on disk.
+_CRASH_WRITER = """
+import os, signal, sys
+from repro.service.cache import ArtifactCache
+
+root, digest = sys.argv[1], sys.argv[2]
+cache = ArtifactCache(root)
+
+def _die(src, dst):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+os.replace = _die
+cache.put(digest, {"schedule": {"version": 1, "scheduler": "crash-test",
+                                "degree": 1, "slots": []}})
+"""
+
+
+def kill_mid_write(cache_dir: str | Path) -> dict[str, Any]:
+    """Crash a real cache writer mid-commit; verify recovery cleans up.
+
+    Stages two torn states under ``cache_dir``:
+
+    1. a subprocess SIGKILLed between temp-file write and rename
+       (leftover intent + ``.tmp-*`` file);
+    2. a shard torn *in place* (truncated JSON at the final path, with
+       its intent still journaled) -- what a non-atomic filesystem or a
+       power cut can leave.
+
+    Then reopens the cache (recovery scan runs) and returns the
+    recovery + verify reports.  Raises ``AssertionError`` if the crash
+    did not stage what it should have -- the harness must not silently
+    test nothing.
+    """
+    cache_dir = Path(cache_dir)
+    digest_kill = "ee" + "0" * 62
+    digest_torn = "ef" + "1" * 62
+
+    pkg_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(pkg_root), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CRASH_WRITER, str(cache_dir), digest_kill],
+        env=env, capture_output=True, text=True, timeout=60,
+    )
+    if proc.returncode != -signal.SIGKILL:
+        raise AssertionError(
+            f"crash writer exited {proc.returncode}, wanted SIGKILL: "
+            f"{proc.stderr}"
+        )
+    intent = cache_dir / JOURNAL_DIR / f"{digest_kill}.intent"
+    assert intent.is_file(), "kill-mid-write left no journaled intent"
+    assert list(cache_dir.glob("??/.tmp-*")), "kill-mid-write left no temp file"
+
+    # Torn-in-place shard: valid intent, garbage artifact bytes.
+    shard = cache_dir / digest_torn[:2] / f"{digest_torn}.json"
+    shard.parent.mkdir(parents=True, exist_ok=True)
+    shard.write_text('{"artifact": {"schedule": {"version"')
+    (cache_dir / JOURNAL_DIR / f"{digest_torn}.intent").write_text(
+        json.dumps({"digest": digest_torn})
+    )
+
+    cache = ArtifactCache(cache_dir)  # recovery scan runs on open
+    recovery = cache.recover()  # idempotent second pass must find nothing
+    assert recovery["intents"] == 0, "recovery scan is not idempotent"
+    verify = cache.verify_scan()
+    return {
+        "crash_exit": proc.returncode,
+        "stats": {
+            "recovered": cache.stats.recovered,
+            "quarantined": cache.stats.quarantined,
+        },
+        "torn_digest_served": cache.get(digest_torn) is not None,
+        "verify_scan": verify,
+    }
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+
+#: Request mix: distinct (topology, pattern) compile problems.  Small
+#: shapes keep a 200-request campaign in CI time; the mix still crosses
+#: torus/ring/mesh routing, schedule-only vs register artifacts, and
+#: spec vs explicit-pairs requests.
+CAMPAIGN_REQUESTS: list[dict[str, Any]] = [
+    {"topology": {"kind": "torus", "width": 4},
+     "pattern": {"pattern": "transpose", "width": 4}},
+    {"topology": {"kind": "torus", "width": 4},
+     "pattern": {"pattern": "ring", "nodes": 16}, "registers": True},
+    {"topology": {"kind": "torus", "width": 4},
+     "pattern": {"pattern": "hypercube", "nodes": 16}},
+    {"topology": {"kind": "ring", "nodes": 8},
+     "pattern": {"pattern": "ring", "nodes": 8}},
+    {"topology": {"kind": "mesh", "width": 4},
+     "pairs": [[0, 5], [5, 10], [10, 15], [15, 0]]},
+    {"topology": {"kind": "torus", "width": 4},
+     "pairs": [[1, 2, 4], [3, 0, 2, 7], [12, 9]], "registers": True},
+]
+
+
+def _reply_bytes(reply: dict[str, Any]) -> str:
+    """Canonical bytes of the *artifact content* of one reply."""
+    doc = {"schedule": reply["schedule"]}
+    if "registers" in reply:
+        doc["registers"] = reply["registers"]
+    return canonical_dumps(doc)
+
+
+async def _run_campaign_async(
+    requests: int,
+    config: ChaosConfig,
+    cache_dir: str | Path,
+    *,
+    kill_writer: bool,
+    seed: int,
+    deadline: float,
+) -> dict[str, Any]:
+    server = CompileServer(
+        cache=ArtifactCache(cache_dir),
+        workers=0,
+        policy=ServerPolicy(request_deadline=deadline, max_pending=32,
+                            retry_after=0.05),
+    )
+    await server.start()
+    proxy = ChaosProxy(server.address, config)
+    await proxy.start()
+    report: dict[str, Any] = {
+        "requests": requests,
+        "completed": 0,
+        "typed_failures": {},
+        "corrupted": [],
+        "untyped_failures": [],
+    }
+    try:
+        # Clean-run baseline, straight at the server (no proxy, no
+        # faults): the byte-identity reference for every request kind.
+        baseline: list[str] = []
+        async with AsyncCompileClient(*server.address, retry=None) as clean:
+            for combo in CAMPAIGN_REQUESTS:
+                reply = await clean.request({"op": "compile", **combo})
+                baseline.append(_reply_bytes(reply))
+
+        if kill_writer:
+            # Crash a writer against the same directory the server is
+            # serving from, mid-campaign-setup: recovery must quarantine
+            # the torn state without disturbing live entries.
+            report["kill_mid_write"] = await asyncio.get_running_loop() \
+                .run_in_executor(None, kill_mid_write, Path(cache_dir))
+
+        rng = random.Random(seed)
+        retry = RetryPolicy(attempts=6, base_delay=0.01, max_delay=0.2,
+                            budget_seconds=10.0)
+        breaker = CircuitBreaker(failure_threshold=50, reset_timeout=0.1)
+        client = AsyncCompileClient(
+            *proxy.address, timeout=max(1.0, 20 * config.delay_seconds),
+            retry=retry, breaker=breaker,
+        )
+        for _ in range(requests):
+            which = rng.randrange(len(CAMPAIGN_REQUESTS))
+            combo = CAMPAIGN_REQUESTS[which]
+            try:
+                reply = await client.request({"op": "compile", **combo})
+            except ServiceError as exc:
+                key = exc.code
+                report["typed_failures"][key] = (
+                    report["typed_failures"].get(key, 0) + 1
+                )
+                await client.close()
+                continue
+            except Exception as exc:  # noqa: BLE001 - the invariant itself
+                report["untyped_failures"].append(repr(exc))
+                await client.close()
+                continue
+            if _reply_bytes(reply) == baseline[which]:
+                report["completed"] += 1
+            else:
+                report["corrupted"].append(
+                    {"request": which, "digest": reply.get("digest")}
+                )
+        report["client_retries"] = client.retries
+        report["breaker"] = breaker.as_dict()
+        await client.close()
+    finally:
+        await proxy.stop()
+        await server.shutdown()
+
+    report["proxy"] = proxy.stats.as_dict()
+    report["server"] = {
+        "shed": server.shed,
+        "deadline_cancels": server.deadline_cancels,
+        "worker_restarts": server.worker_restarts,
+        "requests": server.requests_served,
+    }
+    # Post-mortem integrity: the surviving cache must be fully servable.
+    final = ArtifactCache(cache_dir)
+    report["verify_scan"] = final.verify_scan()
+    report["ok"] = (
+        not report["corrupted"]
+        and not report["untyped_failures"]
+        and not report["verify_scan"]["quarantined"]
+        and (not kill_writer
+             or not report["kill_mid_write"]["torn_digest_served"])
+    )
+    return report
+
+
+def run_chaos_campaign(
+    requests: int = 200,
+    *,
+    config: ChaosConfig | None = None,
+    cache_dir: str | Path,
+    kill_writer: bool = True,
+    seed: int = 0,
+    deadline: float = 30.0,
+) -> dict[str, Any]:
+    """Drive the full stack through the fault proxy; report the invariant.
+
+    The returned report's ``ok`` is True iff every one of ``requests``
+    requests either completed byte-identical to the clean-run baseline
+    or failed with a typed :class:`ServiceError`, the kill-mid-write
+    crash (when enabled) was fully recovered with the torn entry never
+    served, and the final cache verify scan is clean.
+    """
+    return asyncio.run(_run_campaign_async(
+        requests,
+        config if config is not None else ChaosConfig(),
+        cache_dir,
+        kill_writer=kill_writer,
+        seed=seed,
+        deadline=deadline,
+    ))

@@ -10,9 +10,30 @@ sockets (``socket_path``) and can be used as context managers::
                           pattern={"pattern": "all-to-all", "nodes": 64})
         assert reply["ok"] and reply["cache"] in ("hit", "miss")
 
-Server-side failures come back as ``{"ok": false, "error": ...}``; the
-helpers raise :class:`ServerError` for those so callers don't have to
-check two channels.
+Failures are **typed** (:mod:`repro.service.errors`): an ``ok: false``
+reply raises the exception its ``error_type`` names
+(:class:`ServerError`, :class:`ProtocolError`, :class:`Overloaded`,
+:class:`ServiceTimeout`), and transport faults -- resets, refusals,
+socket timeouts -- are wrapped in :class:`TransportError` /
+:class:`ServiceTimeout` instead of leaking raw ``OSError``.
+
+Both clients share the resilience machinery of
+:mod:`repro.service.policy`:
+
+* **retries** -- transient failures (transport, timeout, overloaded)
+  of *idempotent* verbs are retried under a
+  :class:`~repro.service.policy.RetryPolicy`: exponential backoff with
+  full jitter, a wall-clock retry budget, and the server's
+  ``retry_after`` hint honoured as a floor.  Compile retries are
+  idempotent-safe by construction -- the request is content-addressed,
+  so a replay lands on the same digest (sent as the ``idem`` field) and
+  is answered from cache or coalesced in-flight, never compiled into a
+  different artifact.  ``shutdown`` is never retried.
+* **circuit breaker** -- after ``failure_threshold`` consecutive
+  transient failures the breaker opens and requests fast-fail with
+  :class:`CircuitOpen` (no socket I/O) until the reset timer half-opens
+  it for a probe.  Pass one :class:`CircuitBreaker` instance to several
+  clients to pool their view of server health.
 """
 
 from __future__ import annotations
@@ -23,23 +44,37 @@ import socket
 import time
 from typing import Any
 
+from repro.compiler.serialize import artifact_digest
 
-#: Stream line-length ceiling, both directions.  A serialized 8x8
-#: all-to-all schedule with registers is a few hundred KiB on one line,
-#: well past asyncio's 64 KiB default.
-MAX_LINE_BYTES = 64 * 1024 * 1024
+from repro.core import perf
+from repro.service.errors import (
+    CircuitOpen,
+    Overloaded,
+    ProtocolError,
+    ServerError,
+    ServiceError,
+    ServiceTimeout,
+    TransportError,
+    reply_error,
+)
+from repro.service.policy import (
+    MAX_LINE_BYTES,
+    CircuitBreaker,
+    RetryPolicy,
+    request_digest,
+)
 
+__all__ = [
+    "AsyncCompileClient",
+    "CompileClient",
+    "MAX_LINE_BYTES",
+    "ServerError",
+    "ServiceError",
+    "request_digest",
+]
 
-class ServerError(RuntimeError):
-    """The server answered ``ok: false``."""
-
-
-def _check(reply: dict[str, Any]) -> dict[str, Any]:
-    if not isinstance(reply, dict):
-        raise ServerError(f"malformed reply: {reply!r}")
-    if not reply.get("ok"):
-        raise ServerError(reply.get("error", "unknown server error"))
-    return reply
+#: Verbs safe to replay: read-only, or content-addressed (``compile``).
+IDEMPOTENT_OPS = frozenset({"ping", "stats", "health", "ready", "compile"})
 
 
 def _compile_request(
@@ -50,6 +85,7 @@ def _compile_request(
     scheduler: str | None,
     registers: bool,
     request_id: int,
+    deadline: float | None = None,
 ) -> dict[str, Any]:
     req: dict[str, Any] = {"op": "compile", "id": request_id, "topology": topology}
     if pattern is not None:
@@ -60,10 +96,99 @@ def _compile_request(
         req["scheduler"] = scheduler
     if registers:
         req["registers"] = True
+    if deadline is not None:
+        req["deadline"] = deadline
     return req
 
 
-class AsyncCompileClient:
+def _parse_reply(line: bytes, req: dict[str, Any]) -> dict[str, Any]:
+    try:
+        reply = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed reply frame: {exc}") from None
+    if not isinstance(reply, dict):
+        raise ProtocolError(f"malformed reply: {reply!r}")
+    if not reply.get("ok"):
+        raise reply_error(reply)
+    _verify_reply(req, reply)
+    return reply
+
+
+def _verify_reply(req: dict[str, Any], reply: dict[str, Any]) -> None:
+    """End-to-end integrity past TCP's checksum (chaos-grade links).
+
+    A reply that *parses* can still lie: the ``idem`` echo proves the
+    server answered the request we sent (not a garbled variant of it),
+    and ``payload_sha256`` proves the artifact content crossed the wire
+    intact.  Mismatches raise :class:`TransportError` -- retryable,
+    because a replay re-reads the same cached artifact.
+    """
+    if "idem" in req and reply.get("idem") not in (None, req["idem"]):
+        raise TransportError(
+            "request integrity mismatch: server answered a different "
+            f"request ({reply.get('idem')!r} != {req['idem']!r})"
+        )
+    if "payload_sha256" in reply and "schedule" in reply:
+        doc = {"schedule": reply["schedule"]}
+        if "registers" in reply:
+            doc["registers"] = reply["registers"]
+        try:
+            actual = artifact_digest(doc)
+        except Exception as exc:
+            raise TransportError(f"reply payload unhashable: {exc}") from None
+        if actual != reply["payload_sha256"]:
+            raise TransportError("reply payload integrity check failed")
+
+
+class _ResilientBase:
+    """Retry/breaker bookkeeping shared by both client flavours."""
+
+    def __init__(
+        self,
+        retry: RetryPolicy | None,
+        breaker: CircuitBreaker | None,
+    ) -> None:
+        self.retry = retry
+        self.breaker = breaker
+        #: lifetime retries this client performed.
+        self.retries = 0
+
+    def _admit(self) -> None:
+        """Breaker gate; counts fast-fails into the perf counters."""
+        if self.breaker is None:
+            return
+        try:
+            self.breaker.check()
+        except CircuitOpen:
+            perf.COUNTERS.client_breaker_rejections += 1
+            raise
+
+    def _record(self, exc: BaseException | None) -> None:
+        """Feed one attempt's outcome to the breaker.
+
+        Only *transient* failures (transport, timeout, overloaded)
+        count against server health; a deterministic ``ok: false``
+        answer proves the server is up and resets the streak.
+        """
+        if self.breaker is None:
+            return
+        if exc is None or not (isinstance(exc, ServiceError) and exc.retryable):
+            self.breaker.record_success()
+        else:
+            trips = self.breaker.trips
+            self.breaker.record_failure()
+            perf.COUNTERS.client_breaker_trips += self.breaker.trips - trips
+
+    def _plan_retry(
+        self, req: dict[str, Any], exc: ServiceError, attempt: int, slept: float
+    ) -> float | None:
+        """Backoff before retry number ``attempt``, or ``None`` = raise."""
+        if self.retry is None or req.get("op", "compile") not in IDEMPOTENT_OPS:
+            return None
+        return self.retry.plan(exc, attempt, slept)
+
+
+class AsyncCompileClient(_ResilientBase):
     """One connection to a compile server, asyncio flavour."""
 
     def __init__(
@@ -72,21 +197,29 @@ class AsyncCompileClient:
         port: int = 0,
         *,
         socket_path: str | None = None,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = RetryPolicy(),
+        breaker: CircuitBreaker | None = None,
     ) -> None:
+        super().__init__(retry, breaker)
         self.host, self.port, self.socket_path = host, port, socket_path
+        self.timeout = timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._next_id = 0
 
     async def connect(self) -> "AsyncCompileClient":
-        if self.socket_path is not None:
-            self._reader, self._writer = await asyncio.open_unix_connection(
-                self.socket_path, limit=MAX_LINE_BYTES
-            )
-        else:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port, limit=MAX_LINE_BYTES
-            )
+        try:
+            if self.socket_path is not None:
+                self._reader, self._writer = await asyncio.open_unix_connection(
+                    self.socket_path, limit=MAX_LINE_BYTES
+                )
+            else:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES
+                )
+        except OSError as exc:
+            raise TransportError(f"connect failed: {exc}") from exc
         return self
 
     async def close(self) -> None:
@@ -94,7 +227,7 @@ class AsyncCompileClient:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
             self._reader = self._writer = None
 
@@ -104,21 +237,65 @@ class AsyncCompileClient:
     async def __aexit__(self, *exc: Any) -> None:
         await self.close()
 
-    async def request(self, req: dict[str, Any]) -> dict[str, Any]:
-        """Send one raw request object, await its reply line."""
-        assert self._reader is not None and self._writer is not None, "not connected"
-        self._writer.write(json.dumps(req).encode() + b"\n")
-        await self._writer.drain()
-        line = await self._reader.readline()
+    async def _request_once(self, req: dict[str, Any]) -> dict[str, Any]:
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        try:
+            self._writer.write(json.dumps(req).encode() + b"\n")
+            await self._writer.drain()
+            line = await asyncio.wait_for(
+                self._reader.readline(), timeout=self.timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            raise ServiceTimeout(
+                f"no reply within {self.timeout}s"
+            ) from exc
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise TransportError(f"connection failed mid-request: {exc}") from exc
+        except ValueError as exc:
+            # asyncio raises ValueError past the stream limit.
+            raise ProtocolError(f"reply frame too large: {exc}") from None
         if not line:
-            raise ServerError("server closed the connection")
-        return _check(json.loads(line))
+            raise TransportError("server closed the connection")
+        if not line.endswith(b"\n"):
+            raise TransportError("connection cut mid-reply (truncated frame)")
+        return _parse_reply(line, req)
+
+    async def request(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object; retry transient failures per policy."""
+        if self.retry is not None and req.get("op", "compile") in IDEMPOTENT_OPS:
+            req.setdefault("idem", request_digest(req))
+        attempt, slept = 0, 0.0
+        while True:
+            self._admit()
+            try:
+                reply = await self._request_once(req)
+            except ServiceError as exc:
+                self._record(exc)
+                pause = self._plan_retry(req, exc, attempt, slept)
+                if pause is None:
+                    raise
+                await self.close()
+                await asyncio.sleep(pause)
+                attempt, slept = attempt + 1, slept + pause
+                self.retries += 1
+                perf.COUNTERS.client_retries += 1
+                continue
+            self._record(None)
+            return reply
 
     async def ping(self) -> dict[str, Any]:
         return await self.request({"op": "ping"})
 
     async def stats(self) -> dict[str, Any]:
         return await self.request({"op": "stats"})
+
+    async def health(self) -> dict[str, Any]:
+        return await self.request({"op": "health"})
+
+    async def ready(self) -> bool:
+        return bool((await self.request({"op": "ready"}))["ready"])
 
     async def shutdown(self) -> dict[str, Any]:
         return await self.request({"op": "shutdown"})
@@ -131,6 +308,7 @@ class AsyncCompileClient:
         pairs: list | None = None,
         scheduler: str | None = None,
         registers: bool = False,
+        deadline: float | None = None,
     ) -> dict[str, Any]:
         self._next_id += 1
         return await self.request(
@@ -141,11 +319,12 @@ class AsyncCompileClient:
                 scheduler=scheduler,
                 registers=registers,
                 request_id=self._next_id,
+                deadline=deadline,
             )
         )
 
 
-class CompileClient:
+class CompileClient(_ResilientBase):
     """Blocking client over a plain socket (CLI / CI / scripts)."""
 
     def __init__(
@@ -155,7 +334,10 @@ class CompileClient:
         *,
         socket_path: str | None = None,
         timeout: float | None = 60.0,
+        retry: RetryPolicy | None = RetryPolicy(),
+        breaker: CircuitBreaker | None = None,
     ) -> None:
+        super().__init__(retry, breaker)
         self.host, self.port, self.socket_path = host, port, socket_path
         self.timeout = timeout
         self._sock: socket.socket | None = None
@@ -163,14 +345,19 @@ class CompileClient:
         self._next_id = 0
 
     def connect(self) -> "CompileClient":
-        if self.socket_path is not None:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
-            sock.connect(self.socket_path)
-        else:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+        except socket.timeout as exc:
+            raise ServiceTimeout(f"connect timed out: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"connect failed: {exc}") from exc
         self._sock = sock
         self._file = sock.makefile("rb")
         return self
@@ -185,7 +372,7 @@ class CompileClient:
         while True:
             try:
                 return self.connect()
-            except OSError:
+            except ServiceError:
                 if time.monotonic() >= end:
                     raise
                 time.sleep(interval)
@@ -206,19 +393,61 @@ class CompileClient:
     def __exit__(self, *exc: Any) -> None:
         self.close()
 
-    def request(self, req: dict[str, Any]) -> dict[str, Any]:
-        assert self._sock is not None and self._file is not None, "not connected"
-        self._sock.sendall(json.dumps(req).encode() + b"\n")
-        line = self._file.readline()
+    def _request_once(self, req: dict[str, Any]) -> dict[str, Any]:
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None and self._file is not None
+        try:
+            self._sock.sendall(json.dumps(req).encode() + b"\n")
+            line = self._file.readline(MAX_LINE_BYTES + 1)
+        except socket.timeout as exc:
+            raise ServiceTimeout(
+                f"no reply within {self.timeout}s"
+            ) from exc
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise TransportError(f"connection failed mid-request: {exc}") from exc
         if not line:
-            raise ServerError("server closed the connection")
-        return _check(json.loads(line))
+            raise TransportError("server closed the connection")
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("reply frame too large")
+        if not line.endswith(b"\n"):
+            raise TransportError("connection cut mid-reply (truncated frame)")
+        return _parse_reply(line, req)
+
+    def request(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object; retry transient failures per policy."""
+        if self.retry is not None and req.get("op", "compile") in IDEMPOTENT_OPS:
+            req.setdefault("idem", request_digest(req))
+        attempt, slept = 0, 0.0
+        while True:
+            self._admit()
+            try:
+                reply = self._request_once(req)
+            except ServiceError as exc:
+                self._record(exc)
+                pause = self._plan_retry(req, exc, attempt, slept)
+                if pause is None:
+                    raise
+                self.close()
+                time.sleep(pause)
+                attempt, slept = attempt + 1, slept + pause
+                self.retries += 1
+                perf.COUNTERS.client_retries += 1
+                continue
+            self._record(None)
+            return reply
 
     def ping(self) -> dict[str, Any]:
         return self.request({"op": "ping"})
 
     def stats(self) -> dict[str, Any]:
         return self.request({"op": "stats"})
+
+    def health(self) -> dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def ready(self) -> bool:
+        return bool(self.request({"op": "ready"})["ready"])
 
     def shutdown(self) -> dict[str, Any]:
         return self.request({"op": "shutdown"})
@@ -231,6 +460,7 @@ class CompileClient:
         pairs: list | None = None,
         scheduler: str | None = None,
         registers: bool = False,
+        deadline: float | None = None,
     ) -> dict[str, Any]:
         self._next_id += 1
         return self.request(
@@ -241,5 +471,6 @@ class CompileClient:
                 scheduler=scheduler,
                 registers=registers,
                 request_id=self._next_id,
+                deadline=deadline,
             )
         )

@@ -33,7 +33,12 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from repro.compiler.serialize import FORMAT_VERSION, schedule_to_dict
+from repro.compiler.serialize import (
+    ArtifactError,
+    FORMAT_VERSION,
+    schedule_from_dict,
+    schedule_to_dict,
+)
 from repro.core import perf
 from repro.core.linkmask import resolve_kernel
 from repro.core.paths import route_requests
@@ -70,6 +75,31 @@ def compile_digest(
     h.update(header.encode("ascii"))
     h.update(canonical.key_bytes)
     return h.hexdigest()
+
+
+def verify_artifact(topology: Topology, doc: dict[str, Any]) -> None:
+    """Semantic re-check of a cached artifact before it is served.
+
+    Defense-in-depth past the payload-hash check: the schedule is
+    re-routed on ``topology`` and every configuration re-validated
+    conflict-free (:func:`schedule_from_dict` raises on the first
+    switch/link conflict, degree lie, or version mismatch).  A
+    hash-clean artifact whose *content* would program a conflicting
+    switch state -- a poisoned store, a digest collision, a serializer
+    bug -- is rejected here and never leaves the cache.
+    """
+    signature = doc.get("topology")
+    if signature is not None and signature != topology.signature:
+        raise ArtifactError(
+            f"artifact built for {signature!r}, "
+            f"serving topology is {topology.signature!r}"
+        )
+    schedule_from_dict(topology, doc["schedule"])
+
+
+def artifact_verifier(topology: Topology):
+    """:func:`verify_artifact` curried for :meth:`ArtifactCache.get`."""
+    return lambda doc: verify_artifact(topology, doc)
 
 
 @dataclass
@@ -154,7 +184,11 @@ def compile_pattern(
     canonical = canonicalize(topology, requests)
     digest = compile_digest(topology, canonical, scheduler, kernel)
 
-    doc = cache.get(digest) if cache is not None else None
+    doc = (
+        cache.get(digest, verifier=artifact_verifier(topology))
+        if cache is not None
+        else None
+    )
     outcome = "hit"
     if doc is not None and include_registers and "registers" not in doc:
         # Cached by a schedule-only compile; upgrade the entry in place.

@@ -1,0 +1,152 @@
+"""Typed error taxonomy for the compile service.
+
+Every failure a caller can see -- on either side of the wire -- maps to
+one class in this hierarchy, and every class carries a stable ``code``
+string (what travels in the ``error_type`` field of an ``ok: false``
+reply) and a conventional ``exit_code`` (what ``repro-tdm`` exits with
+when the error escapes a CLI verb):
+
+========================  ==============  =========
+class                     code            exit code
+========================  ==============  =========
+:class:`ServiceError`     service_error   69
+:class:`ServerError`      server_error    69
+:class:`ProtocolError`    protocol        65
+:class:`ServiceTimeout`   timeout         124
+:class:`Overloaded`       overloaded      75
+:class:`TransportError`   transport       69
+:class:`CircuitOpen`      circuit_open    75
+========================  ==============  =========
+
+:class:`ServiceTimeout` also subclasses the builtin ``TimeoutError``
+and :class:`ProtocolError` subclasses ``ValueError``, so existing
+``except TimeoutError`` / ``except ValueError`` call sites keep
+working.  :func:`error_fields` (server side) and :func:`reply_error`
+(client side) convert between exceptions and reply fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: EX_DATAERR / EX_UNAVAILABLE / EX_TEMPFAIL from sysexits.h plus the
+#: shell convention for timeouts; reused so scripts can branch on them.
+EX_DATAERR = 65
+EX_UNAVAILABLE = 69
+EX_TEMPFAIL = 75
+EX_TIMEOUT = 124
+
+
+class ServiceError(RuntimeError):
+    """Base of every typed compile-service failure."""
+
+    code = "service_error"
+    exit_code = EX_UNAVAILABLE
+    #: whether a retry of the same (idempotent) request can succeed.
+    retryable = False
+
+
+class ServerError(ServiceError):
+    """The server answered ``ok: false`` with a non-specific error.
+
+    Deterministic server-side failures (a scheduler bug, an unknown
+    pattern) land here; retrying the same request would fail the same
+    way, so it is not retryable.
+    """
+
+    code = "server_error"
+
+
+class ProtocolError(ServerError, ValueError):
+    """A request or reply that violates the wire protocol.
+
+    Covers malformed JSON, oversized frames, unknown ops and bad
+    field shapes -- on either side.  Subclasses :class:`ServerError`
+    (a typed ``ok: false`` reply is still a server answer) *and*
+    ``ValueError`` (pre-existing parse-error call sites).
+    """
+
+    code = "protocol"
+    exit_code = EX_DATAERR
+
+
+class ServiceTimeout(ServiceError, TimeoutError):
+    """A deadline expired (client socket timeout or server budget)."""
+
+    code = "timeout"
+    exit_code = EX_TIMEOUT
+    retryable = True
+
+
+class Overloaded(ServiceError):
+    """The server shed this request; retry after ``retry_after`` seconds."""
+
+    code = "overloaded"
+    exit_code = EX_TEMPFAIL
+    retryable = True
+
+    def __init__(self, message: str = "overloaded", *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class TransportError(ServiceError, ConnectionError):
+    """The connection died mid-request (reset, broken pipe, refusal)."""
+
+    code = "transport"
+    retryable = True
+
+
+class CircuitOpen(ServiceError):
+    """The client's circuit breaker is open: fast-fail without I/O."""
+
+    code = "circuit_open"
+    exit_code = EX_TEMPFAIL
+
+
+#: ``error_type`` string -> exception class, for the client side.
+CODE_TO_ERROR: dict[str, type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError, ServerError, ProtocolError, ServiceTimeout,
+        Overloaded, TransportError, CircuitOpen,
+    )
+}
+
+
+def error_fields(exc: BaseException) -> dict[str, Any]:
+    """Reply fields (``error``/``error_type``/...) for an exception.
+
+    Server side: anything outside the hierarchy is reported as the
+    generic ``server_error`` so a buggy scheduler can never crash the
+    reply path; :class:`Overloaded` additionally carries its
+    ``retry_after`` hint.
+    """
+    if isinstance(exc, Overloaded):
+        return {
+            "error": str(exc) or exc.code,
+            "error_type": exc.code,
+            "retry_after": exc.retry_after,
+        }
+    if isinstance(exc, ServiceError):
+        return {"error": f"{type(exc).__name__}: {exc}", "error_type": exc.code}
+    if isinstance(exc, ValueError):
+        # Bad request data (unknown spec, malformed fields): the
+        # caller's fault, typed as a protocol error.
+        return {
+            "error": f"{type(exc).__name__}: {exc}",
+            "error_type": ProtocolError.code,
+        }
+    return {
+        "error": f"{type(exc).__name__}: {exc}",
+        "error_type": ServerError.code,
+    }
+
+
+def reply_error(reply: dict[str, Any]) -> ServiceError:
+    """The typed exception encoded by an ``ok: false`` reply line."""
+    cls = CODE_TO_ERROR.get(reply.get("error_type", ""), ServerError)
+    message = str(reply.get("error", "unknown server error"))
+    if cls is Overloaded:
+        return Overloaded(message, retry_after=float(reply.get("retry_after", 0.0)))
+    return cls(message)

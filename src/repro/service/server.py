@@ -9,6 +9,8 @@ Verbs::
      "pattern": {"pattern": "all-to-all", "nodes": 64},
      "scheduler": "combined", "registers": false}
     {"op": "stats"}
+    {"op": "health"}     # queue depth, breaker-relevant state, cache
+    {"op": "ready"}      # {"ready": true|false} readiness probe
     {"op": "shutdown"}
 
 ``pattern`` is a declarative spec (:mod:`repro.compiler.recognition`);
@@ -16,7 +18,10 @@ Verbs::
 size, tag]`` rows -- is accepted instead.  Responses echo ``id`` and
 carry ``ok``; a compile response adds ``digest``, ``cache``
 (``hit``/``miss``/``inflight``), ``degree``, ``seconds`` and the
-serialized ``schedule`` (plus ``registers`` when requested).
+serialized ``schedule`` (plus ``registers`` when requested).  Failures
+reply ``ok: false`` with ``error`` and a typed ``error_type``
+(:mod:`repro.service.errors`); shed requests additionally carry
+``retry_after``.
 
 Execution model
 ---------------
@@ -31,33 +36,54 @@ the pool (``workers`` processes, reusing the perf-counter shipping of
 single worker thread instead, which tests use to keep everything
 monkeypatchable in one process.
 
-Shutdown drains: the listener closes first, in-flight compiles finish
-and are answered, then the pool is torn down.
+Robustness (:class:`repro.service.policy.ServerPolicy`):
+
+* **admission control** -- at most ``max_pending`` compile requests in
+  the house; past the high-water mark requests are shed immediately
+  with ``{"error": "overloaded", "retry_after": ...}``;
+* **deadlines** -- each compile gets a wall-clock budget
+  (``request_deadline``, tightened by a per-request ``deadline``
+  field).  A blown budget answers ``error_type: "timeout"``; a hung
+  *leader* additionally has its pool workers killed and the pool
+  restarted so one wedged scheduler pass cannot poison the queue;
+* **frame limits** -- request lines past ``max_frame_bytes`` get a
+  typed ``protocol`` error and the connection is closed (the stream
+  cannot be resynchronized mid-frame); mid-frame disconnects and
+  invalid bytes are absorbed per-connection, never crashing the
+  accept loop.
+
+Shutdown drains: the listener closes *before* the shutdown verb is
+acked (no connection can be accepted-then-dropped), in-flight compiles
+finish and are answered, then the pool is torn down.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
 from repro.analysis.parallel import _run_isolated, resolve_workers
 from repro.core import perf
 from repro.service.cache import ArtifactCache
-from repro.service.client import MAX_LINE_BYTES
-from repro.service.compile import CompileService, compile_digest
+from repro.service.compile import CompileService, artifact_verifier, compile_digest
 from repro.service.canonical import (
     canonicalize,
     permute_registers_dict,
     permute_schedule_dict,
 )
 from repro.service import compile as _compile_mod
+from repro.service.errors import (
+    Overloaded,
+    ProtocolError,
+    ServiceTimeout,
+    error_fields,
+)
+from repro.service.policy import ServerPolicy, request_digest
 from repro.service.specs import topology_from_spec
-
-
-class ProtocolError(ValueError):
-    """A request line the server cannot serve."""
+from repro.compiler.serialize import artifact_digest
 
 
 def _worker_compile(task: dict[str, Any]) -> dict[str, Any]:
@@ -106,6 +132,8 @@ class CompileServer:
         from :attr:`address`).  Mutually exclusive with ``socket_path``.
     socket_path:
         Unix-domain socket endpoint (preferred for local tooling/CI).
+    policy:
+        Admission/deadline knobs (:class:`ServerPolicy`).
     """
 
     def __init__(
@@ -117,6 +145,7 @@ class CompileServer:
         port: int = 0,
         socket_path: str | None = None,
         scheduler: str = "combined",
+        policy: ServerPolicy | None = None,
     ) -> None:
         if isinstance(cache, ArtifactCache):
             self.cache = cache
@@ -125,13 +154,20 @@ class CompileServer:
         self.service = CompileService(self.cache, scheduler=scheduler)
         self.workers = 0 if workers == 0 else (resolve_workers(workers) or 1)
         self.host, self.port, self.socket_path = host, port, socket_path
+        self.policy = policy if policy is not None else ServerPolicy()
         self._server: asyncio.AbstractServer | None = None
         self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
         self._inflight: dict[str, asyncio.Future] = {}
         self._pending: set[asyncio.Future] = set()
         self._shutdown = asyncio.Event()
+        self._shutdown_task: asyncio.Task | None = None
+        self._started_at: float | None = None
+        self._active = 0
         self.requests_served = 0
         self.inflight_coalesced = 0
+        self.shed = 0
+        self.deadline_cancels = 0
+        self.worker_restarts = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -144,73 +180,147 @@ class CompileServer:
         assert self._server is not None, "server not started"
         return self._server.sockets[0].getsockname()[:2]
 
-    async def start(self) -> "CompileServer":
-        """Bind the endpoint and start accepting connections."""
+    def _make_executor(self) -> ProcessPoolExecutor | ThreadPoolExecutor:
         if self.workers == 0:
-            self._executor = ThreadPoolExecutor(
+            return ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-compile"
             )
-        else:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    async def start(self) -> "CompileServer":
+        """Bind the endpoint and start accepting connections."""
+        self._executor = self._make_executor()
+        limit = self.policy.max_frame_bytes
         if self.socket_path is not None:
             self._server = await asyncio.start_unix_server(
-                self._handle_client, path=self.socket_path, limit=MAX_LINE_BYTES
+                self._handle_client, path=self.socket_path, limit=limit
             )
         else:
             self._server = await asyncio.start_server(
                 self._handle_client, host=self.host, port=self.port,
-                limit=MAX_LINE_BYTES,
+                limit=limit,
             )
+        self._started_at = time.monotonic()
         return self
 
     async def serve_forever(self) -> None:
-        """Serve until :meth:`shutdown` (or the ``shutdown`` verb)."""
+        """Serve until :meth:`shutdown` (or the ``shutdown`` verb).
+
+        If the verb-triggered drain task failed, its exception is
+        re-raised here instead of being swallowed.
+        """
         assert self._server is not None, "call start() first"
         await self._shutdown.wait()
+        if self._shutdown_task is not None:
+            await self._shutdown_task
 
     async def shutdown(self) -> None:
-        """Drain cleanly: stop accepting, finish in-flight work, stop."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        if self._pending:
-            await asyncio.gather(*self._pending, return_exceptions=True)
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        self._shutdown.set()
+        """Drain cleanly: stop accepting, finish in-flight work, stop.
+
+        The shutdown event is set even when the drain fails part-way:
+        :meth:`serve_forever` must wake up to *report* the failure, not
+        hang on a latch nobody will ever set.
+        """
+        try:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            if self._pending:
+                await asyncio.gather(*self._pending, return_exceptions=True)
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+        finally:
+            self._shutdown.set()
+
+    async def _restart_workers(self) -> None:
+        """Replace a pool with a hung worker (deadline enforcement).
+
+        Process workers are killed outright; a hung worker *thread*
+        cannot be killed, so its pool is abandoned (the thread finishes
+        into the void) and a fresh one takes over either way.
+        """
+        old, self._executor = self._executor, self._make_executor()
+        self.worker_restarts += 1
+        if isinstance(old, ProcessPoolExecutor):
+            for proc in list(getattr(old, "_processes", {}).values()):
+                proc.kill()
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
+    async def _read_frame(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One request line; ``None`` = connection is done (EOF / torn).
+
+        Raises :class:`ProtocolError` for frames past the size limit --
+        the stream cannot be resynchronized mid-frame, so the caller
+        replies once and closes.
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            # EOF: clean between frames (empty partial) or mid-frame
+            # (torn request -- nobody left to answer).  Either way the
+            # connection is over and the accept loop is untouched.
+            return exc.partial or None
+        except asyncio.LimitOverrunError:
+            raise ProtocolError(
+                f"frame exceeds {self.policy.max_frame_bytes} bytes"
+            ) from None
+
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await self._read_frame(reader)
+                except ProtocolError as exc:
+                    writer.write(json.dumps(
+                        {"id": None, "ok": False, **error_fields(exc)}
+                    ).encode() + b"\n")
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 response = await self._dispatch(line)
+                if response.get("op") == "shutdown":
+                    # Refuse new connections *before* acking, so no
+                    # client can connect into a closing server and be
+                    # dropped without a reply.
+                    if self._server is not None:
+                        self._server.close()
                 writer.write(json.dumps(response).encode() + b"\n")
                 await writer.drain()
                 if response.get("op") == "shutdown":
-                    # Answer first, then drain in the background so the
-                    # client is not held hostage to slow stragglers.
-                    asyncio.ensure_future(self.shutdown())
+                    # Drain in the background so the client is not held
+                    # hostage to slow stragglers; serve_forever() keeps
+                    # the task reference and re-raises its failures.
+                    self._shutdown_task = asyncio.ensure_future(self.shutdown())
                     break
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while this connection idled: close and exit
+            # cleanly (a cancelled handler task trips asyncio's stream
+            # callback into callback-exception noise).
             pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
     async def _dispatch(self, line: bytes) -> dict[str, Any]:
+        req: Any = {}
         try:
-            req = json.loads(line)
+            try:
+                req = json.loads(line)
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ProtocolError(f"bad JSON frame: {exc}") from None
             if not isinstance(req, dict):
                 raise ProtocolError("request must be a JSON object")
             op = req.get("op", "compile")
@@ -219,21 +329,55 @@ class CompileServer:
                 return self._reply(req, op="ping")
             if op == "stats":
                 return self._reply(req, op="stats", **self._stats())
+            if op == "health":
+                return self._reply(req, op="health", **self._health())
+            if op == "ready":
+                return self._reply(req, op="ready", ready=self._ready())
             if op == "shutdown":
                 return self._reply(req, op="shutdown")
             if op == "compile":
                 return await self._compile(req)
             raise ProtocolError(f"unknown op {op!r}")
         except Exception as exc:  # noqa: BLE001 - protocol boundary
-            req = req if isinstance(locals().get("req"), dict) else {}
-            return {
-                "id": req.get("id"),
-                "ok": False,
-                "error": f"{type(exc).__name__}: {exc}",
-            }
+            req = req if isinstance(req, dict) else {}
+            return {"id": req.get("id"), "ok": False, **error_fields(exc)}
 
     def _reply(self, req: dict[str, Any], **payload: Any) -> dict[str, Any]:
-        return {"id": req.get("id"), "ok": True, **payload}
+        out = {"id": req.get("id"), "ok": True, **payload}
+        if "idem" in req:
+            # Echo our *recomputation* over the received bytes, so a
+            # client can detect a request garbled in flight (its own
+            # digest won't match the echo).
+            out["idem"] = request_digest(req)
+        return out
+
+    def _ready(self) -> bool:
+        return (
+            self._server is not None
+            and self._server.is_serving()
+            and not self._shutdown.is_set()
+            and self._shutdown_task is None
+            and self._active < self.policy.max_pending
+        )
+
+    def _health(self) -> dict[str, Any]:
+        cache = self.cache.stats.as_dict()
+        cache["entries"] = len(self.cache)
+        return {
+            "ready": self._ready(),
+            "queue_depth": self._active,
+            "inflight": len(self._inflight),
+            "max_pending": self.policy.max_pending,
+            "shed": self.shed,
+            "deadline_cancels": self.deadline_cancels,
+            "worker_restarts": self.worker_restarts,
+            "workers": self.workers,
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None else 0.0
+            ),
+            "cache": cache,
+        }
 
     def _stats(self) -> dict[str, Any]:
         return {
@@ -241,14 +385,43 @@ class CompileServer:
             "inflight": len(self._inflight),
             "inflight_coalesced": self.inflight_coalesced,
             "requests": self.requests_served,
+            "queue_depth": self._active,
+            "shed": self.shed,
+            "deadline_cancels": self.deadline_cancels,
+            "worker_restarts": self.worker_restarts,
             "workers": self.workers,
         }
 
     # ------------------------------------------------------------------
     # the compile verb
     # ------------------------------------------------------------------
+    def _request_deadline(self, req: dict[str, Any]) -> float | None:
+        """Effective budget: the policy's, tightened by the request's."""
+        budget = self.policy.request_deadline
+        if "deadline" in req and req["deadline"] is not None:
+            asked = float(req["deadline"])
+            if asked <= 0:
+                raise ProtocolError(f"bad deadline {req['deadline']!r}")
+            budget = asked if budget is None else min(asked, budget)
+        return budget
+
     async def _compile(self, req: dict[str, Any]) -> dict[str, Any]:
+        if self._active >= self.policy.max_pending:
+            self.shed += 1
+            perf.COUNTERS.service_shed += 1
+            raise Overloaded(
+                "overloaded: admission queue full",
+                retry_after=self.policy.retry_after,
+            )
+        self._active += 1
+        try:
+            return await self._compile_admitted(req)
+        finally:
+            self._active -= 1
+
+    async def _compile_admitted(self, req: dict[str, Any]) -> dict[str, Any]:
         t0 = perf.perf_timer()
+        deadline = self._request_deadline(req)
         if "topology" not in req:
             raise ProtocolError("compile request needs 'topology'")
         topology = topology_from_spec(req["topology"])
@@ -259,21 +432,34 @@ class CompileServer:
         digest = compile_digest(topology, canonical, scheduler, req.get("kernel"))
 
         outcome = "hit"
-        doc = self.cache.get(digest)
+        doc = self.cache.get(digest, verifier=artifact_verifier(topology))
         if doc is not None and include_registers and "registers" not in doc:
             doc = None
         if doc is None:
+            remaining = (
+                None if deadline is None else deadline - (perf.perf_timer() - t0)
+            )
             leader = self._inflight.get(digest)
             if leader is not None:
                 # Identical request already compiling: await its result.
                 self.inflight_coalesced += 1
-                doc = await asyncio.shield(leader)
+                try:
+                    doc = await asyncio.wait_for(
+                        asyncio.shield(leader), timeout=remaining
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    self.deadline_cancels += 1
+                    perf.COUNTERS.service_deadline_cancels += 1
+                    raise ServiceTimeout(
+                        f"deadline of {deadline:.3f}s expired awaiting "
+                        "an in-flight compile"
+                    ) from None
                 outcome = "inflight"
             else:
                 outcome = "miss"
                 doc = await self._lead_compile(
                     digest, req["topology"], canonical.requests, scheduler,
-                    include_registers,
+                    include_registers, remaining,
                 )
 
         schedule_doc = doc["schedule"]
@@ -299,6 +485,12 @@ class CompileServer:
         )
         if registers_doc is not None:
             out["registers"] = registers_doc
+        payload = {"schedule": schedule_doc}
+        if registers_doc is not None:
+            payload["registers"] = registers_doc
+        # End-to-end payload integrity (chaos-grade links): the client
+        # re-hashes what it received and rejects a garbled artifact.
+        out["payload_sha256"] = artifact_digest(payload)
         return out
 
     async def _lead_compile(
@@ -308,8 +500,14 @@ class CompileServer:
         canonical_requests: list[tuple[int, int, int, int]],
         scheduler: str,
         include_registers: bool,
+        timeout: float | None,
     ) -> dict[str, Any]:
-        """Run one cold compile on the pool, publishing it for followers."""
+        """Run one cold compile on the pool, publishing it for followers.
+
+        A compile that outlives ``timeout`` is declared hung: the pool
+        is restarted (killing process workers) and every waiter gets a
+        :class:`ServiceTimeout`.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[digest] = future
@@ -321,14 +519,27 @@ class CompileServer:
             "include_registers": include_registers,
         }
         try:
-            doc, counters = await loop.run_in_executor(
-                self._executor, _run_isolated, (_worker_compile, task)
+            doc, counters = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor, _run_isolated, (_worker_compile, task)
+                ),
+                timeout=timeout,
             )
             if self.workers:  # thread mode shares the global counters already
                 perf.COUNTERS.merge(counters)
             self.cache.put(digest, doc)
             future.set_result(doc)
             return doc
+        except (asyncio.TimeoutError, TimeoutError):
+            self.deadline_cancels += 1
+            perf.COUNTERS.service_deadline_cancels += 1
+            await self._restart_workers()
+            exc = ServiceTimeout(
+                f"compile exceeded its {timeout:.3f}s server deadline; "
+                "worker pool restarted"
+            )
+            future.set_exception(exc)
+            raise exc from None
         except BaseException as exc:
             future.set_exception(exc)
             raise

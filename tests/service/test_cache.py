@@ -101,6 +101,136 @@ class TestDiskTier:
         assert DIGEST in cache
 
 
+class TestJournalRecovery:
+    def _shard(self, tmp_path, digest=DIGEST):
+        return tmp_path / digest[:2] / f"{digest}.json"
+
+    def _intent(self, tmp_path, digest=DIGEST):
+        intent = tmp_path / "journal" / f"{digest}.intent"
+        intent.parent.mkdir(parents=True, exist_ok=True)
+        intent.write_text(json.dumps({"digest": digest}))
+        return intent
+
+    def test_clean_write_leaves_no_intent(self, tmp_path):
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        assert list((tmp_path / "journal").glob("*.intent")) == []
+
+    def test_torn_shard_with_intent_is_quarantined_on_open(self, tmp_path):
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        shard = self._shard(tmp_path)
+        shard.write_text(shard.read_text()[:17])  # tear mid-JSON
+        self._intent(tmp_path)
+        fresh = ArtifactCache(tmp_path)
+        assert not shard.exists()
+        assert (tmp_path / "quarantine" / shard.name).is_file()
+        assert fresh.stats.recovered == 1
+        assert fresh.stats.quarantined == 1
+        assert fresh.get(DIGEST) is None
+
+    def test_clean_shard_with_stale_intent_survives(self, tmp_path):
+        # Crash after the rename but before the intent unlink: the
+        # shard is whole and must keep being served.
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        self._intent(tmp_path)
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get(DIGEST) == DOC
+        assert fresh.stats.recovered == 1
+        assert fresh.stats.quarantined == 0
+        assert list((tmp_path / "journal").glob("*.intent")) == []
+
+    def test_intent_without_shard_is_retired(self, tmp_path):
+        # Crash before the rename: nothing on disk, intent retired.
+        (tmp_path / DIGEST[:2]).mkdir(parents=True)
+        self._intent(tmp_path)
+        report = ArtifactCache(tmp_path, recover=False).recover()
+        assert report["intents"] == 1
+        assert report["quarantined"] == []
+
+    def test_stray_tmp_files_swept(self, tmp_path):
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        stray = tmp_path / DIGEST[:2] / ".tmp-abc123.json"
+        stray.write_text('{"artifact": {"half')
+        report = ArtifactCache(tmp_path, recover=False).recover()
+        assert report["swept"] == 1
+        assert not stray.exists()
+        assert (tmp_path / "quarantine" / stray.name).is_file()
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        shard = self._shard(tmp_path)
+        shard.write_text(shard.read_text()[:17])
+        self._intent(tmp_path)
+        cache = ArtifactCache(tmp_path)
+        second = cache.recover()
+        assert second == {"intents": 0, "quarantined": [], "swept": 0}
+
+    def test_recovery_runs_on_open_by_default(self, tmp_path):
+        self._intent(tmp_path)
+        cache = ArtifactCache(tmp_path)
+        assert cache.stats.recovered == 1
+        untouched = ArtifactCache(tmp_path, recover=False)
+        assert untouched.stats.recovered == 0
+
+
+class TestVerifier:
+    def _reject(self, doc):
+        raise ValueError("semantic check failed")
+
+    def test_verifier_runs_on_disk_promotion_only(self, tmp_path):
+        calls = []
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        fresh = ArtifactCache(tmp_path)
+        verifier = lambda doc: calls.append(doc)
+        assert fresh.get(DIGEST, verifier=verifier) == DOC
+        assert fresh.get(DIGEST, verifier=verifier) == DOC  # memory hit
+        assert len(calls) == 1
+
+    def test_rejected_doc_is_quarantined_miss(self, tmp_path):
+        ArtifactCache(tmp_path).put(DIGEST, DOC)
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get(DIGEST, verifier=self._reject) is None
+        assert fresh.stats.verify_failures == 1
+        assert fresh.stats.quarantined == 1
+        assert fresh.stats.misses == 1
+        assert not (tmp_path / DIGEST[:2] / f"{DIGEST}.json").exists()
+
+    def test_memory_hits_skip_verifier(self):
+        cache = ArtifactCache()
+        cache.put(DIGEST, DOC)
+        assert cache.get(DIGEST, verifier=self._reject) == DOC
+
+
+class TestVerifyScan:
+    def test_clean_cache_reports_all_ok(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(DIGEST, DOC)
+        cache.put(OTHER, DOC)
+        report = cache.verify_scan()
+        assert report == {"checked": 2, "ok": 2, "quarantined": []}
+
+    def test_torn_shard_quarantined_by_scan(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(DIGEST, DOC)
+        cache.put(OTHER, DOC)
+        shard = tmp_path / OTHER[:2] / f"{OTHER}.json"
+        shard.write_text(shard.read_text()[:40])
+        report = ArtifactCache(tmp_path).verify_scan()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["quarantined"] == [OTHER]
+        assert not shard.exists()
+
+    def test_semantic_failures_quarantined_by_scan(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(DIGEST, DOC)
+
+        def reject(doc):
+            raise ValueError("conflict found")
+
+        report = ArtifactCache(tmp_path).verify_scan(verifier=reject)
+        assert report["quarantined"] == [DIGEST]
+
+
 class TestCounters:
     def test_perf_counters_wired(self):
         perf.reset()

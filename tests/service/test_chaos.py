@@ -1,0 +1,176 @@
+"""Tests for the chaos harness: proxy faults, crash staging, campaign."""
+
+import asyncio
+import json
+import signal
+
+from repro.service.cache import ArtifactCache
+from repro.service.chaos import (
+    ChaosConfig,
+    ChaosProxy,
+    kill_mid_write,
+    run_chaos_campaign,
+)
+from repro.service.client import AsyncCompileClient
+from repro.service.errors import ServiceError
+from repro.service.policy import RetryPolicy
+from repro.service.server import CompileServer
+
+TORUS4 = {"kind": "torus", "width": 4}
+TRANSPOSE4 = {"pattern": "transpose", "width": 4}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_proxy(fn, config):
+    server = CompileServer()
+    await server.start()
+    proxy = ChaosProxy(server.address, config)
+    await proxy.start()
+    try:
+        return await fn(server, proxy)
+    finally:
+        await proxy.stop()
+        await server.shutdown()
+
+
+class TestChaosConfig:
+    def test_active_flag(self):
+        assert not ChaosConfig().active
+        assert ChaosConfig(drop_rate=0.1).active
+        assert ChaosConfig(garble_rate=0.01).active
+        assert not ChaosConfig(delay_seconds=9.0).active  # duration != rate
+
+
+class TestChaosProxy:
+    def test_faultless_proxy_is_transparent(self):
+        async def go(server, proxy):
+            async with AsyncCompileClient(*proxy.address, retry=None) as c:
+                via_proxy = await c.compile(TORUS4, pattern=TRANSPOSE4)
+            async with AsyncCompileClient(*server.address, retry=None) as c:
+                direct = await c.compile(TORUS4, pattern=TRANSPOSE4)
+            assert via_proxy["schedule"] == direct["schedule"]
+            assert proxy.stats.frames == 2  # one request + one reply
+            assert proxy.stats.dropped == 0
+
+        run(with_proxy(go, ChaosConfig()))
+
+    def test_certain_drop_is_a_typed_failure(self):
+        async def go(server, proxy):
+            client = AsyncCompileClient(
+                *proxy.address, timeout=1.0,
+                retry=RetryPolicy(attempts=2, base_delay=0.001, max_delay=0.01),
+            )
+            try:
+                await client.request({"op": "ping"})
+            except ServiceError:
+                pass
+            else:  # pragma: no cover - invariant violation
+                raise AssertionError("every frame dropped, yet a reply landed")
+            finally:
+                await client.close()
+            assert proxy.stats.dropped >= 1
+            # The *server* behind the proxy is untouched.
+            async with AsyncCompileClient(*server.address, retry=None) as c:
+                assert (await c.ping())["ok"]
+
+        run(with_proxy(go, ChaosConfig(drop_rate=1.0)))
+
+    def test_garbled_reply_caught_by_integrity_check(self):
+        # Garble every frame: either the JSON breaks (protocol error on
+        # a non-retrying client) or it parses and the idem/payload hash
+        # catches the lie.  Nothing comes back *silently wrong*.
+        async def go(server, proxy):
+            client = AsyncCompileClient(*proxy.address, retry=None)
+            req = {"op": "compile", "topology": TORUS4, "pattern": TRANSPOSE4}
+            from repro.service.policy import request_digest
+            req["idem"] = request_digest(req)
+            try:
+                reply = await client.request(dict(req))
+            except ServiceError:
+                pass
+            else:  # parsed and verified: must be the true artifact
+                assert reply["idem"] == req["idem"]
+            finally:
+                await client.close()
+            assert proxy.stats.garbled >= 1
+
+        run(with_proxy(go, ChaosConfig(garble_rate=1.0)))
+
+    def test_same_seed_same_faults(self):
+        async def one(seed):
+            config = ChaosConfig(drop_rate=0.3, garble_rate=0.2, seed=seed)
+
+            async def go(server, proxy):
+                for _ in range(10):
+                    client = AsyncCompileClient(
+                        *proxy.address, timeout=1.0, retry=None
+                    )
+                    try:
+                        await client.request({"op": "ping"})
+                    except ServiceError:
+                        pass
+                    finally:
+                        await client.close()
+                return proxy.stats.as_dict()
+
+            return await with_proxy(go, config)
+
+        first = run(one(seed=7))
+        second = run(one(seed=7))
+        assert first == second
+
+
+class TestKillMidWrite:
+    def test_crash_is_staged_and_recovered(self, tmp_path):
+        report = kill_mid_write(tmp_path)
+        assert report["crash_exit"] == -signal.SIGKILL
+        # Both torn states (temp sweep + torn-in-place shard) cleaned.
+        assert report["stats"]["recovered"] >= 1
+        assert report["stats"]["quarantined"] >= 2
+        assert report["torn_digest_served"] is False
+        assert report["verify_scan"]["quarantined"] == []
+        assert not list((tmp_path / "journal").glob("*.intent"))
+
+    def test_live_entries_survive_the_crash(self, tmp_path):
+        digest = "ab" + "0" * 62
+        doc = {"schedule": {"version": 1, "degree": 1, "slots": []}}
+        ArtifactCache(tmp_path).put(digest, doc)
+        kill_mid_write(tmp_path)
+        assert ArtifactCache(tmp_path).get(digest) == doc
+
+
+class TestCampaign:
+    def test_small_campaign_holds_the_invariant(self, tmp_path):
+        report = run_chaos_campaign(
+            12,
+            config=ChaosConfig(drop_rate=0.1, delay_rate=0.1,
+                               delay_seconds=0.01, truncate_rate=0.05,
+                               garble_rate=0.05, seed=3),
+            cache_dir=tmp_path / "cache",
+            kill_writer=True,
+            seed=3,
+            deadline=30.0,
+        )
+        assert report["ok"], json.dumps(report, indent=2)
+        assert report["corrupted"] == []
+        assert report["untyped_failures"] == []
+        assert report["completed"] + sum(report["typed_failures"].values()) == 12
+        assert report["kill_mid_write"]["torn_digest_served"] is False
+        assert report["verify_scan"]["quarantined"] == []
+
+    def test_clean_campaign_completes_everything(self, tmp_path):
+        report = run_chaos_campaign(
+            8,
+            config=ChaosConfig(),  # no faults
+            cache_dir=tmp_path / "cache",
+            kill_writer=False,
+            seed=0,
+            deadline=30.0,
+        )
+        assert report["ok"]
+        assert report["completed"] == 8
+        assert report["typed_failures"] == {}
+        assert report["client_retries"] == 0

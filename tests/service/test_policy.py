@@ -1,0 +1,228 @@
+"""Tests for retry/backoff, circuit-breaker and server policies."""
+
+import pytest
+
+from repro.service.errors import (
+    CircuitOpen,
+    Overloaded,
+    ProtocolError,
+    ServerError,
+    ServiceTimeout,
+    TransportError,
+    error_fields,
+    reply_error,
+)
+from repro.service.policy import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    ServerPolicy,
+    request_digest,
+)
+
+
+class TestRequestDigest:
+    def test_ignores_id_and_idem(self):
+        base = {"op": "compile", "pattern": {"pattern": "ring"}}
+        tagged = dict(base, id=7, idem="ffffffffffffffff")
+        assert request_digest(base) == request_digest(tagged)
+
+    def test_sensitive_to_body(self):
+        a = {"op": "compile", "pattern": {"pattern": "ring"}}
+        b = {"op": "compile", "pattern": {"pattern": "transpose"}}
+        assert request_digest(a) != request_digest(b)
+
+    def test_key_order_irrelevant(self):
+        assert request_digest({"a": 1, "b": 2}) == request_digest({"b": 2, "a": 1})
+
+    def test_is_short_hex(self):
+        digest = request_digest({"op": "ping"})
+        assert len(digest) == 16
+        int(digest, 16)
+
+
+class TestRetryPolicy:
+    def test_full_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
+        assert policy.delay(0, rng=lambda: 0.0) == 0.0
+        assert policy.delay(0, rng=lambda: 1.0) == pytest.approx(0.1)
+        assert policy.delay(2, rng=lambda: 1.0) == pytest.approx(0.4)
+        # the per-delay ceiling caps the exponential growth
+        assert policy.delay(30, rng=lambda: 1.0) == pytest.approx(1.0)
+
+    def test_retry_after_is_a_floor(self):
+        policy = RetryPolicy(base_delay=0.1)
+        assert policy.delay(0, retry_after=0.5, rng=lambda: 0.0) == 0.5
+
+    def test_retryable_taxonomy(self):
+        policy = RetryPolicy()
+        assert policy.retryable(ServiceTimeout("slow"))
+        assert policy.retryable(Overloaded("shed"))
+        assert policy.retryable(TransportError("reset"))
+        assert not policy.retryable(ServerError("bug"))
+        assert not policy.retryable(ProtocolError("bad frame"))
+        assert not policy.retryable(ConnectionResetError())  # untyped
+
+    def test_plan_gives_up_after_attempts(self):
+        policy = RetryPolicy(attempts=3)
+        exc = TransportError("reset")
+        assert policy.plan(exc, 0, 0.0, rng=lambda: 0.5) is not None
+        assert policy.plan(exc, 1, 0.0, rng=lambda: 0.5) is not None
+        assert policy.plan(exc, 2, 0.0, rng=lambda: 0.5) is None
+
+    def test_plan_gives_up_on_non_retryable(self):
+        policy = RetryPolicy(attempts=10)
+        assert policy.plan(ServerError("bug"), 0, 0.0) is None
+
+    def test_plan_respects_budget(self):
+        policy = RetryPolicy(attempts=10, base_delay=1.0, budget_seconds=2.0)
+        exc = ServiceTimeout("slow")
+        assert policy.plan(exc, 0, 1.5, rng=lambda: 1.0) is None
+        assert policy.plan(exc, 0, 0.5, rng=lambda: 1.0) == pytest.approx(1.0)
+
+    def test_plan_honours_retry_after_hint(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.01)
+        shed = Overloaded("shed", retry_after=0.75)
+        assert policy.plan(shed, 0, 0.0, rng=lambda: 0.0) == 0.75
+
+    def test_single_attempt_never_retries(self):
+        policy = RetryPolicy(attempts=1)
+        assert policy.plan(ServiceTimeout("slow"), 0, 0.0) is None
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=5.0):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_timeout=reset, clock=clock
+        )
+        return breaker, clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_breaker_fast_fails(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpen):
+            breaker.check()
+        assert breaker.rejected == 1
+
+    def test_half_open_probe_after_reset_timeout(self):
+        breaker, clock = self.make(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.now += 4.9
+        with pytest.raises(CircuitOpen):
+            breaker.check()
+        clock.now += 0.1
+        breaker.check()  # probe admitted
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.now += 1.0
+        breaker.check()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.check()  # closed breaker admits freely
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = self.make(threshold=5, reset=1.0)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.now += 1.0
+        breaker.check()
+        breaker.record_failure()  # one probe failure is enough
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        with pytest.raises(CircuitOpen):
+            breaker.check()
+
+    def test_as_dict_snapshot(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record_failure()
+        out = breaker.as_dict()
+        assert out["state"] == OPEN
+        assert out["trips"] == 1
+
+
+class TestErrorTaxonomy:
+    def test_wire_round_trip(self):
+        for exc in (
+            ServerError("bug"),
+            ProtocolError("bad frame"),
+            ServiceTimeout("slow"),
+            TransportError("reset"),
+        ):
+            reply = {"ok": False, **error_fields(exc)}
+            back = reply_error(reply)
+            assert type(back) is type(exc)
+            assert back.retryable == exc.retryable
+
+    def test_overloaded_carries_retry_after(self):
+        fields = error_fields(Overloaded("shed", retry_after=0.5))
+        assert fields["retry_after"] == 0.5
+        back = reply_error({"ok": False, **fields})
+        assert isinstance(back, Overloaded)
+        assert back.retry_after == 0.5
+
+    def test_plain_value_error_maps_to_protocol(self):
+        assert error_fields(ValueError("unknown pattern"))["error_type"] == "protocol"
+
+    def test_unknown_exception_maps_to_server_error(self):
+        assert error_fields(KeyError("oops"))["error_type"] == "server_error"
+
+    def test_unknown_code_decodes_as_server_error(self):
+        back = reply_error({"ok": False, "error": "x", "error_type": "mystery"})
+        assert type(back) is ServerError
+
+    def test_legacy_except_clauses_still_match(self):
+        with pytest.raises(ValueError):
+            raise ProtocolError("bad frame")
+        with pytest.raises(TimeoutError):
+            raise ServiceTimeout("slow")
+        with pytest.raises(ConnectionError):
+            raise TransportError("reset")
+
+    def test_exit_codes(self):
+        assert ProtocolError.exit_code == 65
+        assert ServiceTimeout.exit_code == 124
+        assert Overloaded.exit_code == 75
+        assert CircuitOpen.exit_code == 75
+        assert ServerError.exit_code == 69
+
+
+class TestServerPolicy:
+    def test_defaults(self):
+        policy = ServerPolicy()
+        assert policy.request_deadline == 60.0
+        assert policy.max_pending == 64
+        assert policy.max_frame_bytes == 64 * 1024 * 1024
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServerPolicy().max_pending = 1
