@@ -449,6 +449,7 @@ def fault_campaign(
     seed: int = 0,
     topology: Torus2D | None = None,
     cache=None,
+    recovery: str = "reactive",
 ) -> list[dict[str, object]]:
     """Compiled-vs-dynamic degradation sweep over fiber-cut counts.
 
@@ -465,6 +466,13 @@ def fault_campaign(
     ``cache`` (an :class:`repro.service.cache.ArtifactCache`) lets the
     compiled model's reschedules reuse previously compiled artifacts
     for recurring degraded states.
+
+    ``recovery="protected"`` runs the compiled model with compile-time
+    protection: single-fiber cuts fail over to precomputed backup
+    configurations in ``params.failover_latency`` slots instead of
+    recompiling (see :mod:`repro.core.protection`); the
+    ``compiled_failovers``/``compiled_uncovered`` columns then separate
+    bounded failovers from reactive fallbacks.
     """
     from repro.simulator.compiled import simulate_compiled_faulty
     from repro.simulator.faults import FaultSchedule, random_fault_schedule
@@ -487,7 +495,7 @@ def fault_campaign(
                 topo, n, horizon, repair_after=repair_after, seed=seed + n
             )
         compiled = simulate_compiled_faulty(
-            topo, requests, schedule, params, cache=cache
+            topo, requests, schedule, params, cache=cache, recovery=recovery
         )
         dynamic = simulate_dynamic(
             topo, requests, degree, params, protocol=protocol, faults=schedule
@@ -502,6 +510,8 @@ def fault_campaign(
             "compiled_ttr": crec.get("time_to_recover_mean", 0.0),
             "compiled_degree_inflation": compiled.degree_inflation,
             "compiled_reschedules": compiled.reschedules,
+            "compiled_failovers": compiled.failovers,
+            "compiled_uncovered": compiled.uncovered,
             "compiled_lost": compiled.lost,
             "dynamic": dynamic.completion_time,
             "dynamic_slowdown_pct": 100.0
@@ -512,6 +522,99 @@ def fault_campaign(
             "dynamic_lost": dynamic.lost,
         })
     return rows
+
+
+def protection_sweep(
+    *,
+    pattern: str = "all-to-all",
+    size: int = 4,
+    scheduler: str = "combined",
+    fault_slot: int | None = None,
+    compare_reactive: bool = False,
+    params: SimParams = SimParams(),
+    topology: Torus2D | None = None,
+    cache=None,
+) -> dict[str, object]:
+    """Every single-fiber fault scenario under protected recovery.
+
+    Plans the pattern's protection once (what ``repro-tdm protect``
+    emits), then injects each covered scenario's fiber cut at
+    ``fault_slot`` (default: one slot after startup, so the whole
+    pattern is mid-flight) into a protected compiled run.  The per-
+    scenario rows carry the plan's ΔK overhead next to the measured
+    makespan, time-to-recover, failover/recompile counts and losses --
+    the acceptance evidence that protected recovery of a single-fiber
+    cut delivers everything with zero run-time recompiles.
+
+    ``compare_reactive=True`` additionally runs the reactive simulator
+    per scenario (expensive: one remainder recompile each) for the
+    reactive-vs-protected comparison in EXPERIMENTS.md.
+    """
+    from repro.core.protection import build_protection
+    from repro.simulator.compiled import simulate_compiled_faulty
+    from repro.simulator.faults import FaultSchedule
+
+    topo = topology or paper_torus()
+    requests = _campaign_requests(topo, pattern, size)
+    baseline = compiled_completion_time(topo, requests, params, scheduler=scheduler)
+    connections = route_requests(topo, requests)
+    schedule = get_scheduler(scheduler)(connections, topo)
+    protected = build_protection(topo, connections, schedule)
+    report = protected.overhead_report()
+    slot = fault_slot if fault_slot is not None else params.compiled_startup + 1
+
+    rows = []
+    for link in protected.scenarios:
+        plan = protected.plans[link]
+        row: dict[str, object] = {
+            "link": link,
+            "kind": plan.kind,
+            "affected": len(plan.affected),
+            "delta_k": plan.delta_k,
+        }
+        faults = FaultSchedule.from_tuples([(slot, "fail", link)])
+        run = simulate_compiled_faulty(
+            topo, requests, faults, params,
+            scheduler=scheduler, recovery="protected", protection=protected,
+        )
+        row.update({
+            "protected": run.completion_time,
+            "protected_ttr": max(
+                (e["time_to_recover"] for e in run.fault_log), default=0
+            ),
+            "protected_failovers": run.failovers,
+            "protected_recompiles": run.reschedules,
+            "protected_lost": run.lost,
+        })
+        if compare_reactive:
+            reactive = simulate_compiled_faulty(
+                topo, requests, faults, params, scheduler=scheduler, cache=cache
+            )
+            row.update({
+                "reactive": reactive.completion_time,
+                "reactive_ttr": max(
+                    (e["time_to_recover"] for e in reactive.fault_log),
+                    default=0,
+                ),
+                "reactive_recompiles": reactive.reschedules,
+                "reactive_lost": reactive.lost,
+            })
+        rows.append(row)
+
+    summary = {k: v for k, v in report.items() if k != "rows"}
+    summary.update({
+        "baseline": baseline.completion_time,
+        "recompiles": sum(r["protected_recompiles"] for r in rows),
+        "lost": sum(r["protected_lost"] for r in rows),
+        "ttr_max": max((r["protected_ttr"] for r in rows), default=0),
+        "protected_makespan_max": max(
+            (r["protected"] for r in rows), default=baseline.completion_time
+        ),
+    })
+    if compare_reactive and rows:
+        summary["reactive_makespan_max"] = max(r["reactive"] for r in rows)
+        summary["reactive_ttr_max"] = max(r["reactive_ttr"] for r in rows)
+    return {"pattern": pattern, "summary": summary, "rows": rows}
 
 
 # ----------------------------------------------------------------------

@@ -246,6 +246,78 @@ def _compile_artifact(args) -> None:
         print(f"wrote {args.output}")
 
 
+def _print_protect(args) -> None:
+    from collections import Counter
+
+    from repro.compiler.recognition import recognize
+    from repro.core.protection import ProtectionError
+    from repro.service import ArtifactCache
+    from repro.service.protect import protect_pattern
+    from repro.topology.torus import Torus2D
+
+    topo = Torus2D(args.width, args.height)
+    requests = recognize(json.loads(args.spec))
+    cache = ArtifactCache(args.cache) if args.cache else None
+    result = protect_pattern(
+        topo, requests, cache=cache, scheduler=args.algorithm
+    )
+    protected = result.protected
+    report = protected.overhead_report()
+    outcome = f"cache {result.cache}" if cache is not None else "no cache"
+    print(
+        f"protected {len(requests)} connections at degree "
+        f"{report['base_degree']} ({args.algorithm}, {outcome}, "
+        f"{result.seconds * 1e3:.1f} ms)"
+    )
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("fault scenarios", report["scenarios"]),
+            ("covered (failover-capable)", report["covered"]),
+            ("uncovered (reactive fallback)", report["uncovered"]),
+            ("degree-preserving repairs", report["degree_preserving"]),
+            ("max ΔK", report["max_delta_k"]),
+            ("mean ΔK", f"{report['mean_delta_k']:.2f}"),
+        ],
+        title=(
+            f"Single-fiber protection of {args.spec} on the "
+            f"{args.width}x{args.height} torus"
+        ),
+    ))
+    histogram = Counter(r["delta_k"] for r in report["rows"])
+    print(format_table(
+        ["ΔK", "scenarios"],
+        sorted(histogram.items()),
+        title="Backup-frame overhead histogram",
+    ))
+    worst = sorted(
+        report["rows"], key=lambda r: (-r["delta_k"], -r["affected"])
+    )[:5]
+    if worst and worst[0]["delta_k"]:
+        print(format_table(
+            ["link", "kind", "affected", "ΔK"],
+            [(r["link"], r["kind"], r["affected"], r["delta_k"])
+             for r in worst],
+            title="Worst scenarios",
+        ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result.doc, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.verify:
+        from repro.core.configuration import ScheduleValidationError
+
+        try:
+            protected.validate()
+        except (ProtectionError, ScheduleValidationError) as exc:
+            print(f"VERIFY FAILED: {exc}", file=sys.stderr)
+            raise SystemExit(70)  # EX_SOFTWARE: an illegal backup plan
+        print(
+            "verified: every covered backup schedule is conflict-free on "
+            "its faulted topology and covers all connections"
+        )
+
+
 def _print_perf(args) -> None:
     from repro.analysis.perfbench import BENCH_SCHEDULERS, kernel_benchmark
     from repro.analysis.stats import perf_rows
@@ -289,7 +361,8 @@ def _print_perf(args) -> None:
 
 def _print_faults(args) -> None:
     params = SimParams(seed=args.seed).with_(
-        recompile_latency=args.recompile_latency
+        recompile_latency=args.recompile_latency,
+        failover_latency=args.failover_latency,
     )
     cache = None
     if args.cache:
@@ -306,26 +379,34 @@ def _print_faults(args) -> None:
         params=params,
         seed=args.seed,
         cache=cache,
+        recovery=args.recovery,
     )
     data = [
         (
             r["faults"], r["compiled"], f"{r['compiled_slowdown_pct']:+.1f}%",
             r["compiled_ttr"], int(r["compiled_degree_inflation"]),
+            int(r["compiled_failovers"]), int(r["compiled_reschedules"]),
             int(r["compiled_lost"]), r["dynamic"],
             f"{r['dynamic_slowdown_pct']:+.1f}%", r["dynamic_ttr"],
             int(r["dynamic_fault_retries"]), int(r["dynamic_lost"]),
         )
         for r in rows
     ]
+    recovery_note = (
+        f"failover latency {args.failover_latency}"
+        if args.recovery == "protected"
+        else f"recompile latency {args.recompile_latency}"
+    )
     print(format_table(
-        ["faults", "comp", "comp%", "comp-ttr", "comp-K+", "comp-lost",
-         "dyn", "dyn%", "dyn-ttr", "dyn-fretry", "dyn-lost"],
+        ["faults", "comp", "comp%", "comp-ttr", "comp-K+", "comp-fo",
+         "comp-rs", "comp-lost", "dyn", "dyn%", "dyn-ttr", "dyn-fretry",
+         "dyn-lost"],
         data,
         title=(
             f"Fault campaign: {args.pattern} on the "
             f"{args.size}x{args.size} torus "
             f"(dynamic K={args.degree}, {args.protocol} protocol, "
-            f"recompile latency {args.recompile_latency})"
+            f"{args.recovery} recovery, {recovery_note})"
         ),
     ))
     if cache is not None:
@@ -617,10 +698,35 @@ def main(argv: list[str] | None = None) -> int:
                     default="dropping")
     pf.add_argument("--recompile-latency", type=_nonneg_arg, default=3,
                     help="slots the compiled model pays per reschedule")
+    pf.add_argument("--recovery", choices=["reactive", "protected"],
+                    default="reactive",
+                    help="compiled fault recovery: recompile at run time, "
+                    "or fail over to precomputed backup configurations")
+    pf.add_argument("--failover-latency", type=_nonneg_arg, default=1,
+                    help="slots a protected failover pays to swap register "
+                    "images")
     pf.add_argument("--cache", default=None,
                     help="artifact cache directory for recompilations")
     pf.add_argument("--output", default=None, help="write rows as JSON")
     pf.set_defaults(fn=_print_faults)
+
+    pr = sub.add_parser(
+        "protect",
+        help="plan single-fiber backup configurations for a pattern spec",
+    )
+    pr.add_argument("--spec", required=True,
+                    help='e.g. {"pattern": "all-to-all", "nodes": 64}')
+    pr.add_argument("--algorithm", default="combined")
+    pr.add_argument("--cache", default=None,
+                    help="artifact cache directory (protection artifacts)")
+    pr.add_argument("--verify", action="store_true",
+                    help="deep-validate every backup schedule "
+                    "(exit 70 on violation)")
+    pr.add_argument("--output", default=None,
+                    help="write the protection document as JSON")
+    pr.add_argument("--width", type=int, default=8)
+    pr.add_argument("--height", type=int, default=8)
+    pr.set_defaults(fn=_print_protect)
 
     pall = sub.add_parser("all", help="run every table and figure (quick settings)")
     pall.add_argument("--patterns", type=int, default=5)

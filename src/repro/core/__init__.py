@@ -40,6 +40,12 @@ from repro.core.combined import combined_schedule
 from repro.core.bounds import max_link_load_bound, degree_lower_bound
 from repro.core.registry import get_scheduler, scheduler_names
 from repro.core.weighted import WeightedSchedule, weighted_schedule, simulate_weighted
+from repro.core.protection import (
+    ProtectedSchedule,
+    ProtectionError,
+    ScenarioPlan,
+    build_protection,
+)
 
 __all__ = [
     "Request",
@@ -63,4 +69,8 @@ __all__ = [
     "weighted_schedule",
     "simulate_weighted",
     "scheduler_names",
+    "ProtectedSchedule",
+    "ProtectionError",
+    "ScenarioPlan",
+    "build_protection",
 ]

@@ -69,6 +69,14 @@ class PerfCounters:
     client_breaker_rejections: int = 0
     #: closed -> open circuit-breaker transitions.
     client_breaker_trips: int = 0
+    #: protected failovers executed (backup register-image swaps).
+    protect_failovers: int = 0
+    #: faults that hit an uncovered scenario (reactive recompile fallback).
+    protect_uncovered: int = 0
+    #: total backup frames (ΔK) activated across failovers.
+    protect_delta_k: int = 0
+    #: wall-clock seconds spent planning protection scenarios.
+    protect_build_seconds: float = 0.0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -1,0 +1,419 @@
+"""Compile-time protection: k=1 fault-tolerant schedules.
+
+The paper's premise is that connection scheduling moves **off-line**.
+PR 2's fault story undercut that: a mid-run fiber cut sends the
+compiled model back to the scheduler at run time, stalling every node
+for ``recompile_latency`` slots -- exactly the run-time control
+overhead compiled communication exists to eliminate.  Since the
+pattern is static, the compiler can instead enumerate fault scenarios
+ahead of time: for every single transit-fiber failure it emits a
+**backup configuration set**, so failover at run time is a bounded
+TDM-frame swap (reload the pre-distributed register images, resume
+``failover_latency`` slots later) with zero recompilation.
+
+For each scenario (one failed transit link ``L``):
+
+1. the **affected** connections -- those whose light path crosses
+   ``L`` -- are re-routed over a detour on the faulted topology
+   (:class:`~repro.topology.faults.FaultyTopology` routing: alternate
+   dimension orders, then BFS);
+2. each detour is packed back into the schedule, *preferring
+   degree-preserving repairs*: the connection's own slot first, then
+   any existing configuration with enough spare links;
+3. detours that fit nowhere go into appended **backup frames**; the
+   number of extra frames is the scenario's ``delta_k`` protection
+   overhead (the quantity the overhead report tabulates, analogous to
+   the paper's Tables 1-3 degree comparisons);
+4. a scenario whose detour does not exist (the fault partitions an
+   endpoint pair) is **uncovered**: run time must fall back to
+   reactive recompilation for it.
+
+Backup plans are *deltas* against the base schedule (moves + extra
+frames), so a :class:`ProtectedSchedule` for the 8x8 torus all-to-all
+(256 scenarios over a K=64 schedule) stays small; the full backup
+:class:`~repro.core.configuration.ConfigurationSet` of any scenario is
+materialised on demand and every placement is conflict-checked at
+construction time, so an illegal backup state cannot be built.
+
+Serialisation, content-addressed caching and canonicalization of
+protection artifacts live in :mod:`repro.service.protect`; the
+run-time consumer is ``simulate_compiled_faulty(...,
+recovery="protected")``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core import perf
+from repro.core.configuration import (
+    Configuration,
+    ConfigurationSet,
+    ScheduleValidationError,
+)
+from repro.core.paths import Connection
+from repro.topology.base import RoutingError, Topology
+from repro.topology.links import LinkKind
+
+#: Scenario classification (see :class:`ScenarioPlan.kind`).
+PLAN_KINDS = ("unaffected", "repacked", "augmented", "uncovered")
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """The precomputed backup plan for one single-link fault scenario.
+
+    Attributes
+    ----------
+    link:
+        The transit fiber whose failure this plan protects against.
+    kind:
+        ``"unaffected"`` -- no scheduled connection crosses the fiber,
+        the base schedule survives as-is; ``"repacked"`` -- every
+        detour packed into the existing K configurations
+        (degree-preserving repair, ``delta_k == 0``); ``"augmented"``
+        -- some detours needed appended backup frames; ``"uncovered"``
+        -- at least one affected pair is partitioned by the fault and
+        run time must recompile reactively.
+    affected:
+        Connection indices whose base route crosses ``link``.
+    detours:
+        ``index -> full detour light path`` on the faulted topology
+        (injection fiber first, ejection fiber last, never ``link``).
+    placements:
+        ``index -> backup slot``.  Slots ``>= K`` are backup frames.
+    delta_k:
+        Backup frames appended (the scenario's protection overhead).
+    reason:
+        Human-readable cause for an uncovered scenario, else ``None``.
+    """
+
+    link: int
+    kind: str
+    affected: tuple[int, ...] = ()
+    detours: Mapping[int, tuple[int, ...]] = field(default_factory=dict)
+    placements: Mapping[int, int] = field(default_factory=dict)
+    delta_k: int = 0
+    reason: str | None = None
+
+    @property
+    def covered(self) -> bool:
+        """True iff failover can swap to this plan without recompiling."""
+        return self.kind != "uncovered"
+
+    @property
+    def degree_preserving(self) -> bool:
+        """True iff the repair packed into the existing frame."""
+        return self.covered and self.delta_k == 0
+
+
+class ProtectionError(ValueError):
+    """A protection plan is inconsistent with its base schedule."""
+
+
+def _slot_candidates(preferred: int, degree: int) -> Iterable[int]:
+    """Slot probe order: the connection's own slot, then the rest."""
+    yield preferred
+    for s in range(degree):
+        if s != preferred:
+            yield s
+
+
+def _scenario_topology(topology: Topology, link: int):
+    """The topology with ``link`` (additionally) failed, as a fresh wrapper."""
+    from repro.topology.faults import FaultyTopology
+
+    if isinstance(topology, FaultyTopology):
+        return FaultyTopology(topology.base, set(topology.failed_links) | {link})
+    return FaultyTopology(topology, {link})
+
+
+def default_scenarios(topology: Topology) -> tuple[int, ...]:
+    """Every failable transit fiber of ``topology`` (k=1 scenario set).
+
+    For a :class:`~repro.topology.faults.FaultyTopology` the already
+    failed fibers are excluded -- they cannot fail again.
+    """
+    failed = getattr(topology, "failed_links", frozenset())
+    return tuple(
+        link
+        for link in range(topology.transit_link_base, topology.num_links)
+        if link not in failed
+    )
+
+
+def plan_scenario(
+    topology: Topology,
+    connections: Sequence[Connection],
+    schedule: ConfigurationSet,
+    link: int,
+) -> ScenarioPlan:
+    """Backup plan for the failure of one transit fiber.
+
+    Pure function of its arguments; ``schedule`` must be a valid
+    configuration set over ``connections`` (indices are positions in
+    the sequence).  Raises :class:`ProtectionError` if ``link`` is not
+    a transit fiber.
+    """
+    if topology.link_info(link).kind is not LinkKind.TRANSIT:
+        raise ProtectionError(
+            f"only transit fibers have fault scenarios; link {link} "
+            f"is {topology.link_info(link).kind.value}"
+        )
+    affected = tuple(
+        c.index for c in connections if link in c.link_set
+    )
+    if not affected:
+        return ScenarioPlan(link=link, kind="unaffected")
+
+    ftopo = _scenario_topology(topology, link)
+    detours: dict[int, tuple[int, ...]] = {}
+    for i in affected:
+        src, dst = connections[i].pair
+        try:
+            detours[i] = ftopo.route(src, dst)
+        except RoutingError as exc:
+            return ScenarioPlan(
+                link=link, kind="uncovered", affected=affected,
+                reason=f"connection {i} ({src}->{dst}): {exc}",
+            )
+
+    # Spare capacity of each existing configuration once the affected
+    # members are pulled out.  Members of a configuration are mutually
+    # link-disjoint, so removal is an exact set subtraction.
+    slot_of = schedule.slot_map()
+    slot_links = [set(cfg.used_links) for cfg in schedule]
+    for i in affected:
+        slot_links[slot_of[i]] -= connections[i].link_set
+
+    degree = schedule.degree
+    placements: dict[int, int] = {}
+    extra: list[set[int]] = []
+    # Longest detours first: they are the hardest to place, and a
+    # deterministic order keeps the artifact digest stable.
+    order = sorted(affected, key=lambda i: (-len(detours[i]), i))
+    for i in order:
+        dset = set(detours[i])
+        for s in _slot_candidates(slot_of[i], degree):
+            if slot_links[s].isdisjoint(dset):
+                slot_links[s] |= dset
+                placements[i] = s
+                break
+        else:
+            for j, backup in enumerate(extra):
+                if backup.isdisjoint(dset):
+                    backup |= dset
+                    placements[i] = degree + j
+                    break
+            else:
+                extra.append(dset)
+                placements[i] = degree + len(extra) - 1
+
+    return ScenarioPlan(
+        link=link,
+        kind="repacked" if not extra else "augmented",
+        affected=affected,
+        detours=detours,
+        placements=placements,
+        delta_k=len(extra),
+    )
+
+
+class ProtectedSchedule:
+    """A compiled schedule plus precomputed single-fault backup plans.
+
+    The run-time contract: for any covered scenario ``L``, swapping to
+    ``slot_map_for(L)`` / ``routes_for(L)`` at degree ``degree_for(L)``
+    yields a conflict-free schedule of **every** connection on the
+    topology with ``L`` removed.  Delivered messages simply leave their
+    slots unused, so a failover is valid at any point of the run.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        connections: Sequence[Connection],
+        schedule: ConfigurationSet,
+        plans: Mapping[int, ScenarioPlan],
+    ) -> None:
+        self.topology = topology
+        self.connections = list(connections)
+        self.schedule = schedule
+        self.plans = dict(plans)
+        self._base_slots = schedule.slot_map()
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        connections: Sequence[Connection],
+        schedule: ConfigurationSet,
+        *,
+        scenarios: Iterable[int] | None = None,
+    ) -> "ProtectedSchedule":
+        """Plan every scenario (default: all failable transit fibers)."""
+        links = (
+            tuple(scenarios) if scenarios is not None
+            else default_scenarios(topology)
+        )
+        t0 = perf.perf_timer()
+        plans = {
+            link: plan_scenario(topology, connections, schedule, link)
+            for link in links
+        }
+        perf.COUNTERS.protect_build_seconds += perf.perf_timer() - t0
+        return cls(topology, connections, schedule, plans)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def base_degree(self) -> int:
+        return self.schedule.degree
+
+    @property
+    def scenarios(self) -> tuple[int, ...]:
+        return tuple(sorted(self.plans))
+
+    def plan(self, link: int) -> ScenarioPlan | None:
+        return self.plans.get(link)
+
+    def covers(self, link: int) -> bool:
+        plan = self.plans.get(link)
+        return plan is not None and plan.covered
+
+    def base_slot_map(self) -> dict[int, int]:
+        return dict(self._base_slots)
+
+    def slot_map_for(self, link: int) -> dict[int, int]:
+        """Connection index -> slot under the backup plan for ``link``."""
+        plan = self._covered_plan(link)
+        slots = dict(self._base_slots)
+        slots.update(plan.placements)
+        return slots
+
+    def routes_for(self, link: int) -> dict[int, frozenset[int]]:
+        """Connection index -> link set under the backup plan."""
+        plan = self._covered_plan(link)
+        routes = {c.index: c.link_set for c in self.connections}
+        for i, path in plan.detours.items():
+            routes[i] = frozenset(path)
+        return routes
+
+    def degree_for(self, link: int) -> int:
+        return self.base_degree + self._covered_plan(link).delta_k
+
+    def _covered_plan(self, link: int) -> ScenarioPlan:
+        plan = self.plans.get(link)
+        if plan is None:
+            raise KeyError(f"no protection plan for link {link}")
+        if not plan.covered:
+            raise ProtectionError(
+                f"scenario for link {link} is uncovered: {plan.reason}"
+            )
+        return plan
+
+    # -- materialisation / validation --------------------------------------
+    def backup_connections(self, link: int) -> list[Connection]:
+        """The connection list with affected members on their detours."""
+        plan = self._covered_plan(link)
+        out = list(self.connections)
+        for i, path in plan.detours.items():
+            out[i] = Connection(i, self.connections[i].request, tuple(path))
+        return out
+
+    def backup_schedule(self, link: int) -> ConfigurationSet:
+        """The full backup configuration set for scenario ``link``.
+
+        Built with conflict-checked :meth:`Configuration.add`, so an
+        inconsistent plan raises instead of materialising.
+        """
+        slots = self.slot_map_for(link)
+        degree = self.degree_for(link)
+        configs = [Configuration() for _ in range(degree)]
+        try:
+            for c in self.backup_connections(link):
+                configs[slots[c.index]].add(c)
+        except ScheduleValidationError as exc:
+            raise ProtectionError(
+                f"backup plan for link {link} is not conflict-free: {exc}"
+            ) from exc
+        return ConfigurationSet(
+            configs, scheduler=f"{self.schedule.scheduler}+protect[{link}]"
+        )
+
+    def validate(self, *, scenarios: Iterable[int] | None = None) -> None:
+        """Re-validate every covered scenario's backup schedule.
+
+        Checks, per scenario: the detours avoid the failed fiber, the
+        backup configuration set is conflict-free, and it covers every
+        connection exactly once.  Raises :class:`ProtectionError` (or
+        :class:`ScheduleValidationError`) on the first violation.
+        """
+        links = tuple(scenarios) if scenarios is not None else self.scenarios
+        for link in links:
+            plan = self.plans[link]
+            if not plan.covered:
+                continue
+            for i, path in plan.detours.items():
+                if link in path:
+                    raise ProtectionError(
+                        f"scenario {link}: detour of connection {i} "
+                        "crosses the failed fiber"
+                    )
+            backup = self.backup_schedule(link)
+            backup.validate(self.backup_connections(link))
+
+    # -- reporting ---------------------------------------------------------
+    def overhead_report(self) -> dict[str, object]:
+        """Per-scenario ΔK overhead plus coverage summary.
+
+        The ``rows`` list (one entry per scenario: failed link,
+        classification, affected connection count, ΔK) is the
+        protection analogue of the paper's degree tables; the summary
+        keys feed the CLI and EXPERIMENTS.md.
+        """
+        rows = [
+            {
+                "link": link,
+                "kind": plan.kind,
+                "affected": len(plan.affected),
+                "delta_k": plan.delta_k,
+            }
+            for link, plan in sorted(self.plans.items())
+        ]
+        covered = [p for p in self.plans.values() if p.covered]
+        delta_ks = [p.delta_k for p in covered]
+        return {
+            "base_degree": self.base_degree,
+            "scenarios": len(self.plans),
+            "covered": len(covered),
+            "uncovered": len(self.plans) - len(covered),
+            "degree_preserving": sum(
+                1 for p in covered if p.degree_preserving
+            ),
+            "max_delta_k": max(delta_ks, default=0),
+            "mean_delta_k": (
+                sum(delta_ks) / len(delta_ks) if delta_ks else 0.0
+            ),
+            "rows": rows,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProtectedSchedule K={self.base_degree} "
+            f"scenarios={len(self.plans)}>"
+        )
+
+
+def build_protection(
+    topology: Topology,
+    connections: Sequence[Connection],
+    schedule: ConfigurationSet,
+    *,
+    scenarios: Iterable[int] | None = None,
+) -> ProtectedSchedule:
+    """Convenience wrapper around :meth:`ProtectedSchedule.build`."""
+    return ProtectedSchedule.build(
+        topology, connections, schedule, scenarios=scenarios
+    )

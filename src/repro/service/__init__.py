@@ -23,7 +23,10 @@ content-addressed, persistent, servable artifacts.
 * :mod:`repro.service.policy` -- retry/backoff, circuit-breaker and
   server admission/deadline policies;
 * :mod:`repro.service.chaos` -- the fault-injecting proxy and
-  kill-mid-write crash harness (``repro-tdm chaos``).
+  kill-mid-write crash harness (``repro-tdm chaos``);
+* :mod:`repro.service.protect` -- single-fault protection artifacts
+  (precomputed backup configuration sets), cached and canonicalized
+  like schedules (``repro-tdm protect``).
 """
 
 from repro.service.cache import ArtifactCache, CacheStats
@@ -48,6 +51,11 @@ from repro.service.errors import (
     ServiceTimeout,
     TransportError,
 )
+from repro.service.protect import (
+    ProtectResult,
+    protect_pattern,
+    verify_protection,
+)
 from repro.service.policy import (
     CircuitBreaker,
     RetryPolicy,
@@ -69,6 +77,7 @@ __all__ = [
     "CompileServer",
     "CompileService",
     "Overloaded",
+    "ProtectResult",
     "ProtocolError",
     "RetryPolicy",
     "ServerError",
@@ -78,7 +87,9 @@ __all__ = [
     "TransportError",
     "canonicalize",
     "compile_pattern",
+    "protect_pattern",
     "request_digest",
+    "verify_protection",
     "topology_from_spec",
     "topology_to_spec",
     "translation_group",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import perf
 from repro.core.configuration import ConfigurationSet
 from repro.core.paths import route_requests
 from repro.core.registry import get_scheduler
@@ -147,9 +148,19 @@ class CompiledFaultResult:
     lost: int
     messages: list[Message]
     #: one entry per ``fail`` event: slot, link, messages rescheduled,
-    #: time-to-recover (slots until transfers resumed; 0 for misses).
+    #: time-to-recover (slots until transfers resumed; 0 for misses),
+    #: and ``recovery`` (``"failover"``/``"recompile"``/``"none"``).
     fault_log: list[dict]
     params: SimParams
+    #: recovery mode the run used (``"reactive"`` or ``"protected"``).
+    recovery: str = "reactive"
+    #: protected failovers executed (backup register-image swaps).
+    failovers: int = 0
+    #: total slots spent paused in failovers.
+    failover_slots: int = 0
+    #: protected-mode faults that had to fall back to recompilation
+    #: (uncovered scenario, or backup routes blocked by other cuts).
+    uncovered: int = 0
 
     @property
     def makespan(self) -> int:
@@ -170,6 +181,8 @@ def simulate_compiled_faulty(
     *,
     scheduler: str = "combined",
     cache=None,
+    recovery: str = "reactive",
+    protection=None,
 ) -> CompiledFaultResult:
     """Compiled run of ``requests`` under a runtime fault schedule.
 
@@ -191,10 +204,28 @@ def simulate_compiled_faulty(
     schedule the *canonical* form of the remainder, so slot numbering
     (not validity or simulated cost model) can differ from an uncached
     run when the scheduler is sensitive to request order.
+
+    ``recovery="protected"`` precomputes (or accepts via ``protection``,
+    a :class:`~repro.core.protection.ProtectedSchedule` built over the
+    same request set) a backup configuration set for every single-fiber
+    fault at compile time.  A cut that hits a live route then **fails
+    over**: the precomputed backup register images for that scenario are
+    selected and the run resumes ``failover_latency`` slots later --
+    zero run-time scheduling.  Recompilation remains only as the
+    fallback for uncovered scenarios: a partitioning cut, or a backup
+    plan whose routes cross *another* fiber that is currently down
+    (double faults).  A failover is legal from any simulator state
+    because each scenario's backup schedule is a complete conflict-free
+    schedule of the whole pattern on the degraded topology -- delivered
+    messages just leave their slots dark.
     """
     from repro.topology.base import RoutingError
     from repro.topology.faults import FaultyTopology
 
+    if recovery not in ("reactive", "protected"):
+        raise ValueError(
+            f"recovery must be 'reactive' or 'protected', got {recovery!r}"
+        )
     if isinstance(topology, FaultyTopology):
         topo = FaultyTopology(topology.base, topology.failed_links)
     else:
@@ -210,13 +241,18 @@ def simulate_compiled_faulty(
     fault_log: list[dict] = []
     reschedules = 0
     recompile_slots = 0
+    failovers = 0
+    failover_slots = 0
+    uncovered_hits = 0
     slots: dict[int, int] = {}
     routes: dict[int, frozenset[int]] = {}
     degree = 1
+    protected_sched = None  # ProtectedSchedule once compiled
+    idx_to_mid: dict[int, int] = {}  # protection connection index -> mid
 
-    def compile_remaining(start: int) -> None:
-        """(Re)schedule every undelivered message on the current topology."""
-        nonlocal lost_count, slots, routes, degree
+    def drop_unroutable(start: int) -> list[int]:
+        """Declare partitioned messages lost; return the routable mids."""
+        nonlocal lost_count
         live: list[int] = []
         for mid in sorted(remaining):
             m = messages[mid]
@@ -230,6 +266,12 @@ def simulate_compiled_faulty(
         for mid in list(remaining):
             if messages[mid].lost is not None:
                 del remaining[mid]
+        return live
+
+    def compile_remaining(start: int) -> None:
+        """(Re)schedule every undelivered message on the current topology."""
+        nonlocal slots, routes, degree
+        live = drop_unroutable(start)
         slots, routes = {}, {}
         if not live:
             degrees.append(degree)
@@ -302,6 +344,123 @@ def simulate_compiled_faulty(
             m.delivered = transfer_finish(t0, slots[mid], degree, chunks)
             del remaining[mid]
 
+    def compile_initial_protected(start: int) -> None:
+        """Initial compile + protection planning (protected mode only).
+
+        Tags every sub-request with its message id, so the protection's
+        connection indices map back to messages no matter how the cache
+        canonicalizes the pattern.
+        """
+        nonlocal slots, routes, degree, protected_sched, idx_to_mid
+        live = drop_unroutable(start)
+        slots, routes = {}, {}
+        if not live:
+            degrees.append(degree)
+            return
+        sched_topo = topo if topo.failed_links else topo.base
+        if protection is not None:
+            ptopo = protection.topology
+            pfailed = frozenset(getattr(ptopo, "failed_links", ()))
+            pbase = getattr(ptopo, "base", ptopo)
+            if topo.failed_links or pfailed:
+                raise ValueError(
+                    "an external protection requires an undegraded start "
+                    "(no slot-0 fault events, pristine topologies)"
+                )
+            if pbase.signature != topo.base.signature:
+                raise ValueError(
+                    f"protection built for {pbase.signature!r}, "
+                    f"simulating {topo.base.signature!r}"
+                )
+            conns = protection.connections
+            if len(conns) != len(live) or any(
+                c.pair != (messages[mid].src, messages[mid].dst)
+                for c, mid in zip(conns, live)
+            ):
+                raise ValueError(
+                    "protection does not cover this request set "
+                    "(endpoints differ)"
+                )
+            protected_sched = protection
+            idx_to_mid = {c.index: mid for c, mid in zip(conns, live)}
+        elif cache is not None:
+            from repro.service.protect import protect_pattern
+
+            tuples = [
+                (messages[mid].src, messages[mid].dst, remaining[mid], mid)
+                for mid in live
+            ]
+            try:
+                presult = protect_pattern(
+                    sched_topo, tuples, cache=cache, scheduler=scheduler
+                )
+            except RoutingError:
+                presult = protect_pattern(
+                    sched_topo, tuples, cache=cache, scheduler="coloring"
+                )
+            protected_sched = presult.protected
+            idx_to_mid = {
+                c.index: c.request.tag for c in protected_sched.connections
+            }
+        else:
+            from repro.core.protection import build_protection
+            from repro.core.requests import Request
+
+            sub = RequestSet(
+                (
+                    Request(
+                        messages[mid].src, messages[mid].dst,
+                        size=remaining[mid], tag=mid,
+                    )
+                    for mid in live
+                ),
+                allow_duplicates=True,
+            )
+            connections = route_requests(sched_topo, sub)
+            try:
+                schedule = get_scheduler(scheduler)(connections, sched_topo)
+            except RoutingError:
+                schedule = get_scheduler("coloring")(connections, sched_topo)
+            protected_sched = build_protection(sched_topo, connections, schedule)
+            idx_to_mid = {c.index: c.request.tag for c in connections}
+        base_slots = protected_sched.base_slot_map()
+        degree = max(protected_sched.base_degree, 1)
+        degrees.append(protected_sched.base_degree)
+        for c in protected_sched.connections:
+            mid = idx_to_mid[c.index]
+            slots[mid] = base_slots[c.index]
+            routes[mid] = c.link_set
+            messages[mid].slot = slots[mid]
+            messages[mid].established = start
+
+    def plan_failover(link: int):
+        """Backup state for ``link``, or None if failover is unsafe.
+
+        Unsafe: no covered plan, a remaining message outside the
+        protection's scope, or a backup route crossing *another* fiber
+        that is currently down (the plan assumed only ``link`` failed).
+        """
+        prot = protected_sched
+        if prot is None or not prot.covers(link):
+            return None
+        slot_map = prot.slot_map_for(link)
+        route_map = prot.routes_for(link)
+        mid_to_idx = {mid: idx for idx, mid in idx_to_mid.items()}
+        bad = topo.failed_links
+        new_slots: dict[int, int] = {}
+        new_routes: dict[int, frozenset[int]] = {}
+        for mid in remaining:
+            idx = mid_to_idx.get(mid)
+            if idx is None:
+                return None
+            r = route_map[idx]
+            if not r.isdisjoint(bad):
+                return None
+            new_slots[mid] = slot_map[idx]
+            new_routes[mid] = r
+        plan = prot.plan(link)
+        return new_slots, new_routes, prot.degree_for(link), plan.delta_k
+
     events = list(faults)
     applied = 0
     while applied < len(events) and events[applied].slot <= 0:
@@ -310,7 +469,10 @@ def simulate_compiled_faulty(
         applied += 1
 
     t = params.compiled_startup
-    compile_remaining(t)
+    if recovery == "protected":
+        compile_initial_protected(t)
+    else:
+        compile_remaining(t)
     initial_degree = degrees[0]
 
     for ev in events[applied:]:
@@ -320,26 +482,53 @@ def simulate_compiled_faulty(
             t = ev.slot
         if ev.action == "restore":
             # Keep streaming on the current (still valid) schedule; the
-            # repaired fiber is picked up by the next recompilation.
+            # repaired fiber is picked up by the next recompilation or
+            # failover (both recheck the live failed-link set).
             topo.restore_link(ev.link)
             continue
         topo.fail_link(ev.link)
         hit = any(ev.link in routes[mid] for mid in remaining)
         if remaining and hit:
-            resume = max(t, ev.slot) + params.recompile_latency
-            compile_remaining(resume)
-            reschedules += 1
-            recompile_slots += resume - max(t, ev.slot)
-            fault_log.append(
-                {"slot": ev.slot, "link": ev.link,
-                 "rescheduled": len(remaining),
-                 "time_to_recover": resume - ev.slot}
-            )
+            at = max(t, ev.slot)
+            swap = plan_failover(ev.link) if recovery == "protected" else None
+            if swap is not None:
+                new_slots, new_routes, new_degree, delta_k = swap
+                resume = at + params.failover_latency
+                slots, routes = new_slots, new_routes
+                degree = max(new_degree, 1)
+                degrees.append(new_degree)
+                for mid in remaining:
+                    messages[mid].slot = slots[mid]
+                    messages[mid].established = resume
+                failovers += 1
+                failover_slots += resume - at
+                perf.COUNTERS.protect_failovers += 1
+                perf.COUNTERS.protect_delta_k += delta_k
+                fault_log.append(
+                    {"slot": ev.slot, "link": ev.link,
+                     "rescheduled": len(remaining),
+                     "time_to_recover": resume - ev.slot,
+                     "recovery": "failover", "delta_k": delta_k}
+                )
+            else:
+                if recovery == "protected":
+                    uncovered_hits += 1
+                    perf.COUNTERS.protect_uncovered += 1
+                resume = at + params.recompile_latency
+                compile_remaining(resume)
+                reschedules += 1
+                recompile_slots += resume - at
+                fault_log.append(
+                    {"slot": ev.slot, "link": ev.link,
+                     "rescheduled": len(remaining),
+                     "time_to_recover": resume - ev.slot,
+                     "recovery": "recompile"}
+                )
             t = resume
         else:
             fault_log.append(
                 {"slot": ev.slot, "link": ev.link, "rescheduled": 0,
-                 "time_to_recover": 0}
+                 "time_to_recover": 0, "recovery": "none"}
             )
     if remaining:
         advance(t, None)
@@ -359,6 +548,10 @@ def simulate_compiled_faulty(
         messages=messages,
         fault_log=fault_log,
         params=params,
+        recovery=recovery,
+        failovers=failovers,
+        failover_slots=failover_slots,
+        uncovered=uncovered_hits,
     )
 
 

@@ -55,13 +55,20 @@ class FaultEvent:
 class FaultSchedule:
     """An ordered list of fail/restore events applied during a run.
 
-    Events are kept sorted by slot (stable for same-slot events, so a
-    ``fail`` followed by a ``restore`` of the same link in one slot
-    keeps that order).  The schedule is immutable once built.
+    Events are kept sorted by slot; **within a slot, restores apply
+    before failures** (stable among events of the same kind).  The slot
+    boundary therefore has one deterministic meaning: repairs land
+    first, then cuts -- a fiber restored and a *different* fiber cut in
+    the same slot never depend on input order, and a same-slot
+    fail+restore of one fiber is rejected as inconsistent (the restore
+    would precede its failure).  The schedule is immutable once built.
     """
 
     def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
-        ordered = sorted(enumerate(events), key=lambda iv: (iv[1].slot, iv[0]))
+        ordered = sorted(
+            enumerate(events),
+            key=lambda iv: (iv[1].slot, 0 if iv[1].action == "restore" else 1, iv[0]),
+        )
         self._events: tuple[FaultEvent, ...] = tuple(e for _, e in ordered)
         self._check_consistency()
 
@@ -145,10 +152,14 @@ def random_fault_schedule(
     Failure slots are drawn uniformly from ``[1, horizon]``; with
     ``repair_after`` set, each cut fiber is restored that many slots
     later (an intermittent-fault model; default: cuts are permanent).
-    Deterministic in ``seed``.
+    ``repair_after`` must be at least 1: a same-slot fail+restore of
+    one fiber is meaningless under the schedule's restore-first slot
+    ordering and is rejected.  Deterministic in ``seed``.
     """
     if num_faults < 0:
         raise ValueError("num_faults must be >= 0")
+    if repair_after is not None and repair_after < 1:
+        raise ValueError("repair_after must be >= 1 (restores apply first in a slot)")
     if horizon < 1:
         raise ValueError("horizon must be >= 1")
     if num_faults > topology.num_transit_links:

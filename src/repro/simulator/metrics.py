@@ -88,4 +88,8 @@ def recovery_summary(result) -> dict[str, float]:
         out["degree_inflation"] = float(result.degree_inflation)
         out["reschedules"] = float(result.reschedules)
         out["recompile_slots"] = float(result.recompile_slots)
+    if getattr(result, "recovery", None) == "protected":
+        out["failovers"] = float(result.failovers)
+        out["failover_slots"] = float(result.failover_slots)
+        out["uncovered"] = float(result.uncovered)
     return out

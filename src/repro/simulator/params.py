@@ -43,6 +43,14 @@ substitutions (see DESIGN.md section 3):
     the same operation); the fault campaign sweeps it to ask when
     re-establishing circuits pays off at all.
 
+``failover_latency``
+    Slots a **protected** failover pays to swap to a precomputed backup
+    configuration set after a fiber cut: select the scenario's register
+    images (already distributed at load time) and resynchronise.  1 --
+    no routes or slots are computed at run time, so the swap is an
+    image-select plus one sync slot, an order cheaper than
+    ``recompile_latency`` and independent of pattern size.
+
 ``fault_retry_limit``
     Dynamic control under faults: consecutive routing failures (source
     and destination disconnected by the current fiber cuts) a message
@@ -70,6 +78,7 @@ class SimParams:
     retry_backoff: int = 16
     hold_timeout: int = 64
     recompile_latency: int = 3
+    failover_latency: int = 1
     fault_retry_limit: int = 32
     seed: int = 0
     max_slots: int = 10_000_000
@@ -87,6 +96,8 @@ class SimParams:
             raise ValueError("hold_timeout must be >= 1")
         if self.recompile_latency < 0:
             raise ValueError("recompile_latency must be >= 0")
+        if self.failover_latency < 0:
+            raise ValueError("failover_latency must be >= 0")
         if self.fault_retry_limit < 1:
             raise ValueError("fault_retry_limit must be >= 1")
         if self.max_slots < 1:

@@ -1,0 +1,218 @@
+"""Unit tests for compile-time protection planning.
+
+``plan_scenario`` / ``ProtectedSchedule`` are the trust anchor of the
+whole failover story: the run-time swap in
+``simulate_compiled_faulty(recovery="protected")`` is only legal
+because every covered backup schedule is a complete conflict-free
+schedule on its faulted topology.  These tests pin the plan
+classification, the degree-preserving packing preference, the
+materialisation checks, and the refusal paths.
+"""
+
+import pytest
+
+from repro.core import (
+    ProtectedSchedule,
+    ProtectionError,
+    RequestSet,
+    build_protection,
+    get_scheduler,
+    route_requests,
+)
+from repro.core.protection import default_scenarios, plan_scenario
+from repro.patterns.classic import all_to_all_pattern, transpose_pattern
+from repro.topology.faults import FaultyTopology
+from repro.topology.linear import LinearArray
+from repro.topology.torus import Torus2D
+
+
+def compiled(topo, requests, scheduler="combined"):
+    connections = route_requests(topo, requests)
+    schedule = get_scheduler(scheduler)(connections, topo)
+    schedule.validate(connections)
+    return connections, schedule
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return Torus2D(4)
+
+
+@pytest.fixture(scope="module")
+def a2a(torus):
+    return compiled(torus, all_to_all_pattern(16, size=4))
+
+
+class TestPlanScenario:
+    def test_non_transit_link_rejected(self, torus, a2a):
+        connections, schedule = a2a
+        with pytest.raises(ProtectionError, match="transit"):
+            plan_scenario(torus, connections, schedule, 0)  # inject fiber
+
+    def test_unaffected_when_no_route_crosses(self, torus):
+        # A single one-hop connection touches exactly one transit fiber;
+        # every other scenario is unaffected.
+        requests = RequestSet.from_pairs([(0, 1)])
+        connections, schedule = compiled(torus, requests)
+        used = set(connections[0].link_set)
+        spare = next(
+            l for l in default_scenarios(torus) if l not in used
+        )
+        plan = plan_scenario(torus, connections, schedule, spare)
+        assert plan.kind == "unaffected"
+        assert plan.affected == ()
+        assert plan.delta_k == 0
+        assert plan.covered and plan.degree_preserving
+
+    def test_affected_set_is_exact(self, torus, a2a):
+        connections, schedule = a2a
+        link = next(
+            l for l in default_scenarios(torus)
+            if any(l in c.link_set for c in connections)
+        )
+        plan = plan_scenario(torus, connections, schedule, link)
+        assert set(plan.affected) == {
+            c.index for c in connections if link in c.link_set
+        }
+        assert plan.covered
+        # Every affected connection got a detour and a placement.
+        assert set(plan.detours) == set(plan.affected)
+        assert set(plan.placements) == set(plan.affected)
+
+    def test_detours_avoid_failed_fiber(self, torus, a2a):
+        connections, schedule = a2a
+        for link in default_scenarios(torus)[:8]:
+            plan = plan_scenario(torus, connections, schedule, link)
+            for path in plan.detours.values():
+                assert link not in path
+
+    def test_uncovered_when_fault_partitions(self):
+        # On a linear array the fiber 0->1 is the only way out of node
+        # 0: its failure partitions the pair and the scenario must be
+        # uncovered, never silently mis-planned.
+        topo = LinearArray(5)
+        requests = RequestSet.from_pairs([(0, 4)])
+        connections, schedule = compiled(topo, requests)
+        cut = connections[0].links[1]  # first transit hop, 0 -> 1
+        plan = plan_scenario(topo, connections, schedule, cut)
+        assert plan.kind == "uncovered"
+        assert not plan.covered
+        assert plan.reason and "0->4" in plan.reason
+
+    def test_transpose_repairs_degree_preserving(self):
+        # The transpose permutation leaves most fibers dark, so every
+        # detour packs into existing spare slots: the packing preference
+        # (own slot, then existing frames, only then backup frames)
+        # must find those placements.
+        topo = Torus2D(8)
+        connections, schedule = compiled(topo, transpose_pattern(8))
+        protected = build_protection(topo, connections, schedule)
+        report = protected.overhead_report()
+        assert report["uncovered"] == 0
+        assert report["degree_preserving"] == report["scenarios"]
+        assert report["max_delta_k"] == 0
+
+    def test_deterministic(self, torus, a2a):
+        connections, schedule = a2a
+        link = default_scenarios(torus)[0]
+        a = plan_scenario(torus, connections, schedule, link)
+        b = plan_scenario(torus, connections, schedule, link)
+        assert a == b
+
+
+class TestProtectedSchedule:
+    @pytest.fixture(scope="class")
+    def protected(self, torus, a2a):
+        connections, schedule = a2a
+        return build_protection(torus, connections, schedule)
+
+    def test_all_torus_scenarios_covered(self, torus, protected):
+        assert protected.scenarios == default_scenarios(torus)
+        assert all(protected.covers(l) for l in protected.scenarios)
+
+    def test_backup_schedules_validate(self, protected):
+        protected.validate()
+
+    def test_backup_schedule_is_conflict_free_without_fiber(self, protected):
+        for link in protected.scenarios[:6]:
+            backup = protected.backup_schedule(link)
+            backup.validate(protected.backup_connections(link))
+            for cfg in backup:
+                assert link not in cfg.used_links
+
+    def test_slot_map_matches_placements(self, protected):
+        link = next(
+            l for l in protected.scenarios
+            if protected.plans[l].affected
+        )
+        plan = protected.plans[link]
+        slots = protected.slot_map_for(link)
+        base = protected.base_slot_map()
+        for i in plan.affected:
+            assert slots[i] == plan.placements[i]
+        for i in set(base) - set(plan.affected):
+            assert slots[i] == base[i]
+        assert max(slots.values()) < protected.degree_for(link)
+
+    def test_routes_swap_only_affected(self, protected):
+        link = next(
+            l for l in protected.scenarios
+            if protected.plans[l].affected
+        )
+        plan = protected.plans[link]
+        routes = protected.routes_for(link)
+        for i in plan.affected:
+            assert routes[i] == frozenset(plan.detours[i])
+            assert link not in routes[i]
+        for c in protected.connections:
+            if c.index not in plan.affected:
+                assert routes[c.index] == c.link_set
+
+    def test_unknown_scenario_raises_keyerror(self, protected):
+        with pytest.raises(KeyError):
+            protected.slot_map_for(10**6)
+
+    def test_uncovered_scenario_refuses_failover_state(self):
+        topo = LinearArray(5)
+        requests = RequestSet.from_pairs([(0, 4), (4, 0)])
+        connections, schedule = compiled(topo, requests)
+        protected = build_protection(topo, connections, schedule)
+        bad = next(l for l in protected.scenarios if not protected.covers(l))
+        with pytest.raises(ProtectionError, match="uncovered"):
+            protected.slot_map_for(bad)
+        report = protected.overhead_report()
+        assert report["uncovered"] > 0
+        # validate() skips uncovered scenarios rather than failing.
+        protected.validate()
+
+    def test_scenario_subset_build(self, torus, a2a):
+        connections, schedule = a2a
+        links = default_scenarios(torus)[:3]
+        protected = ProtectedSchedule.build(
+            torus, connections, schedule, scenarios=links
+        )
+        assert protected.scenarios == tuple(sorted(links))
+
+    def test_overhead_report_shape(self, protected):
+        report = protected.overhead_report()
+        assert report["scenarios"] == len(protected.scenarios)
+        assert report["covered"] + report["uncovered"] == report["scenarios"]
+        assert len(report["rows"]) == report["scenarios"]
+        assert all(
+            row["kind"] in ("unaffected", "repacked", "augmented", "uncovered")
+            for row in report["rows"]
+        )
+        assert report["max_delta_k"] == max(
+            row["delta_k"] for row in report["rows"]
+        )
+
+    def test_degraded_base_excludes_failed_fiber(self, torus):
+        # Protection over an already-degraded topology never plans the
+        # dead fiber again and detours avoid it too.
+        dead = default_scenarios(torus)[0]
+        ftopo = FaultyTopology(torus, {dead})
+        requests = all_to_all_pattern(16, size=2)
+        connections, schedule = compiled(ftopo, requests)
+        protected = build_protection(ftopo, connections, schedule)
+        assert dead not in protected.scenarios
+        protected.validate()

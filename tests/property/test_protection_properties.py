@@ -1,0 +1,142 @@
+"""Property-based tests for compile-time protection.
+
+Three invariants, over random patterns and random fault scenarios on
+the 4x4 torus:
+
+* **Backup validity** -- every covered scenario's backup configuration
+  set is a conflict-free schedule of the *whole* pattern that never
+  touches the failed fiber (this is what makes a run-time failover
+  legal from any simulator state).
+* **Coverage** -- a covered plan detours and places exactly the
+  affected connections; unaffected ones keep their base slot/route.
+* **Translation invariance** -- protecting a translated copy of a
+  pattern hits the same cache entry, and the detranslated document
+  still deep-validates on the base topology (the stored-detour story:
+  BFS tie-breaks are not translation-equivariant, so this only holds
+  because detours are carried through ``translate_link``, never
+  recomputed).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.paths import route_requests
+from repro.core.protection import build_protection, default_scenarios
+from repro.core.registry import get_scheduler
+from repro.core.requests import RequestSet
+from repro.service.cache import ArtifactCache
+from repro.service.protect import protect_pattern, protection_from_dict
+from repro.topology.torus import Torus2D
+
+TORUS = Torus2D(4)
+N = TORUS.num_nodes
+
+
+@st.composite
+def patterns(draw):
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        )
+    )
+    return RequestSet.from_pairs(pairs)
+
+
+def compiled(requests):
+    connections = route_requests(TORUS, requests)
+    schedule = get_scheduler("combined")(connections, TORUS)
+    schedule.validate(connections)
+    return connections, schedule
+
+
+class TestBackupValidity:
+    @given(patterns(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_backup_schedule_valid_and_avoids_fiber(self, requests, pick):
+        connections, schedule = compiled(requests)
+        scenarios = default_scenarios(TORUS)
+        link = scenarios[pick % len(scenarios)]
+        protected = build_protection(
+            TORUS, connections, schedule, scenarios=[link]
+        )
+        plan = protected.plan(link)
+        # The torus is 2-connected in every dimension: a single transit
+        # cut never partitions it, so every scenario must be covered.
+        assert plan.covered
+        backup = protected.backup_schedule(link)
+        backup.validate(protected.backup_connections(link))
+        assert all(link not in cfg.used_links for cfg in backup)
+        assert backup.degree == schedule.degree + plan.delta_k
+
+    @given(patterns(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_covers_exactly_the_affected_set(self, requests, pick):
+        connections, schedule = compiled(requests)
+        scenarios = default_scenarios(TORUS)
+        link = scenarios[pick % len(scenarios)]
+        protected = build_protection(
+            TORUS, connections, schedule, scenarios=[link]
+        )
+        plan = protected.plan(link)
+        affected = {c.index for c in connections if link in c.link_set}
+        assert set(plan.affected) == affected
+        assert set(plan.detours) == affected
+        assert set(plan.placements) == affected
+        slots = protected.slot_map_for(link)
+        routes = protected.routes_for(link)
+        base_slots = protected.base_slot_map()
+        for c in connections:
+            if c.index in affected:
+                assert link not in routes[c.index]
+            else:
+                assert slots[c.index] == base_slots[c.index]
+                assert routes[c.index] == c.link_set
+
+
+class TestTranslationInvariance:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        ),
+        # Only even offsets are admissible routing symmetries of a
+        # balanced-tie-break even torus (see ``translation_group``).
+        st.sampled_from([0, 2]),
+        st.sampled_from([0, 2]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_translated_pattern_shares_entry_and_validates(
+        self, pairs, dx, dy
+    ):
+        def shift(v):
+            x, y = v % 4, v // 4
+            return ((x + dx) % 4) + 4 * ((y + dy) % 4)
+
+        shifted = [(shift(s), shift(d)) for s, d in pairs]
+        cache = ArtifactCache()
+        base = protect_pattern(TORUS, pairs, cache=cache)
+        other = protect_pattern(TORUS, shifted, cache=cache)
+        # Same canonical pattern -> same digest -> second call hits.
+        assert other.digest == base.digest
+        assert base.cache == "miss"
+        assert other.cache == "hit"
+        # The detranslated artifacts deep-validate in caller ids.
+        base.protected.validate()
+        other.protected.validate()
+        # And the documents decode standalone (structural audit).
+        protection_from_dict(TORUS, base.doc)
+        protection_from_dict(TORUS, other.doc)
+        # The served plans protect the *caller's* request set.
+        assert sorted(
+            c.request.pair for c in other.protected.connections
+        ) == sorted(shifted)

@@ -29,9 +29,26 @@ class TestFaultSchedule:
         fs = FaultSchedule.from_tuples([(30, "fail", 200), (10, "fail", 150)])
         assert [e.slot for e in fs] == [10, 30]
 
-    def test_same_slot_keeps_order(self):
-        fs = FaultSchedule.from_tuples([(5, "fail", 150), (5, "restore", 150)])
-        assert [e.action for e in fs] == ["fail", "restore"]
+    def test_same_slot_restore_applies_first(self):
+        # Within one slot, restores deterministically precede failures
+        # regardless of input order.
+        fs = FaultSchedule.from_tuples(
+            [(2, "fail", 150), (5, "fail", 160), (5, "restore", 150)]
+        )
+        assert [(e.slot, e.action) for e in fs] == [
+            (2, "fail"), (5, "restore"), (5, "fail")
+        ]
+        assert fs.failed_at(5) == {160}
+
+    def test_same_slot_fail_restore_of_one_link_rejected(self):
+        # Restore-first ordering makes a same-slot fail+restore of one
+        # fiber a restore without a preceding failure.
+        with pytest.raises(ValueError, match="preceding"):
+            FaultSchedule.from_tuples([(5, "fail", 150), (5, "restore", 150)])
+
+    def test_random_schedule_rejects_zero_repair(self, torus8):
+        with pytest.raises(ValueError, match="repair_after"):
+            random_fault_schedule(torus8, 1, 50, repair_after=0)
 
     def test_bad_action_rejected(self):
         with pytest.raises(ValueError, match="action"):

@@ -1,0 +1,217 @@
+"""Protected recovery in the compiled fault simulator.
+
+``recovery="protected"`` swaps to a precomputed backup register image
+in ``failover_latency`` slots instead of recompiling.  These tests pin
+the failover accounting (zero run-time reschedules for covered cuts),
+the bounded time-to-recover, the reactive fallback for double faults,
+and the restore-path regression extending PR 3's route-cache tests:
+a fiber that fails, is repaired, and is followed by a *different* cut
+must see two clean failovers -- no stale failed-link state may leak
+into the second failover's safety check.
+"""
+
+import pytest
+
+from repro.core import RequestSet, build_protection, get_scheduler, route_requests
+from repro.core import perf
+from repro.simulator.compiled import simulate_compiled_faulty
+from repro.simulator.faults import FaultSchedule
+from repro.simulator.metrics import recovery_summary
+from repro.simulator.params import SimParams
+from repro.topology.torus import Torus2D
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return Torus2D(4)
+
+
+@pytest.fixture(scope="module")
+def a2a():
+    n = 16
+    return RequestSet.from_pairs(
+        [(s, d) for s in range(n) for d in range(n) if s != d]
+    )
+
+
+def one_cut(torus, slot=6):
+    """A mid-run cut of a fiber that all-to-all certainly uses."""
+    link = torus.route(0, 5)[1]
+    return FaultSchedule.from_tuples([(slot, "fail", link)])
+
+
+class TestProtectedFailover:
+    def test_covered_cut_fails_over_without_recompiling(self, torus, a2a):
+        result = simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), SimParams(), recovery="protected"
+        )
+        assert result.recovery == "protected"
+        assert result.failovers == 1
+        assert result.reschedules == 0
+        assert result.uncovered == 0
+        assert result.lost == 0
+        assert all(m.delivered for m in result.messages)
+        [entry] = result.fault_log
+        assert entry["recovery"] == "failover"
+        assert entry["delta_k"] >= 0
+
+    def test_ttr_is_exactly_failover_latency(self, torus, a2a):
+        params = SimParams(failover_latency=3)
+        result = simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), params, recovery="protected"
+        )
+        [entry] = result.fault_log
+        assert entry["time_to_recover"] == params.failover_latency
+        assert result.failover_slots == params.failover_latency
+
+    def test_failover_beats_reactive_recompile(self, torus, a2a):
+        # Same cut, same pattern: the protected run recovers in
+        # failover_latency slots, the reactive run pays the (larger)
+        # recompile latency.  Both deliver everything.
+        params = SimParams(recompile_latency=10, failover_latency=1)
+        reactive = simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), params, recovery="reactive"
+        )
+        protected = simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), params, recovery="protected"
+        )
+        assert reactive.reschedules == 1 and reactive.lost == 0
+        assert protected.failovers == 1 and protected.lost == 0
+        assert (
+            protected.fault_log[0]["time_to_recover"]
+            < reactive.fault_log[0]["time_to_recover"]
+        )
+
+    def test_miss_leaves_schedule_alone(self, torus):
+        # A cut that no live route crosses: no failover, no recompile.
+        requests = RequestSet.from_pairs([(0, 1)])
+        used = set(route_requests(torus, requests)[0].links)
+        spare = next(
+            l for l in range(torus.transit_link_base, torus.num_links)
+            if l not in used
+        )
+        faults = FaultSchedule.from_tuples([(2, "fail", spare)])
+        result = simulate_compiled_faulty(
+            torus, requests, faults, SimParams(), recovery="protected"
+        )
+        assert result.failovers == 0
+        assert result.reschedules == 0
+        assert result.fault_log[0]["recovery"] == "none"
+
+    def test_bogus_recovery_mode_rejected(self, torus, a2a):
+        with pytest.raises(ValueError, match="recovery"):
+            simulate_compiled_faulty(
+                torus, a2a, one_cut(torus), SimParams(), recovery="bogus"
+            )
+
+    def test_perf_counters_track_failovers(self, torus, a2a):
+        perf.reset()
+        simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), SimParams(), recovery="protected"
+        )
+        snap = perf.snapshot()
+        assert snap["protect_failovers"] == 1
+        assert snap["protect_uncovered"] == 0
+        assert snap["protect_build_seconds"] > 0
+
+    def test_recovery_summary_reports_failovers(self, torus, a2a):
+        result = simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), SimParams(), recovery="protected"
+        )
+        summary = recovery_summary(result)
+        assert summary["failovers"] == 1
+        assert summary["uncovered"] == 0
+
+
+class TestExternalProtection:
+    def test_prebuilt_protection_matches_internal(self, torus, a2a):
+        connections = route_requests(torus, a2a)
+        schedule = get_scheduler("combined")(connections, torus)
+        protected = build_protection(torus, connections, schedule)
+        internal = simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), SimParams(), recovery="protected"
+        )
+        external = simulate_compiled_faulty(
+            torus, a2a, one_cut(torus), SimParams(),
+            recovery="protected", protection=protected,
+        )
+        assert external.failovers == internal.failovers == 1
+        assert external.completion_time == internal.completion_time
+        assert external.fault_log == internal.fault_log
+
+    def test_foreign_topology_protection_rejected(self, torus, a2a):
+        other = Torus2D(8)
+        reqs8 = RequestSet.from_pairs([(0, 1), (1, 2)])
+        connections = route_requests(other, reqs8)
+        schedule = get_scheduler("combined")(connections, other)
+        protected = build_protection(
+            other, connections, schedule,
+            scenarios=[other.transit_link_base],
+        )
+        with pytest.raises(ValueError, match="protection built for"):
+            simulate_compiled_faulty(
+                torus, a2a, one_cut(torus), SimParams(),
+                recovery="protected", protection=protected,
+            )
+
+
+class TestRestoreThenSecondFault:
+    """The protected extension of PR 3's ``TestRestoreInvalidation``:
+    repaired fibers must drop out of the failover safety check."""
+
+    def two_phase_faults(self, torus, a2a):
+        conns = route_requests(torus, a2a)
+        fiber_a = torus.route(0, 5)[1]
+        # A fiber on a different pair's route, distinct from A.
+        fiber_b = next(
+            l for l in torus.route(3, 9)[1:-1] if l != fiber_a
+        )
+        return fiber_a, fiber_b
+
+    def test_fail_restore_then_second_cut_both_fail_over(self, torus, a2a):
+        fiber_a, fiber_b = self.two_phase_faults(torus, a2a)
+        faults = FaultSchedule.from_tuples([
+            (5, "fail", fiber_a),
+            (12, "restore", fiber_a),
+            (18, "fail", fiber_b),
+        ])
+        result = simulate_compiled_faulty(
+            torus, RequestSet.from_pairs(
+                [(s, d) for s in range(16) for d in range(16) if s != d],
+                size=2,
+            ),
+            faults, SimParams(), recovery="protected",
+        )
+        # Fiber A was repaired before B failed, so B's single-fault
+        # plan is safe: two failovers, zero recompiles, zero lost.
+        assert result.failovers == 2
+        assert result.reschedules == 0
+        assert result.uncovered == 0
+        assert result.lost == 0
+        assert [e["recovery"] for e in result.fault_log] == [
+            "failover", "failover",
+        ]
+
+    def test_concurrent_second_cut_falls_back_when_unsafe(self, torus):
+        # Without the restore, the second cut arrives while A is still
+        # down.  Single-fault plans only guarantee safety against one
+        # cut: the simulator must either prove B's backup avoids A and
+        # fail over, or fall back to a reactive recompile -- and in
+        # every case deliver all messages.
+        a2a = RequestSet.from_pairs(
+            [(s, d) for s in range(16) for d in range(16) if s != d],
+            size=2,
+        )
+        fiber_a, fiber_b = self.two_phase_faults(torus, a2a)
+        faults = FaultSchedule.from_tuples([
+            (5, "fail", fiber_a),
+            (18, "fail", fiber_b),
+        ])
+        result = simulate_compiled_faulty(
+            torus, a2a, faults, SimParams(), recovery="protected"
+        )
+        hits = [e for e in result.fault_log if e["recovery"] != "none"]
+        assert result.failovers + result.reschedules == len(hits)
+        assert result.uncovered == result.reschedules
+        assert result.lost == 0
+        assert all(m.delivered for m in result.messages)
