@@ -1,0 +1,742 @@
+"""Declarative benchmark suites with committed regression baselines.
+
+The performance work so far produced point benchmarks --
+:func:`~repro.analysis.perfbench.kernel_benchmark` for the scheduling
+kernel, :func:`~repro.analysis.perfbench.cache_benchmark` for the
+artifact cache, :func:`~repro.analysis.experiments.fault_campaign` for
+protected failover -- each with its own ad-hoc CI gate.  This module
+turns them into one **declarative harness**: a suite is a JSON file of
+parameterized cases (topology size x pattern x scheduler x kernel),
+each case runs to a metrics dict, and a two-layer assertion engine
+(suite ``defaults.assert`` overridden per case) turns the metrics into
+a ``validation`` block CI can gate on with one exit code.
+
+Three case kinds cover the three performance surfaces:
+
+``kernel``
+    Schedule a pattern on a torus and time it.  All-to-all goes
+    through :func:`repro.core.allpairs.all_to_all_schedule`, so the
+    same case syntax scales from the paper's 8x8 (generic schedulers
+    over routed connections) to the 64x64 structural fast path; other
+    patterns route and run the requested scheduler directly.  Metrics:
+    best/mean/stddev seconds over ``repeats``, throughput
+    (connections/s), degree, optimality ratio vs the closed-form
+    lower bound.
+
+``cache``
+    :func:`cache_benchmark` -- cold/warm/translated compile latency
+    and the compile-once-run-many speedup.
+
+``faults``
+    :func:`fault_campaign` -- protected/reactive recovery: worst
+    time-to-recover, losses, failover/recompile counts.
+
+Assertion rules (``assert`` maps rule name to a number, or to
+``{"value": x, "severity": "error" | "warning"}``):
+
+======================  ==================  =========================
+rule                    metric              passes when
+======================  ==================  =========================
+``max_seconds``         ``seconds``         value <= limit
+``min_throughput``      ``throughput``      value >= limit
+``max_degree``          ``degree``          value <= limit
+``max_optimality_ratio`` ``optimality_ratio`` value <= limit
+``min_speedup``         ``speedup``         value >= limit
+``max_ttr_slots``       ``ttr``             value <= limit
+``max_lost``            ``lost``            value <= limit
+``max_regression_pct``  kind-specific       worst drift vs baseline
+                                            <= limit percent
+======================  ==================  =========================
+
+``max_regression_pct`` compares against the **committed baselines**
+(``BENCH_kernel.json`` / ``BENCH_cache.json`` / ``BENCH_faults.json``,
+one file per kind, ``{"schema", "header", "cases": {name: metrics}}``)
+using each kind's regression metrics -- kernel: ``seconds`` down /
+``throughput`` up is good; cache: ``warm_seconds`` down / ``speedup``
+up; faults: ``ttr`` down.  A case with no baseline entry *passes with
+a warning* so new cases can land before their baseline does.
+
+The workflow the CLI (``repro-tdm bench``) wraps:
+
+1. ``bench run --suite s.json --report out.json`` -- run, assert,
+   exit 70 on any error-severity failure;
+2. ``bench compare --report out.json`` -- re-evaluate a saved report
+   against the current baselines (no benchmarks re-run);
+3. ``bench update-baseline --report out.json`` -- merge the report's
+   metrics into the committed baseline files.
+
+Reports and baselines carry :func:`report_header` -- schema version,
+package version, git commit + dirty flag, python/numpy versions -- so
+a number can always be traced to the code that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core import perf
+
+#: Suite-file schema accepted by :func:`load_suite`.
+SUITE_SCHEMA = "repro-bench/1"
+#: Schema stamped on run reports.
+REPORT_SCHEMA = "repro-bench-report/1"
+#: Schema stamped on committed baseline files.
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+#: Committed baseline file per case kind (relative to the baseline dir).
+BASELINE_FILES = {
+    "kernel": "BENCH_kernel.json",
+    "cache": "BENCH_cache.json",
+    "faults": "BENCH_faults.json",
+}
+
+KINDS = tuple(BASELINE_FILES)
+SEVERITIES = ("error", "warning")
+
+#: rule name -> (metric key, comparator); comparator(value, limit).
+RULES: dict[str, tuple[str, Callable[[float, float], bool]]] = {
+    "max_seconds": ("seconds", lambda v, lim: v <= lim),
+    "min_throughput": ("throughput", lambda v, lim: v >= lim),
+    "max_degree": ("degree", lambda v, lim: v <= lim),
+    "max_optimality_ratio": ("optimality_ratio", lambda v, lim: v <= lim),
+    "min_speedup": ("speedup", lambda v, lim: v >= lim),
+    "max_ttr_slots": ("ttr", lambda v, lim: v <= lim),
+    "max_lost": ("lost", lambda v, lim: v <= lim),
+}
+
+#: Per kind: the metrics the regression gate watches, and whether
+#: lower is better for each.
+REGRESSION_METRICS: dict[str, tuple[tuple[str, bool], ...]] = {
+    "kernel": (("seconds", True), ("throughput", False)),
+    "cache": (("warm_seconds", True), ("speedup", False)),
+    "faults": (("ttr", True),),
+}
+
+
+class SuiteError(ValueError):
+    """A malformed suite document (bad schema, case, or assertion)."""
+
+
+# ----------------------------------------------------------------------
+# report header
+# ----------------------------------------------------------------------
+
+def _git_metadata() -> dict[str, object]:
+    """Best-effort commit + dirty flag of the working tree."""
+    def run(*argv: str) -> str | None:
+        try:
+            out = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, timeout=10,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return out.stdout.strip() if out.returncode == 0 else None
+
+    commit = run("rev-parse", "HEAD")
+    status = run("status", "--porcelain")
+    return {
+        "commit": commit,
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def report_header() -> dict[str, object]:
+    """Provenance block stamped on every report and baseline."""
+    import repro
+
+    return {
+        "generator": "repro-tdm bench",
+        "version": repro.__version__,
+        "git": _git_metadata(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+# ----------------------------------------------------------------------
+# suite loading / validation
+# ----------------------------------------------------------------------
+
+def _check_assert_block(block: Any, where: str) -> None:
+    if not isinstance(block, dict):
+        raise SuiteError(f"{where}: 'assert' must be an object, got {block!r}")
+    for rule, spec in block.items():
+        if rule != "max_regression_pct" and rule not in RULES:
+            known = (*RULES, "max_regression_pct")
+            raise SuiteError(f"{where}: unknown rule {rule!r}; known: {known}")
+        if isinstance(spec, dict):
+            extra = set(spec) - {"value", "severity"}
+            if extra:
+                raise SuiteError(f"{where}.{rule}: unknown keys {sorted(extra)}")
+            if "value" not in spec:
+                raise SuiteError(f"{where}.{rule}: missing 'value'")
+            value = spec["value"]
+            severity = spec.get("severity", "error")
+            if severity not in SEVERITIES:
+                raise SuiteError(
+                    f"{where}.{rule}: severity must be one of {SEVERITIES}, "
+                    f"got {severity!r}"
+                )
+        else:
+            value = spec
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SuiteError(f"{where}.{rule}: limit must be a number, got {value!r}")
+
+
+def validate_suite(doc: Any) -> dict:
+    """Validate a suite document; return it.  Raises :class:`SuiteError`."""
+    if not isinstance(doc, dict):
+        raise SuiteError(f"suite must be a JSON object, got {type(doc).__name__}")
+    if doc.get("schema") != SUITE_SCHEMA:
+        raise SuiteError(
+            f"suite schema must be {SUITE_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("name"), str) or not doc["name"]:
+        raise SuiteError("suite needs a non-empty string 'name'")
+    defaults = doc.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise SuiteError("'defaults' must be an object")
+    if "assert" in defaults:
+        _check_assert_block(defaults["assert"], "defaults")
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        raise SuiteError("'cases' must be a non-empty list")
+    seen: set[str] = set()
+    for i, case in enumerate(cases):
+        where = f"cases[{i}]"
+        if not isinstance(case, dict):
+            raise SuiteError(f"{where}: must be an object")
+        name = case.get("name")
+        if not isinstance(name, str) or not name:
+            raise SuiteError(f"{where}: needs a non-empty string 'name'")
+        if name in seen:
+            raise SuiteError(f"{where}: duplicate case name {name!r}")
+        seen.add(name)
+        kind = case.get("kind", "kernel")
+        if kind not in KINDS:
+            raise SuiteError(
+                f"{where} ({name}): kind must be one of {KINDS}, got {kind!r}"
+            )
+        if "assert" in case:
+            _check_assert_block(case["assert"], f"{where} ({name})")
+    return doc
+
+
+def load_suite(path: str) -> dict:
+    """Load and validate a suite JSON file."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise SuiteError(f"cannot read suite {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SuiteError(f"suite {path!r} is not valid JSON: {exc}") from None
+    return validate_suite(doc)
+
+
+def merge_assertions(defaults: dict, case: dict) -> dict[str, dict]:
+    """Suite-default rules overridden per case, normalized to
+    ``{rule: {"value": x, "severity": s}}``."""
+    merged: dict[str, Any] = {}
+    merged.update(defaults.get("assert", {}))
+    merged.update(case.get("assert", {}))
+    out: dict[str, dict] = {}
+    for rule, spec in merged.items():
+        if isinstance(spec, dict):
+            out[rule] = {
+                "value": spec["value"],
+                "severity": spec.get("severity", "error"),
+            }
+        else:
+            out[rule] = {"value": spec, "severity": "error"}
+    return out
+
+
+# ----------------------------------------------------------------------
+# assertion engine
+# ----------------------------------------------------------------------
+
+@dataclass
+class AssertionResult:
+    """One evaluated rule of one case."""
+
+    rule: str
+    metric: str
+    value: float | None
+    limit: float
+    severity: str
+    passed: bool
+    skipped: bool = False
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "value": self.value,
+            "limit": self.limit,
+            "severity": self.severity,
+            "passed": self.passed,
+            "skipped": self.skipped,
+            "detail": self.detail,
+        }
+
+
+def _regression(
+    kind: str, metrics: dict, baseline: dict | None, spec: dict
+) -> AssertionResult:
+    limit, severity = spec["value"], spec["severity"]
+    if baseline is None:
+        return AssertionResult(
+            "max_regression_pct", "-", None, limit, "warning", True,
+            skipped=True, detail="no baseline entry for this case",
+        )
+    worst = None
+    worst_metric = "-"
+    details = []
+    for metric, lower_is_better in REGRESSION_METRICS[kind]:
+        cur, base = metrics.get(metric), baseline.get(metric)
+        if cur is None or base is None or not base:
+            continue
+        # Drift in the *bad* direction, as a percentage of the baseline.
+        pct = 100.0 * ((cur - base) if lower_is_better else (base - cur)) / base
+        details.append(f"{metric}: {base:.6g} -> {cur:.6g} ({pct:+.1f}%)")
+        if worst is None or pct > worst:
+            worst, worst_metric = pct, metric
+    if worst is None:
+        return AssertionResult(
+            "max_regression_pct", "-", None, limit, "warning", True,
+            skipped=True, detail="baseline shares no regression metrics",
+        )
+    return AssertionResult(
+        "max_regression_pct", worst_metric, round(worst, 3), limit, severity,
+        passed=worst <= limit, detail="; ".join(details),
+    )
+
+
+def evaluate_case(
+    kind: str,
+    metrics: dict,
+    rules: dict[str, dict],
+    baseline: dict | None,
+) -> dict[str, object]:
+    """The ``validation`` block: every rule evaluated against metrics."""
+    results: list[AssertionResult] = []
+    for rule, spec in sorted(rules.items()):
+        if rule == "max_regression_pct":
+            results.append(_regression(kind, metrics, baseline, spec))
+            continue
+        metric, cmp = RULES[rule]
+        value = metrics.get(metric)
+        if value is None:
+            results.append(AssertionResult(
+                rule, metric, None, spec["value"], spec["severity"],
+                passed=False,
+                detail=f"case produced no {metric!r} metric",
+            ))
+            continue
+        results.append(AssertionResult(
+            rule, metric, value, spec["value"], spec["severity"],
+            passed=cmp(value, spec["value"]),
+        ))
+    errors = sum(1 for r in results if not r.passed and r.severity == "error")
+    warnings = sum(
+        1 for r in results
+        if (not r.passed and r.severity == "warning") or r.skipped
+    )
+    return {
+        "assertions": [r.as_dict() for r in results],
+        "passed": errors == 0,
+        "errors": errors,
+        "warnings": warnings,
+    }
+
+
+# ----------------------------------------------------------------------
+# case runners
+# ----------------------------------------------------------------------
+
+def _topology(params: dict):
+    """Case topology: ``"torus": k`` or ``"torus": [w, h]``."""
+    from repro.topology.torus import Torus2D
+
+    spec = params.get("torus", 8)
+    if isinstance(spec, list):
+        return Torus2D(*spec)
+    return Torus2D(int(spec))
+
+
+def _timing_stats(times: list[float]) -> dict[str, float]:
+    best = min(times)
+    mean = sum(times) / len(times)
+    var = sum((t - mean) ** 2 for t in times) / len(times)
+    return {
+        "seconds": best,
+        "mean_seconds": mean,
+        "stddev_seconds": math.sqrt(var),
+        "repeats": len(times),
+    }
+
+
+def _pattern_requests(topo, pattern: str, size: int):
+    from repro.patterns.classic import (
+        hypercube_pattern,
+        nearest_neighbour_2d,
+        ring_pattern,
+        shuffle_exchange_pattern,
+    )
+
+    n = topo.num_nodes
+    factories = {
+        "ring": lambda: ring_pattern(n, size=size),
+        "nearest neighbour": lambda: nearest_neighbour_2d(
+            topo.width, topo.height, size=size
+        ),
+        "hypercube": lambda: hypercube_pattern(n, size=size),
+        "shuffle-exchange": lambda: shuffle_exchange_pattern(n, size=size),
+    }
+    try:
+        return factories[pattern]()
+    except KeyError:
+        raise SuiteError(
+            f"unknown kernel-case pattern {pattern!r}; "
+            f"choose from {('all-to-all', *factories)}"
+        ) from None
+
+
+def run_kernel_case(params: dict) -> dict[str, object]:
+    """Time one (topology, pattern, scheduler, kernel) combination."""
+    from repro.core.allpairs import all_to_all_lower_bound, all_to_all_schedule
+    from repro.core.aapc_ordered import ordered_aapc_schedule
+    from repro.core.coloring import coloring_schedule
+    from repro.core.combined import combined_schedule
+    from repro.core.greedy import greedy_schedule
+    from repro.core.linkmask import resolve_kernel
+    from repro.core.paths import route_requests
+
+    topo = _topology(params)
+    pattern = params.get("pattern", "all-to-all")
+    scheduler = params.get("scheduler", "combined")
+    kernel = resolve_kernel(params.get("kernel"))
+    repeats = max(1, int(params.get("repeats", 3)))
+
+    if pattern == "all-to-all":
+        num_connections = topo.num_nodes * (topo.num_nodes - 1)
+        lower_bound = all_to_all_lower_bound(topo)
+        times, schedule = [], None
+        for _ in range(repeats):
+            t0 = perf.perf_timer()
+            schedule = all_to_all_schedule(
+                topo, scheduler=scheduler, kernel=kernel
+            )
+            times.append(perf.perf_timer() - t0)
+        tag = schedule.scheduler
+        degree = schedule.degree
+    else:
+        requests = _pattern_requests(topo, pattern, int(params.get("size", 1)))
+        connections = route_requests(topo, requests)
+        num_connections = len(connections)
+        lower_bound = None
+        runs = {
+            "greedy": lambda: greedy_schedule(connections, kernel=kernel),
+            "coloring": lambda: coloring_schedule(connections, kernel=kernel),
+            "aapc": lambda: ordered_aapc_schedule(
+                connections, topo, kernel=kernel
+            ),
+            "combined": lambda: combined_schedule(
+                connections, topo, kernel=kernel
+            ),
+        }
+        if scheduler not in runs:
+            raise SuiteError(
+                f"kernel case scheduler must be one of {tuple(runs)} for "
+                f"pattern {pattern!r}, got {scheduler!r}"
+            )
+        times, schedule = [], None
+        for _ in range(repeats):
+            t0 = perf.perf_timer()
+            schedule = runs[scheduler]()
+            times.append(perf.perf_timer() - t0)
+        tag = schedule.scheduler
+        degree = schedule.degree
+
+    metrics: dict[str, object] = {
+        "topology": topo.signature,
+        "pattern": pattern,
+        "scheduler": tag,
+        "kernel": kernel,
+        "connections": num_connections,
+        "degree": int(degree),
+        **_timing_stats(times),
+    }
+    best = metrics["seconds"]
+    metrics["throughput"] = num_connections / best if best > 0 else 0.0
+    if lower_bound:
+        metrics["lower_bound"] = lower_bound
+        metrics["optimality_ratio"] = round(degree / lower_bound, 4)
+    return metrics
+
+
+def run_cache_case(params: dict) -> dict[str, object]:
+    """Cold/warm artifact-cache compile latency and speedup."""
+    from repro.analysis.perfbench import cache_benchmark
+
+    t0 = perf.perf_timer()
+    report = cache_benchmark(
+        repeats=max(1, int(params.get("repeats", 3))),
+        topology=_topology(params),
+        scheduler=params.get("scheduler", "combined"),
+    )
+    elapsed = perf.perf_timer() - t0
+    return {
+        "topology": report["topology"],
+        "scheduler": report["scheduler"],
+        "connections": report["connections"],
+        "repeats": report["repeats"],
+        "cold_seconds": report["cold_seconds"],
+        "warm_seconds": report["warm_seconds"],
+        "translated_seconds": report["translated_seconds"],
+        "speedup": report["speedup"],
+        # the latency the warm-path gate cares about
+        "seconds": report["warm_seconds"],
+        "campaign_seconds": elapsed,
+    }
+
+
+def run_faults_case(params: dict) -> dict[str, object]:
+    """Fault-recovery campaign: worst TTR, losses, failover counts."""
+    from repro.analysis.experiments import fault_campaign
+    from repro.simulator.params import SimParams
+
+    sim = SimParams(seed=int(params.get("seed", 0))).with_(
+        recompile_latency=int(params.get("recompile_latency", 3)),
+        failover_latency=int(params.get("failover_latency", 1)),
+    )
+    t0 = perf.perf_timer()
+    rows = fault_campaign(
+        pattern=params.get("pattern", "all-to-all"),
+        size=int(params.get("size", 4)),
+        degree=int(params.get("degree", 2)),
+        fault_counts=tuple(params.get("faults", [0, 1])),
+        repair_after=params.get("repair_after"),
+        protocol=params.get("protocol", "dropping"),
+        params=sim,
+        seed=int(params.get("seed", 0)),
+        topology=_topology(params) if "torus" in params else None,
+        recovery=params.get("recovery", "protected"),
+    )
+    elapsed = perf.perf_timer() - t0
+    return {
+        "pattern": params.get("pattern", "all-to-all"),
+        "recovery": params.get("recovery", "protected"),
+        "fault_counts": [r["faults"] for r in rows],
+        "ttr": max(r["compiled_ttr"] for r in rows),
+        "lost": int(sum(r["compiled_lost"] for r in rows)),
+        "failovers": int(sum(r["compiled_failovers"] for r in rows)),
+        "uncovered": int(sum(r["compiled_uncovered"] for r in rows)),
+        "reschedules": int(sum(r["compiled_reschedules"] for r in rows)),
+        "worst_slowdown_pct": max(r["compiled_slowdown_pct"] for r in rows),
+        "seconds": elapsed,
+    }
+
+
+_RUNNERS = {
+    "kernel": run_kernel_case,
+    "cache": run_cache_case,
+    "faults": run_faults_case,
+}
+
+
+# ----------------------------------------------------------------------
+# suite execution and reports
+# ----------------------------------------------------------------------
+
+def _merged_params(defaults: dict, case: dict) -> dict:
+    params = {
+        k: v for k, v in defaults.items() if k not in ("assert",)
+    }
+    params.update({k: v for k, v in case.items() if k not in ("assert",)})
+    return params
+
+
+def run_suite(
+    suite: dict,
+    *,
+    baselines: dict[str, dict] | None = None,
+    only: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Run every case of a validated suite and assert on the results.
+
+    ``baselines`` maps kind to ``{case_name: metrics}`` (see
+    :func:`load_baselines`); ``only`` restricts to the named cases.
+    Returns the full report document, with the merged assertion rules
+    embedded per case so :func:`reevaluate` can re-gate it later
+    without the suite file.
+    """
+    baselines = baselines or {}
+    defaults = suite.get("defaults", {})
+    selected = [
+        c for c in suite["cases"] if only is None or c["name"] in only
+    ]
+    if only is not None:
+        missing = set(only) - {c["name"] for c in selected}
+        if missing:
+            raise SuiteError(f"unknown case names: {sorted(missing)}")
+    case_docs = []
+    for case in selected:
+        name = case["name"]
+        kind = case.get("kind", "kernel")
+        params = _merged_params(defaults, case)
+        rules = merge_assertions(defaults, case)
+        if progress:
+            progress(f"[{kind}] {name} ...")
+        metrics = _RUNNERS[kind](params)
+        validation = evaluate_case(
+            kind, metrics, rules, baselines.get(kind, {}).get(name)
+        )
+        if progress:
+            status = "ok" if validation["passed"] else "FAIL"
+            progress(
+                f"[{kind}] {name}: {metrics.get('seconds', 0):.3f}s "
+                f"({validation['errors']} errors, "
+                f"{validation['warnings']} warnings) {status}"
+            )
+        case_docs.append({
+            "name": name,
+            "kind": kind,
+            "params": {
+                k: v for k, v in params.items() if k not in ("name", "kind")
+            },
+            "assert": rules,
+            "metrics": metrics,
+            "validation": validation,
+        })
+    failed = [c for c in case_docs if not c["validation"]["passed"]]
+    return {
+        "schema": REPORT_SCHEMA,
+        "header": report_header(),
+        "suite": suite["name"],
+        "cases": case_docs,
+        "summary": {
+            "cases": len(case_docs),
+            "passed": len(case_docs) - len(failed),
+            "failed": len(failed),
+            "errors": sum(c["validation"]["errors"] for c in case_docs),
+            "warnings": sum(c["validation"]["warnings"] for c in case_docs),
+            "gate_ok": not failed,
+        },
+    }
+
+
+def reevaluate(
+    report: dict, baselines: dict[str, dict] | None = None
+) -> dict[str, object]:
+    """Re-run the assertions of a saved report against fresh baselines.
+
+    The benchmarks themselves are *not* re-run -- this is the
+    ``bench compare`` path: same metrics, current baseline files.
+    """
+    if report.get("schema") != REPORT_SCHEMA:
+        raise SuiteError(
+            f"report schema must be {REPORT_SCHEMA!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    baselines = baselines or {}
+    case_docs = []
+    for case in report["cases"]:
+        kind = case["kind"]
+        validation = evaluate_case(
+            kind, case["metrics"], case.get("assert", {}),
+            baselines.get(kind, {}).get(case["name"]),
+        )
+        case_docs.append({**case, "validation": validation})
+    failed = [c for c in case_docs if not c["validation"]["passed"]]
+    return {
+        **report,
+        "cases": case_docs,
+        "summary": {
+            "cases": len(case_docs),
+            "passed": len(case_docs) - len(failed),
+            "failed": len(failed),
+            "errors": sum(c["validation"]["errors"] for c in case_docs),
+            "warnings": sum(c["validation"]["warnings"] for c in case_docs),
+            "gate_ok": not failed,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+
+def load_baselines(directory: str = ".") -> dict[str, dict]:
+    """Load the committed per-kind baseline files that exist.
+
+    Returns ``{kind: {case_name: metrics}}``; kinds with no file (or
+    an unreadable one) are simply absent, which downgrades their
+    regression gates to warnings.
+    """
+    out: dict[str, dict] = {}
+    for kind, filename in BASELINE_FILES.items():
+        path = os.path.join(directory, filename)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        cases = doc.get("cases")
+        if isinstance(cases, dict):
+            out[kind] = cases
+    return out
+
+
+def update_baselines(report: dict, directory: str = ".") -> list[str]:
+    """Merge a report's metrics into the committed baseline files.
+
+    Existing entries for other cases are preserved; the touched files
+    get a fresh header.  Returns the paths written.
+    """
+    if report.get("schema") != REPORT_SCHEMA:
+        raise SuiteError(
+            f"report schema must be {REPORT_SCHEMA!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    by_kind: dict[str, dict] = {}
+    for case in report["cases"]:
+        by_kind.setdefault(case["kind"], {})[case["name"]] = case["metrics"]
+    written = []
+    for kind, cases in sorted(by_kind.items()):
+        path = os.path.join(directory, BASELINE_FILES[kind])
+        existing: dict = {}
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            if isinstance(doc.get("cases"), dict):
+                existing = doc["cases"]
+        except (OSError, json.JSONDecodeError):
+            pass
+        existing.update(cases)
+        with open(path, "w") as fh:
+            json.dump(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "header": report_header(),
+                    "suite": report.get("suite"),
+                    "cases": existing,
+                },
+                fh, indent=1, sort_keys=True,
+            )
+            fh.write("\n")
+        written.append(path)
+    return written

@@ -10,6 +10,8 @@ the CLI can print them or dump ``BENCH_kernel.json`` for CI trending.
 
 from __future__ import annotations
 
+from statistics import fmean, pstdev
+
 from repro.core import perf
 from repro.core.coloring import coloring_schedule
 from repro.core.combined import combined_schedule
@@ -31,9 +33,12 @@ def kernel_benchmark(
 ) -> dict:
     """Time the three headline schedulers on all-to-all under ``kernel``.
 
-    Runs each scheduler ``repeats`` times and keeps the best (minimum)
-    wall time, the standard practice for micro-benchmarks on shared
-    machines.  Counters are reset first, so the returned snapshot
+    Runs each scheduler ``repeats`` times; ``seconds`` is the best
+    (minimum) wall time, the standard practice for micro-benchmarks on
+    shared machines, but every run is kept so the report also carries
+    ``mean_seconds`` / ``stddev_seconds`` / ``times`` -- the spread is
+    what tells a CI reader whether a regression is signal or scheduler
+    noise.  Counters are reset first, so the returned snapshot
     describes exactly this benchmark -- including the route-cache
     behaviour of the initial pattern routing.
     """
@@ -59,17 +64,23 @@ def kernel_benchmark(
         ),
     }
     n = len(connections)
-    schedulers: dict[str, dict[str, float]] = {}
+    schedulers: dict[str, dict[str, object]] = {}
     for name in BENCH_SCHEDULERS:
-        best, degree = None, 0
+        times: list[float] = []
+        degree = 0
         for _ in range(max(1, repeats)):
             t0 = perf.perf_timer()
             schedule = runs[name]()
-            elapsed = perf.perf_timer() - t0
-            best = elapsed if best is None else min(best, elapsed)
+            times.append(perf.perf_timer() - t0)
             degree = schedule.degree
+        best = min(times)
+        mean = fmean(times)
         schedulers[name] = {
             "seconds": best,
+            "mean_seconds": mean,
+            "stddev_seconds": pstdev(times) if len(times) > 1 else 0.0,
+            "times": times,
+            "repeats": len(times),
             "ops_per_sec": n / best if best > 0 else 0.0,
             "degree": float(degree),
         }

@@ -333,10 +333,13 @@ def _print_perf(args) -> None:
             s = report["schedulers"][name]
             data.append((
                 report["kernel"], name, int(s["degree"]),
-                f"{s['seconds'] * 1e3:.1f} ms", f"{s['ops_per_sec']:,.0f}",
+                f"{s['seconds'] * 1e3:.1f} ms",
+                f"{s['mean_seconds'] * 1e3:.1f} "
+                f"± {s['stddev_seconds'] * 1e3:.1f} ms",
+                f"{s['ops_per_sec']:,.0f}",
             ))
     print(format_table(
-        ["kernel", "scheduler", "K", "best time", "conns/s"],
+        ["kernel", "scheduler", "K", "best time", "mean ± σ", "conns/s"],
         data,
         title=(
             f"Scheduling kernel benchmark: all-to-all on "
@@ -351,8 +354,12 @@ def _print_perf(args) -> None:
         title=f"Perf counters (kernel={reports[-1]['kernel']} run)",
     ))
     if args.output:
-        payload = reports[0] if len(reports) == 1 else {
-            r["kernel"]: r for r in reports
+        from repro.analysis.benchsuite import report_header
+
+        payload = {
+            "schema": "repro-tdm-perf/2",
+            "header": report_header(),
+            "reports": reports,
         }
         with open(args.output, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -416,8 +423,15 @@ def _print_faults(args) -> None:
             f"({s.stores} stored)"
         )
     if args.output:
+        from repro.analysis.benchsuite import report_header
+
+        payload = {
+            "schema": "repro-tdm-faults/2",
+            "header": report_header(),
+            "rows": rows,
+        }
         with open(args.output, "w") as fh:
-            json.dump(rows, fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.output}")
 
 
@@ -473,8 +487,15 @@ def _print_cachebench(args) -> None:
         ),
     ))
     if args.output:
+        from repro.analysis.benchsuite import report_header
+
+        payload = {
+            "schema": "repro-tdm-cache/2",
+            "header": report_header(),
+            "report": report,
+        }
         with open(args.output, "w") as fh:
-            json.dump(report, fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.output}")
 
 
@@ -544,6 +565,69 @@ def _print_chaos(args) -> None:
         print(f"\nwrote {args.output}")
     if not report["ok"]:
         raise SystemExit(70)  # EX_SOFTWARE: the service corrupted data
+
+
+def _print_bench(args) -> None:
+    from repro.analysis import benchsuite as bs
+
+    try:
+        if args.action == "run":
+            if not args.suite:
+                raise bs.SuiteError("bench run needs --suite")
+            suite = bs.load_suite(args.suite)
+            baselines = bs.load_baselines(args.baseline_dir)
+            report = bs.run_suite(
+                suite,
+                baselines=baselines,
+                only=args.only or None,
+                progress=lambda msg: print(msg, flush=True),
+            )
+        elif args.action == "compare":
+            if not args.report:
+                raise bs.SuiteError("bench compare needs --report")
+            with open(args.report) as fh:
+                saved = json.load(fh)
+            baselines = bs.load_baselines(args.baseline_dir)
+            report = bs.reevaluate(saved, baselines)
+        else:  # update-baseline
+            if not args.report:
+                raise bs.SuiteError("bench update-baseline needs --report")
+            with open(args.report) as fh:
+                saved = json.load(fh)
+            for path in bs.update_baselines(saved, args.baseline_dir):
+                print(f"wrote {path}")
+            return
+    except bs.SuiteError as exc:
+        print(f"repro-tdm bench: {exc}", file=sys.stderr)
+        raise SystemExit(65)  # EX_DATAERR: malformed suite/report
+
+    data = []
+    for case in report["cases"]:
+        m, v = case["metrics"], case["validation"]
+        data.append((
+            case["name"], case["kind"],
+            f"{m.get('seconds', 0.0):.3f}s",
+            f"{m['throughput']:,.0f}" if "throughput" in m else "-",
+            int(m["degree"]) if "degree" in m else "-",
+            v["errors"], v["warnings"],
+            "pass" if v["passed"] else "FAIL",
+        ))
+    s = report["summary"]
+    print(format_table(
+        ["case", "kind", "best", "conns/s", "K", "err", "warn", "result"],
+        data,
+        title=(
+            f"Bench suite {report['suite']!r}: {s['passed']}/{s['cases']} "
+            f"cases passed ({s['errors']} errors, {s['warnings']} warnings)"
+        ),
+    ))
+    if args.action == "run" and args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"\nwrote {args.report}")
+    if not s["gate_ok"] and not args.no_gate:
+        print("repro-tdm bench: assertion gate FAILED", file=sys.stderr)
+        raise SystemExit(70)  # EX_SOFTWARE: a perf gate was breached
 
 
 def _print_all(args) -> None:
@@ -727,6 +811,28 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--width", type=int, default=8)
     pr.add_argument("--height", type=int, default=8)
     pr.set_defaults(fn=_print_protect)
+
+    pb = sub.add_parser(
+        "bench",
+        help="declarative benchmark suites with committed baselines",
+    )
+    pb.add_argument(
+        "action", choices=["run", "compare", "update-baseline"],
+        help="run a suite, re-gate a saved report, or commit its "
+        "metrics as the new baselines",
+    )
+    pb.add_argument("--suite", default=None,
+                    help="suite JSON (see benchmarks/suites/)")
+    pb.add_argument("--report", default=None,
+                    help="report JSON: written by run, read by "
+                    "compare/update-baseline")
+    pb.add_argument("--baseline-dir", default=".",
+                    help="directory of the committed BENCH_*.json baselines")
+    pb.add_argument("--only", action="append", default=None, metavar="CASE",
+                    help="restrict to the named case (repeatable)")
+    pb.add_argument("--no-gate", action="store_true",
+                    help="report failures but exit 0 anyway")
+    pb.set_defaults(fn=_print_bench)
 
     pall = sub.add_parser("all", help="run every table and figure (quick settings)")
     pall.add_argument("--patterns", type=int, default=5)

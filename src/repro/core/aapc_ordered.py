@@ -36,11 +36,20 @@ from repro.topology.base import Topology
 def aapc_rank_order(
     connections: Sequence[Connection],
     phase_of: Mapping[tuple[int, int], int],
-) -> list[int]:
+    *,
+    with_runs: bool = False,
+) -> list[int] | tuple[list[int], list[int]]:
     """Processing order per Fig. 5: phases by descending rank.
 
     ``phase_of`` maps every (src, dst) pair of the topology to its AAPC
-    phase index.  Returns positions into ``connections``.
+    phase index.  Returns positions into ``connections``; with
+    ``with_runs=True`` also returns the lengths of consecutive blocks of
+    that order whose members are mutually link-disjoint -- exactly the
+    precondition of ``first_fit``'s run-batched placement
+    (:func:`repro.core.packing.first_fit`).  Blocks follow the phase
+    boundaries (one AAPC phase is contention-free across *distinct*
+    pairs), except that a repeated pair -- request sets are multisets --
+    starts a new block, since duplicates share every link.
 
     Vectorized: per-phase ranks accumulate with one ``bincount`` and the
     (rank desc, phase asc, index asc) order is a single ``lexsort`` --
@@ -49,14 +58,36 @@ def aapc_rank_order(
     """
     n = len(connections)
     if n == 0:
-        return []
+        return ([], []) if with_runs else []
     phases = np.fromiter((phase_of[c.pair] for c in connections), dtype=np.int64, count=n)
     lengths = np.fromiter((c.num_links for c in connections), dtype=np.float64, count=n)
     rank = np.bincount(phases, weights=lengths)
     # sort connections by (phase rank desc, phase id asc, index asc);
     # lexsort keys run least-significant first.
     order = np.lexsort((np.arange(n), phases, -rank[phases]))
-    return order.tolist()
+    if not with_runs:
+        return order.tolist()
+    sorted_phases = phases[order]
+    splits = np.nonzero(sorted_phases[1:] != sorted_phases[:-1])[0] + 1
+    bounds = np.concatenate(([0], splits, [n]))
+    pairs = [connections[i].pair for i in order]
+    if len(set(pairs)) == n:
+        return order.tolist(), np.diff(bounds).tolist()
+    # A repeated pair breaks the phase's disjointness guarantee: split
+    # its block greedily so no run sees the same pair twice.
+    runs: list[int] = []
+    for b0, b1 in zip(bounds[:-1], bounds[1:]):
+        seen: set[tuple[int, int]] = set()
+        run_start = int(b0)
+        for i in range(int(b0), int(b1)):
+            if pairs[i] in seen:
+                runs.append(i - run_start)
+                run_start = i
+                seen = {pairs[i]}
+            else:
+                seen.add(pairs[i])
+        runs.append(int(b1) - run_start)
+    return order.tolist(), runs
 
 
 def ordered_aapc_schedule(
@@ -87,7 +118,10 @@ def ordered_aapc_schedule(
         from repro.aapc.phases import aapc_phase_map
 
         phase_of = aapc_phase_map(topology)
-    order = aapc_rank_order(connections, phase_of)
+    order, runs = aapc_rank_order(connections, phase_of, with_runs=True)
     num_links = topology.num_links if topology is not None else None
-    result = first_fit(connections, order, scheduler="aapc", kernel=kernel, num_links=num_links)
+    result = first_fit(
+        connections, order, scheduler="aapc", kernel=kernel,
+        num_links=num_links, runs=runs,
+    )
     return result

@@ -18,19 +18,36 @@ from repro.core.paths import Connection
 from repro.topology.base import Topology
 
 
+#: Connection count above which the coloring pass is skipped.  The
+#: conflict matrix costs ~n^2/8 bytes packed plus n^2 bytes unpacked
+#: for the round walk (~16 GB at a 128k-connection 19x19 all-to-all),
+#: and on patterns that dense the ordered-AAPC bound wins anyway -- so
+#: past the ceiling "combined" degenerates to ordered-AAPC by design
+#: rather than by OOM.
+COLORING_CONNECTION_CEILING = 120_000
+
+
 def combined_schedule(
     connections: Sequence[Connection],
     topology: Topology | None = None,
     phase_of: Mapping[tuple[int, int], int] | None = None,
     *,
     kernel: str | None = None,
+    coloring_ceiling: int | None = COLORING_CONNECTION_CEILING,
 ) -> ConfigurationSet:
     """Best of :func:`coloring_schedule` and :func:`ordered_aapc_schedule`.
 
     Ties go to the coloring result (slightly cheaper to realise: its
     configurations tend to be front-loaded, but the choice does not
     affect the degree, which is all the evaluation measures).
+
+    Above ``coloring_ceiling`` connections (``None`` disables the
+    guard) only the ordered-AAPC pass runs -- see
+    :data:`COLORING_CONNECTION_CEILING`.
     """
+    if coloring_ceiling is not None and len(connections) > coloring_ceiling:
+        by_aapc = ordered_aapc_schedule(connections, topology, phase_of, kernel=kernel)
+        return ConfigurationSet(list(by_aapc), scheduler=f"combined({by_aapc.scheduler})")
     by_color = coloring_schedule(connections, kernel=kernel)
     by_aapc = ordered_aapc_schedule(connections, topology, phase_of, kernel=kernel)
     winner = by_aapc if by_aapc.degree < by_color.degree else by_color

@@ -26,6 +26,13 @@ answers it with bitmasks, in two complementary layouts:
     first-fit issues one tiny query per connection, and numpy's
     per-call overhead (~2 us) exceeds the whole query's work.
 
+**Slot-mask matrix** (:class:`SlotMatrix`)
+    The slot-indexed layout again, but as a numpy ``(num_links, W)``
+    uint64 matrix, for *batched* first-fit over runs of mutually
+    link-disjoint candidates (AAPC phase blocks): one
+    ``bitwise_or.reduceat`` computes every member's busy mask at once,
+    amortising numpy's per-call overhead over the whole run.
+
 **Conflict bit-matrix** (:class:`ConflictMatrix`)
     Per-link connection bitsets OR-reduced into an ``n x n`` packed
     adjacency matrix in a handful of numpy operations
@@ -106,8 +113,13 @@ def pack_masks(connections: Sequence[Connection], num_links: int | None = None) 
     w = words_for(num_links)
     n = len(connections)
     dense = np.zeros((n, w * 64), dtype=bool)
-    for i, c in enumerate(connections):
-        dense[i, list(c.links)] = True
+    if n:
+        lens = np.fromiter((len(c.links) for c in connections), dtype=np.intp, count=n)
+        total = int(lens.sum())
+        flat = np.fromiter(
+            chain.from_iterable(c.links for c in connections), dtype=np.intp, count=total
+        )
+        dense[np.repeat(np.arange(n), lens), flat] = True
     return np.packbits(dense, axis=1, bitorder="little").view(np.uint64)
 
 
@@ -232,6 +244,87 @@ def iter_bits(mask: int):
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+class SlotMatrix:
+    """Per-link slot bitmasks as a ``(num_links, W)`` uint64 matrix.
+
+    The numpy twin of :class:`SlotOccupancy`, for **batched** first-fit:
+    where :class:`SlotOccupancy` answers one candidate's query at a time
+    in Python ints, :class:`SlotMatrix` answers a whole *run* of
+    mutually link-disjoint candidates in a handful of array operations
+    (one gather + ``bitwise_or.reduceat`` for every member's busy mask,
+    a vectorized lowest-clear-bit, one scattered ``bitwise_or.at``
+    placement).  At 16x16 all-to-all scale this removes ~65k Python
+    first-fit iterations from the ordered-AAPC hot path.
+
+    Used through ``first_fit(..., runs=...)``
+    (:mod:`repro.core.packing`), which states and verifies the
+    precondition under which batching is byte-identical to the
+    sequential kernel.
+    """
+
+    __slots__ = ("bits", "num_slots")
+
+    def __init__(self, num_links: int) -> None:
+        self.bits = np.zeros((num_links, 1), dtype=np.uint64)
+        self.num_slots = 0
+
+    def _ensure_slot_capacity(self, slots: int) -> None:
+        have = self.bits.shape[1]
+        need = words_for(slots)
+        if need <= have:
+            return
+        grown = np.zeros((self.bits.shape[0], max(need, 2 * have)), dtype=np.uint64)
+        grown[:, :have] = self.bits
+        self.bits = grown
+
+    def place_run(self, flat_links: np.ndarray, lens: np.ndarray) -> np.ndarray:
+        """First-fit slots for one run of link-disjoint candidates.
+
+        ``flat_links`` is the concatenation of the run members' link
+        ids and ``lens`` the per-member path lengths.  Every member is
+        assigned its lowest all-free slot; members fitting no existing
+        slot share one freshly opened slot (legal precisely because the
+        run is link-disjoint -- the caller must guarantee it).  Places
+        the members and returns the slot vector.
+        """
+        m = len(lens)
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        starts = np.zeros(m, dtype=np.intp)
+        np.cumsum(lens[:-1], out=starts[1:])
+        busy = np.bitwise_or.reduceat(self.bits[flat_links], starts, axis=0)
+        free = ~busy
+        nbits = self.num_slots
+        word = nbits >> 6
+        if word < free.shape[1]:
+            free[:, word] &= np.uint64((1 << (nbits & 63)) - 1)
+            free[:, word + 1:] = 0
+        perf.COUNTERS.fit_tests += m * nbits
+        nz = free != 0
+        fits = nz.any(axis=1)
+        w_idx = np.argmax(nz, axis=1)
+        lowest = free[np.arange(m), w_idx]
+        lowest &= ~lowest + np.uint64(1)  # isolate the lowest set bit
+        # log2 of a power of two <= 2**63 is exact in float64.
+        bitpos = np.log2(
+            lowest.astype(np.float64), where=fits, out=np.zeros(m)
+        ).astype(np.int64)
+        slots = w_idx.astype(np.int64) * 64 + bitpos
+        slots[~fits] = nbits  # all non-fitters share one fresh slot
+        grown = int(slots.max()) + 1
+        if grown > nbits:
+            self._ensure_slot_capacity(grown)
+            self.num_slots = grown
+        su = slots.astype(np.uint64)
+        # Links are unique within a run (the members are disjoint), so
+        # the (link, word) scatter targets are distinct and a plain
+        # fancy-indexed OR-assign is safe -- no ``bitwise_or.at`` cost.
+        self.bits[flat_links, np.repeat(slots >> 6, lens)] |= np.repeat(
+            np.uint64(1) << (su & np.uint64(63)), lens
+        )
+        return slots
 
 
 # ----------------------------------------------------------------------

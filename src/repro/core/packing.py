@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import bisect
 from collections.abc import Sequence
+from itertools import chain
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.core import perf
 from repro.core.configuration import Configuration, ConfigurationSet
 from repro.core.linkmask import (
     Occupancy,
+    SlotMatrix,
     SlotOccupancy,
     mask_row,
     required_links,
@@ -85,6 +87,7 @@ def first_fit(
     scheduler: str = "first-fit",
     kernel: str | None = None,
     num_links: int | None = None,
+    runs: Sequence[int] | None = None,
 ) -> ConfigurationSet:
     """Pack ``connections`` first-fit in the given order.
 
@@ -102,6 +105,22 @@ def first_fit(
     num_links:
         Size of the link-id space (``topology.num_links``); derived
         from the connections when omitted.
+    runs:
+        Optional lengths of consecutive blocks of the *ordered*
+        sequence whose members are mutually link-disjoint (e.g. the
+        AAPC phase blocks of :func:`repro.core.aapc_ordered.aapc_rank_order`).
+        The bitmask kernel then places each block with one vectorized
+        pass (:class:`repro.core.linkmask.SlotMatrix`) instead of a
+        Python loop.  The result is *byte-identical* to the sequential
+        kernel: within a link-disjoint run, placing one member never
+        changes whether a later member fits any slot (their link sets
+        cannot meet), and every member fitting no pre-run slot shares
+        the single freshly opened slot -- exactly what the sequential
+        scan does.  The precondition is verified up front
+        (``ValueError`` on overlapping run members or lengths not
+        summing to the sequence), so a wrong hint can never corrupt a
+        schedule.  The set kernel ignores the hint and stays the
+        sequential reference.
     """
     kernel = resolve_kernel(kernel)
     if order is None:
@@ -111,7 +130,10 @@ def first_fit(
         seq = [connections[i] for i in order]
     t0 = perf.perf_timer()
     if kernel == "bitmask":
-        result = _first_fit_bitmask(seq, scheduler, num_links)
+        if runs is not None:
+            result = _first_fit_bitmask_runs(seq, scheduler, num_links, runs)
+        else:
+            result = _first_fit_bitmask(seq, scheduler, num_links)
     else:
         result = _first_fit_set(seq, scheduler)
     perf.COUNTERS.kernel_calls += 1
@@ -151,6 +173,57 @@ def _first_fit_bitmask(
             members.append([])
         occ.place(c.links, slot)
         members[slot].append(c)
+    return ConfigurationSet(
+        [Configuration._trusted(m) for m in members], scheduler=scheduler
+    )
+
+
+def _first_fit_bitmask_runs(
+    seq: Sequence[Connection],
+    scheduler: str,
+    num_links: int | None,
+    runs: Sequence[int],
+) -> ConfigurationSet:
+    """Run-batched bitmask first-fit (see ``first_fit``'s ``runs=`` doc)."""
+    runs_arr = np.asarray(runs, dtype=np.intp)
+    n = len(seq)
+    if runs_arr.ndim != 1 or (runs_arr.size > 0 and int(runs_arr.min()) < 1):
+        raise ValueError(f"runs must be a flat sequence of positive lengths, got {runs!r}")
+    if int(runs_arr.sum()) != n:
+        raise ValueError(
+            f"runs sum to {int(runs_arr.sum())} but the sequence has {n} connections"
+        )
+    if num_links is None:
+        num_links = required_links(seq)
+    lens = np.fromiter((len(c.links) for c in seq), dtype=np.intp, count=n)
+    total = int(lens.sum())
+    flat = np.fromiter(
+        chain.from_iterable(c.links for c in seq), dtype=np.intp, count=total
+    )
+    # Verify the disjointness precondition: a (run, link) key occurring
+    # twice is a link shared by two members of one run.
+    run_of = np.repeat(np.arange(runs_arr.size, dtype=np.int64), runs_arr)
+    key = np.repeat(run_of, lens) * np.int64(max(num_links, 1)) + flat
+    key.sort()
+    if key.size and bool((key[1:] == key[:-1]).any()):
+        raise ValueError(
+            "runs must partition the ordered sequence into mutually "
+            "link-disjoint blocks; two members of one run share a link"
+        )
+    occ = SlotMatrix(num_links)
+    members: list[list[Connection]] = []
+    conn_starts = np.zeros(n, dtype=np.intp)
+    np.cumsum(lens[:-1], out=conn_starts[1:])
+    pos = 0
+    for run_len in runs_arr:
+        lo, hi = pos, pos + int(run_len)
+        seg = slice(int(conn_starts[lo]), int(conn_starts[hi - 1] + lens[hi - 1]))
+        slots = occ.place_run(flat[seg], lens[lo:hi])
+        for off, s in enumerate(slots.tolist()):
+            if s == len(members):
+                members.append([])
+            members[s].append(seq[lo + off])
+        pos = hi
     return ConfigurationSet(
         [Configuration._trusted(m) for m in members], scheduler=scheduler
     )

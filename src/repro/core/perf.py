@@ -37,6 +37,10 @@ class PerfCounters:
     kernel_calls: int = 0
     #: wall-clock seconds spent inside the packing kernel.
     kernel_seconds: float = 0.0
+    #: structural all-to-all fast-path schedules built.
+    fastpath_builds: int = 0
+    #: wall-clock seconds spent in the structural fast path.
+    fastpath_seconds: float = 0.0
     #: conflict-structure (adjacency) builds.
     adjacency_builds: int = 0
     #: wall-clock seconds spent building conflict structures.

@@ -1,0 +1,106 @@
+"""Generalized product decompositions (structural AAPC at any radix).
+
+The product theorem only needs row/column phase-injectivity and
+per-phase fiber-disjointness of the ring schedules; these tests
+re-prove those properties at Latin and greedy radices, and then check
+the composed phase matrix against the *real* routed topology -- every
+phase's connections must be link-disjoint end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aapc.product import (
+    RingSchedule,
+    _greedy_ring_schedule,
+    contention_free_ring_schedule,
+    product_decomposition,
+    validate_ring_schedule,
+)
+from repro.aapc.ring_latin import ring_link_load
+from repro.topology.kary_ncube import TieBreak
+from repro.topology.mesh import Mesh2D
+from repro.topology.torus import Torus2D
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_latin_radices_are_optimal(n):
+    ring = contention_free_ring_schedule(n)
+    assert ring.kind == "latin" and ring.num_phases == n
+    validate_ring_schedule(ring)
+
+
+@pytest.mark.parametrize("n", [9, 10, 12, 16])
+def test_greedy_radices_validate(n):
+    ring = contention_free_ring_schedule(n)
+    assert ring.kind == "greedy"
+    # at least the all-pairs fiber-load lower bound, and not far above
+    load = ring_link_load(n)
+    assert load <= ring.num_phases <= load + n
+    validate_ring_schedule(ring)
+
+
+def test_greedy_builder_is_deterministic():
+    assert _greedy_ring_schedule(9) == _greedy_ring_schedule(9)
+
+
+def test_validate_catches_corruption():
+    ring = contention_free_ring_schedule(4)
+    phi = [list(row) for row in ring.phi]
+    phi[0][1] = phi[0][2]  # break row injectivity
+    broken = RingSchedule(ring.n, tuple(tuple(r) for r in phi),
+                          ring.num_phases, ring.kind)
+    with pytest.raises(AssertionError, match="not injective"):
+        validate_ring_schedule(broken)
+
+
+def test_ring_schedule_rejects_bad_radix():
+    with pytest.raises(ValueError, match="radix"):
+        contention_free_ring_schedule(0)
+
+
+def _assert_phases_link_disjoint(topo, dec):
+    """Every phase's pairs routed on the real topology share no link."""
+    phase = dec.phase_matrix
+    n = topo.num_nodes
+    for p in range(dec.num_phases):
+        used: set[int] = set()
+        for s, d in np.argwhere(phase == p):
+            path = topo.route(int(s), int(d))
+            assert used.isdisjoint(path), (p, int(s), int(d))
+            used.update(path)
+
+
+@pytest.mark.parametrize("topo, kind", [
+    (Torus2D(4), "latin-product"),
+    (Torus2D(4, 3), "latin-product"),
+    (Torus2D(9, 4), "greedy-product"),   # mixed greedy x latin rings
+])
+def test_product_decomposition_is_contention_free(topo, kind):
+    dec = product_decomposition(topo)
+    assert dec.kind == kind
+    n = topo.num_nodes
+    phase = dec.phase_matrix
+    assert phase.shape == (n, n)
+    assert (phase.diagonal() == -1).all()
+    off = phase[~np.eye(n, dtype=bool)]
+    # compacted ids: every phase in range and every id used
+    assert off.min() == 0 and off.max() == dec.num_phases - 1
+    assert int(dec.phase_counts.sum()) == n * (n - 1)
+    assert (np.bincount(off, minlength=dec.num_phases)
+            == dec.phase_counts).all()
+    _assert_phases_link_disjoint(topo, dec)
+
+
+def test_8x8_product_reproduces_the_optimal_64_phases():
+    dec = product_decomposition(Torus2D(8))
+    assert dec.kind == "latin-product"
+    assert dec.num_phases == 64
+    assert dec.ring_phases == (8, 8)
+
+
+def test_product_requires_balanced_kary():
+    with pytest.raises(ValueError, match="k-ary n-cube"):
+        product_decomposition(Mesh2D(4))
+    with pytest.raises(ValueError, match="BALANCED"):
+        product_decomposition(Torus2D(4, 4, TieBreak.POSITIVE))

@@ -94,15 +94,20 @@ class TestTools:
         out_file = tmp_path / "BENCH_kernel.json"
         assert main(["perf", "--repeats", "1", "--output", str(out_file)]) == 0
         doc = json.loads(out_file.read_text())
-        assert set(doc) == {"bitmask", "set"}
-        for report in doc.values():
+        assert doc["schema"] == "repro-tdm-perf/2"
+        assert {"version", "git", "python"} <= set(doc["header"])
+        by_kernel = {r["kernel"]: r for r in doc["reports"]}
+        assert set(by_kernel) == {"bitmask", "set"}
+        for report in by_kernel.values():
             assert report["connections"] == 4032
             for entry in report["schedulers"].values():
                 assert entry["ops_per_sec"] > 0
+                assert entry["repeats"] == 1
+                assert entry["mean_seconds"] >= entry["seconds"]
         # Identical schedules: the kernels must agree on every degree.
         degrees = {
             k: {s: v["degree"] for s, v in r["schedulers"].items()}
-            for k, r in doc.items()
+            for k, r in by_kernel.items()
         }
         assert degrees["bitmask"] == degrees["set"]
 
@@ -132,8 +137,10 @@ class TestServiceCommands:
         out = capsys.readouterr().out
         assert "warm speedup" in out
         doc = json.loads(out_file.read_text())
-        assert doc["speedup"] > 1.0
-        assert doc["cache_stats"]["hits"] >= 2  # warm + translated
+        assert doc["schema"] == "repro-tdm-cache/2"
+        assert {"version", "git", "python"} <= set(doc["header"])
+        assert doc["report"]["speedup"] > 1.0
+        assert doc["report"]["cache_stats"]["hits"] >= 2  # warm + translated
 
     def test_faults_with_cache(self, tmp_path, capsys):
         assert main([

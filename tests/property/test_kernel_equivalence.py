@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.aapc_ordered import aapc_rank_order, ordered_aapc_schedule
 from repro.core.coloring import coloring_schedule
 from repro.core.combined import combined_schedule
 from repro.core.greedy import greedy_schedule
@@ -48,7 +49,7 @@ def as_slots(schedule):
 
 
 @st.composite
-def routed_connections(draw, max_requests: int = 40):
+def routed_connections(draw, max_requests: int = 40, unique: bool = True):
     topo = TOPOLOGIES[draw(st.sampled_from(sorted(TOPOLOGIES)))]
     n = topo.num_nodes
     pairs = draw(
@@ -58,10 +59,12 @@ def routed_connections(draw, max_requests: int = 40):
             ),
             min_size=1,
             max_size=max_requests,
-            unique=True,
+            unique=unique,
         )
     )
-    return topo, route_requests(topo, RequestSet.from_pairs(pairs))
+    return topo, route_requests(
+        topo, RequestSet.from_pairs(pairs, allow_duplicates=not unique)
+    )
 
 
 class TestKernelEquivalence:
@@ -82,6 +85,44 @@ class TestKernelEquivalence:
         assert as_slots(first_fit(conns, order, kernel="bitmask")) == as_slots(
             first_fit(conns, order, kernel="set")
         )
+
+    @given(routed_connections())
+    @settings(max_examples=80, deadline=None)
+    def test_first_fit_singleton_runs(self, tc):
+        # every run of length 1 is trivially link-disjoint, so the
+        # batched path must agree with both sequential kernels
+        _, conns = tc
+        batched = first_fit(conns, kernel="bitmask", runs=[1] * len(conns))
+        assert as_slots(batched) == as_slots(first_fit(conns, kernel="set"))
+
+    @given(routed_connections(unique=False))
+    @settings(max_examples=60, deadline=None)
+    def test_first_fit_aapc_runs(self, tc):
+        # real AAPC phase blocks (duplicates allowed -- repeated pairs
+        # must split into disjoint runs): run-batched placement is
+        # byte-identical to the sequential set kernel on the same order
+        topo, conns = tc
+        from repro.aapc.phases import aapc_phase_map
+
+        order, runs = aapc_rank_order(
+            conns, aapc_phase_map(topo), with_runs=True
+        )
+        batched = first_fit(
+            conns, order, kernel="bitmask", runs=runs,
+            num_links=topo.num_links,
+        )
+        assert as_slots(batched) == as_slots(
+            first_fit(conns, order, kernel="set")
+        )
+
+    @given(routed_connections(unique=False))
+    @settings(max_examples=60, deadline=None)
+    def test_ordered_aapc(self, tc):
+        # end to end: the scheduler entry point that feeds the runs hint
+        topo, conns = tc
+        assert as_slots(
+            ordered_aapc_schedule(conns, topo, kernel="bitmask")
+        ) == as_slots(ordered_aapc_schedule(conns, topo, kernel="set"))
 
     @given(routed_connections())
     @settings(max_examples=100, deadline=None)
