@@ -31,6 +31,13 @@ Three case kinds cover the three performance surfaces:
     :func:`fault_campaign` -- protected/reactive recovery: worst
     time-to-recover, losses, failover/recompile counts.
 
+``churn``
+    :func:`~repro.analysis.experiments.churn_campaign` -- delta
+    scheduling under sustained add/remove updates: worst per-size mean
+    amend latency, the largest-to-smallest flatness ratio (amortized
+    cost must be ~O(update size), not O(pattern size)), per-epoch
+    validation errors and degree-bound violations.
+
 Assertion rules (``assert`` maps rule name to a number, or to
 ``{"value": x, "severity": "error" | "warning"}``):
 
@@ -44,17 +51,23 @@ rule                    metric              passes when
 ``min_speedup``         ``speedup``         value >= limit
 ``max_ttr_slots``       ``ttr``             value <= limit
 ``max_lost``            ``lost``            value <= limit
+``max_amend_us``        ``amend_us``        value <= limit
+``max_flatness``        ``flatness``        value <= limit
+``max_validation_errors`` ``validation_errors`` value <= limit
+``max_bound_violations`` ``bound_violations`` value <= limit
 ``max_regression_pct``  kind-specific       worst drift vs baseline
                                             <= limit percent
 ======================  ==================  =========================
 
 ``max_regression_pct`` compares against the **committed baselines**
-(``BENCH_kernel.json`` / ``BENCH_cache.json`` / ``BENCH_faults.json``,
-one file per kind, ``{"schema", "header", "cases": {name: metrics}}``)
-using each kind's regression metrics -- kernel: ``seconds`` down /
-``throughput`` up is good; cache: ``warm_seconds`` down / ``speedup``
-up; faults: ``ttr`` down.  A case with no baseline entry *passes with
-a warning* so new cases can land before their baseline does.
+(``BENCH_kernel.json`` / ``BENCH_cache.json`` / ``BENCH_faults.json``
+/ ``BENCH_churn.json``, one file per kind, ``{"schema", "header",
+"cases": {name: metrics}}``) using each kind's regression metrics --
+kernel: ``seconds`` down / ``throughput`` up is good; cache:
+``warm_seconds`` down / ``speedup`` up; faults: ``ttr`` down; churn:
+``amend_us`` down / ``flatness`` down.  A case with no baseline entry
+*passes with a warning* so new cases can land before their baseline
+does.
 
 The workflow the CLI (``repro-tdm bench``) wraps:
 
@@ -96,6 +109,7 @@ BASELINE_FILES = {
     "kernel": "BENCH_kernel.json",
     "cache": "BENCH_cache.json",
     "faults": "BENCH_faults.json",
+    "churn": "BENCH_churn.json",
 }
 
 KINDS = tuple(BASELINE_FILES)
@@ -110,6 +124,10 @@ RULES: dict[str, tuple[str, Callable[[float, float], bool]]] = {
     "min_speedup": ("speedup", lambda v, lim: v >= lim),
     "max_ttr_slots": ("ttr", lambda v, lim: v <= lim),
     "max_lost": ("lost", lambda v, lim: v <= lim),
+    "max_amend_us": ("amend_us", lambda v, lim: v <= lim),
+    "max_flatness": ("flatness", lambda v, lim: v <= lim),
+    "max_validation_errors": ("validation_errors", lambda v, lim: v <= lim),
+    "max_bound_violations": ("bound_violations", lambda v, lim: v <= lim),
 }
 
 #: Per kind: the metrics the regression gate watches, and whether
@@ -118,6 +136,7 @@ REGRESSION_METRICS: dict[str, tuple[tuple[str, bool], ...]] = {
     "kernel": (("seconds", True), ("throughput", False)),
     "cache": (("warm_seconds", True), ("speedup", False)),
     "faults": (("ttr", True),),
+    "churn": (("amend_us", True), ("flatness", True)),
 }
 
 
@@ -550,10 +569,56 @@ def run_faults_case(params: dict) -> dict[str, object]:
     }
 
 
+def run_churn_case(params: dict) -> dict[str, object]:
+    """Delta-scheduling churn: amortized amend cost and its flatness.
+
+    ``amend_us`` is the worst per-size mean amend latency (the
+    committed cost-per-update bound); ``flatness`` the largest-to-
+    smallest median-latency ratio across the size sweep, which a
+    full-recompile implementation would blow up linearly with the
+    pattern.  ``validation_errors``/``bound_violations`` count epochs
+    that failed ``validate()`` or exceeded the recompile-slack degree
+    bound -- both gate at zero.
+    """
+    from repro.analysis.experiments import churn_campaign
+
+    t0 = perf.perf_timer()
+    out = churn_campaign(
+        sizes=tuple(params.get("sizes", [8, 16, 32])),
+        pattern=params.get("pattern", "ring"),
+        steps=max(1, int(params.get("steps", 40))),
+        update_size=max(1, int(params.get("update_size", 2))),
+        size=int(params.get("size", 4)),
+        scheduler=params.get("scheduler", "greedy"),
+        seed=int(params.get("seed", 0)),
+    )
+    elapsed = perf.perf_timer() - t0
+    rows, summary = out["rows"], out["summary"]
+    return {
+        "pattern": out["pattern"],
+        "sizes": [r["size"] for r in rows],
+        "steps": rows[0]["steps"],
+        "update_size": out["update_size"],
+        "updates": summary["updates"],
+        "amend_us": max(r["amend_mean_us"] for r in rows),
+        "amend_median_us": max(r["amend_median_us"] for r in rows),
+        "flatness": round(summary["flatness"], 3),
+        "flatness_mean": round(summary["flatness_mean"], 3),
+        "pattern_growth": summary["pattern_growth"],
+        "validation_errors": int(summary["validation_errors"]),
+        "bound_violations": int(sum(not r["bound_ok"] for r in rows)),
+        "actions": {
+            r["size"]: r["actions"] for r in rows
+        },
+        "seconds": elapsed,
+    }
+
+
 _RUNNERS = {
     "kernel": run_kernel_case,
     "cache": run_cache_case,
     "faults": run_faults_case,
+    "churn": run_churn_case,
 }
 
 

@@ -567,6 +567,160 @@ def _print_chaos(args) -> None:
         raise SystemExit(70)  # EX_SOFTWARE: the service corrupted data
 
 
+def _amend_service_campaign(args) -> dict:
+    """Random churn pushed through a live server's ``amend`` verb.
+
+    Spins up an in-process compile server on a unix socket, opens an
+    amend stream, and drives ``--steps`` add/remove updates through the
+    wire protocol.  Every epoch's returned schedule document is rebuilt
+    and re-validated client-side (``schedule_from_dict`` re-routes and
+    re-checks conflict-freeness, so a bad schedule cannot hide), and
+    one deliberately stale epoch checks the conflict path.
+    """
+    import asyncio
+    import random
+    import tempfile
+    from time import perf_counter
+
+    from repro.compiler.serialize import ArtifactError, schedule_from_dict
+    from repro.core.configuration import ScheduleValidationError
+    from repro.service.errors import EpochConflict
+    from repro.service.server import CompileServer
+    from repro.service.client import AsyncCompileClient
+    from repro.service.specs import topology_to_spec
+    from repro.topology.torus import Torus2D
+
+    topo = Torus2D(args.width)
+    spec = topology_to_spec(topo)
+    n = topo.num_nodes
+    rng = random.Random(args.seed)
+    pairs = [[i, (i + 1) % n] for i in range(n)]
+
+    async def run() -> dict:
+        validation_errors = 0
+        conflicts = 0
+        actions: dict[str, int] = {}
+        latencies: list[float] = []
+        with tempfile.TemporaryDirectory(prefix="repro-amend-") as tmp:
+            server = CompileServer(
+                cache=tmp, socket_path=f"{tmp}/amend.sock",
+                scheduler=args.algorithm,
+            )
+            await server.start()
+            client = AsyncCompileClient(socket_path=f"{tmp}/amend.sock")
+            try:
+                reply = await client.amend(spec, pairs=pairs)
+                root, epoch = reply["root"], reply["epoch"]
+                live = [list(p) for p in pairs]
+                for _ in range(args.steps):
+                    removal = live.pop(rng.randrange(len(live)))
+                    src = rng.randrange(n)
+                    dst = rng.randrange(n - 1)
+                    if dst >= src:
+                        dst += 1
+                    t0 = perf_counter()
+                    reply = await client.amend(
+                        spec, root=root, epoch=epoch,
+                        add=[[src, dst]], remove=[removal[:2]],
+                    )
+                    latencies.append(perf_counter() - t0)
+                    epoch = reply["epoch"]
+                    live.append([src, dst])
+                    actions[reply["action"]] = actions.get(reply["action"], 0) + 1
+                    try:
+                        schedule_from_dict(topo, reply["schedule"])
+                    except (ArtifactError, ScheduleValidationError):
+                        validation_errors += 1
+                # The conflict path: a stale epoch must be refused with
+                # the current epoch attached, not silently fork.
+                try:
+                    await client.amend(
+                        spec, root=root, epoch=0, add=[[0, 1]]
+                    )
+                except EpochConflict as exc:
+                    conflicts = 1
+                    assert exc.current_epoch == epoch
+            finally:
+                await client.close()
+                await server.shutdown()
+        latencies.sort()
+        return {
+            "width": args.width,
+            "steps": args.steps,
+            "epochs": epoch,
+            "validation_errors": validation_errors,
+            "conflict_detected": conflicts,
+            "actions": actions,
+            "amend_mean_us": 1e6 * sum(latencies) / len(latencies),
+            "amend_median_us": 1e6 * latencies[len(latencies) // 2],
+        }
+
+    return asyncio.run(run())
+
+
+def _print_amend(args) -> None:
+    if args.via_service:
+        report = _amend_service_campaign(args)
+        print(format_table(
+            ["metric", "value"],
+            [
+                ("epochs", report["epochs"]),
+                ("validation errors", report["validation_errors"]),
+                ("stale epoch refused", "yes" if report["conflict_detected"]
+                 else "NO"),
+                ("actions", ", ".join(
+                    f"{k}={v}" for k, v in sorted(report["actions"].items()))),
+                ("amend mean", f"{report['amend_mean_us']:.0f} us"),
+                ("amend median", f"{report['amend_median_us']:.0f} us"),
+            ],
+            title=(
+                f"Service churn: {args.steps} updates through the amend "
+                f"verb on a {args.width}x{args.width} torus (seed {args.seed})"
+            ),
+        ))
+        ok = (report["validation_errors"] == 0
+              and report["conflict_detected"] == 1)
+    else:
+        report = exp.churn_campaign(
+            sizes=tuple(args.sizes),
+            pattern=args.pattern,
+            steps=args.steps,
+            update_size=args.update_size,
+            scheduler=args.algorithm,
+            seed=args.seed,
+        )
+        rows = [
+            (
+                f"{r['size']}x{r['size']}", r["connections"],
+                f"{r['amend_mean_us']:.0f}", f"{r['amend_median_us']:.0f}",
+                ", ".join(f"{k}={v}" for k, v in sorted(r["actions"].items())),
+                r["degree"], r["full_recompile_degree"],
+                r["validation_errors"],
+            )
+            for r in report["rows"]
+        ]
+        s = report["summary"]
+        print(format_table(
+            ["torus", "conns", "mean us", "median us", "actions", "K",
+             "K full", "bad"],
+            rows,
+            title=(
+                f"Churn campaign: {args.steps} x{args.update_size} updates "
+                f"per size, pattern {report['pattern']!r} -- flatness "
+                f"{s['flatness']:.2f}x over {s['pattern_growth']:.0f}x "
+                f"pattern growth"
+            ),
+        ))
+        ok = s["validation_errors"] == 0 and s["bound_ok"]
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"\nwrote {args.output}")
+    if not ok:
+        print("repro-tdm amend: campaign invariants FAILED", file=sys.stderr)
+        raise SystemExit(70)  # EX_SOFTWARE: an invariant was breached
+
+
 def _print_bench(args) -> None:
     from repro.analysis import benchsuite as bs
 
@@ -811,6 +965,29 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--width", type=int, default=8)
     pr.add_argument("--height", type=int, default=8)
     pr.set_defaults(fn=_print_protect)
+
+    pm = sub.add_parser(
+        "amend",
+        help="incremental-compilation churn campaign (delta scheduling)",
+    )
+    pm.add_argument("--sizes", type=_pos_arg, nargs="+", default=[8, 16, 32],
+                    help="torus widths to sweep (in-process campaign)")
+    pm.add_argument("--pattern", default="ring",
+                    choices=list(exp.FAULT_CAMPAIGN_PATTERNS),
+                    help="initial pattern each stream compiles")
+    pm.add_argument("--steps", type=_pos_arg, default=50,
+                    help="updates per stream")
+    pm.add_argument("--update-size", type=_pos_arg, default=2,
+                    help="connections added and removed per update")
+    pm.add_argument("--algorithm", default="greedy")
+    pm.add_argument("--seed", type=int, default=0)
+    pm.add_argument("--via-service", action="store_true",
+                    help="drive the updates through a live server's "
+                    "amend verb instead of the in-process engine")
+    pm.add_argument("--width", type=_pos_arg, default=8,
+                    help="torus width for --via-service")
+    pm.add_argument("--output", default=None, help="write the report as JSON")
+    pm.set_defaults(fn=_print_amend)
 
     pb = sub.add_parser(
         "bench",

@@ -39,6 +39,13 @@ from repro.core.aapc_ordered import ordered_aapc_schedule
 from repro.core.combined import combined_schedule
 from repro.core.bounds import max_link_load_bound, degree_lower_bound
 from repro.core.registry import get_scheduler, scheduler_names
+from repro.core.delta import (
+    AmendPolicy,
+    AmendResult,
+    DeltaScheduler,
+    amend_schedule,
+    fragmentation,
+)
 from repro.core.weighted import WeightedSchedule, weighted_schedule, simulate_weighted
 from repro.core.protection import (
     ProtectedSchedule,
@@ -65,6 +72,11 @@ __all__ = [
     "max_link_load_bound",
     "degree_lower_bound",
     "get_scheduler",
+    "AmendPolicy",
+    "AmendResult",
+    "DeltaScheduler",
+    "amend_schedule",
+    "fragmentation",
     "WeightedSchedule",
     "weighted_schedule",
     "simulate_weighted",

@@ -84,6 +84,19 @@ class Configuration:
         self.connections.remove(connection)
         self.used_links -= connection.link_set
 
+    def clone(self) -> "Configuration":
+        """A shallow copy sharing the member :class:`Connection` objects.
+
+        Connections are immutable for scheduling purposes (their link
+        sets never change), so sharing them is safe; the copy gets its
+        own member list and link-set bookkeeping, making in-place
+        mutation of one copy invisible to the other.
+        """
+        cfg = Configuration.__new__(Configuration)
+        cfg.connections = list(self.connections)
+        cfg._used_links = None if self._used_links is None else set(self._used_links)
+        return cfg
+
     def __len__(self) -> int:
         return len(self.connections)
 
@@ -128,16 +141,41 @@ class ConfigurationSet(Sequence[Configuration]):
         return len(self._configs)
 
     def slot_map(self) -> dict[int, int]:
-        """Map connection index -> assigned time slot."""
-        return {
-            c.index: slot
-            for slot, cfg in enumerate(self._configs)
-            for c in cfg
-        }
+        """Map connection index -> assigned time slot.
+
+        Raises :class:`ScheduleValidationError` if a connection index
+        appears in more than one slot (or twice in one): silently
+        keeping the last slot would mask exactly the double-scheduling
+        bugs an incremental amend path can introduce.
+        """
+        mapping: dict[int, int] = {}
+        for slot, cfg in enumerate(self._configs):
+            for c in cfg:
+                if c.index in mapping:
+                    raise ScheduleValidationError(
+                        f"connection index {c.index} scheduled in both "
+                        f"slot {mapping[c.index]} and slot {slot}"
+                    )
+                mapping[c.index] = slot
+        return mapping
 
     def all_connections(self) -> list[Connection]:
         """All scheduled connections, in slot order."""
         return [c for cfg in self._configs for c in cfg]
+
+    def clone(self) -> "ConfigurationSet":
+        """A copy whose configurations are independent of this set's.
+
+        Every :class:`Configuration` is cloned (member lists copied,
+        connections shared -- they are immutable for scheduling
+        purposes), so in-place improvers like ``repack`` and
+        ``amend_schedule`` can mutate the copy without corrupting a
+        cache-held or caller-held original.  Cost is O(total
+        connections) pointer copies, no routing or conflict re-checks.
+        """
+        return ConfigurationSet(
+            (cfg.clone() for cfg in self._configs), scheduler=self.scheduler
+        )
 
     # -- validation -----------------------------------------------------
     def validate(self, connections: Sequence[Connection]) -> None:

@@ -349,28 +349,37 @@ def repack(
     maintained incrementally: the single up-front sort is patched after
     each successful dissolve instead of re-sorting every round.
 
-    The input set's configurations are mutated; the returned set shares
-    them.  Validity is preserved by construction --
+    Copy-on-write: the input set is never mutated -- its configurations
+    are cloned up front (O(total connections) pointer copies), so a
+    schedule materialised from a cache-held artifact stays intact.
+    Validity is preserved by construction --
     :meth:`Configuration.add` re-checks link-disjointness on every move.
     """
     kernel = resolve_kernel(kernel)
-    configs = [cfg for cfg in schedule if len(cfg) > 0]
+    configs = [cfg.clone() for cfg in schedule if len(cfg) > 0]
     dissolver = (_MaskDissolver if kernel == "bitmask" else _SetDissolver)(configs)
     # Creation-order ranks make (len, rank) a total order, so incremental
     # re-insertion reproduces the stable smallest-first sort exactly.
     rank = {id(cfg): pos for pos, cfg in enumerate(configs)}
     key = lambda cfg: (len(cfg), rank[id(cfg)])  # noqa: E731
     ordered = sorted(configs, key=key)
+    # Slot position of every live configuration, by identity -- pop
+    # maintenance is O(K - pos) decrements, replacing the O(K) identity
+    # scan ``configs.index(victim)`` per dissolve candidate.
+    position = {id(cfg): pos for pos, cfg in enumerate(configs)}
 
     for _ in range(max_rounds):
         if len(configs) <= 1:
             break
         for victim in ordered:
-            victim_pos = configs.index(victim)
+            victim_pos = position[id(victim)]
             receivers = dissolver.try_dissolve(victim, configs, victim_pos)
             if receivers is not None:
                 dissolver.drop_config(victim_pos)
                 configs.pop(victim_pos)
+                del position[id(victim)]
+                for cfg in configs[victim_pos:]:
+                    position[id(cfg)] -= 1
                 ordered.remove(victim)
                 for cfg in {id(c): c for c in receivers}.values():
                     ordered.remove(cfg)

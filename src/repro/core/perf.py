@@ -81,6 +81,14 @@ class PerfCounters:
     protect_delta_k: int = 0
     #: wall-clock seconds spent planning protection scenarios.
     protect_build_seconds: float = 0.0
+    #: incremental amend updates applied (delta scheduler).
+    amend_updates: int = 0
+    #: wall-clock seconds spent applying amend updates.
+    amend_seconds: float = 0.0
+    #: amend updates escalated to a full first-fit recompile.
+    amend_recompiles: int = 0
+    #: amend updates followed by a fragmentation-triggered repack.
+    amend_repacks: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

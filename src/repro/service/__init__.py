@@ -26,9 +26,19 @@ content-addressed, persistent, servable artifacts.
   kill-mid-write crash harness (``repro-tdm chaos``);
 * :mod:`repro.service.protect` -- single-fault protection artifacts
   (precomputed backup configuration sets), cached and canonicalized
-  like schedules (``repro-tdm protect``).
+  like schedules (``repro-tdm protect``);
+* :mod:`repro.service.amend` -- epoch-numbered incremental compilation
+  (the ``amend`` verb): open a stream, push add/remove updates, each
+  epoch's schedule stored as a first-class cache entry with digest
+  lineage back to its root (``repro-tdm amend``).
 """
 
+from repro.service.amend import (
+    AmendRegistry,
+    AmendStream,
+    amend_epoch_digest,
+    amend_root_digest,
+)
 from repro.service.cache import ArtifactCache, CacheStats
 from repro.service.canonical import (
     CanonicalPattern,
@@ -44,6 +54,7 @@ from repro.service.compile import (
 from repro.service.client import AsyncCompileClient, CompileClient
 from repro.service.errors import (
     CircuitOpen,
+    EpochConflict,
     Overloaded,
     ProtocolError,
     ServerError,
@@ -66,6 +77,8 @@ from repro.service.server import CompileServer
 from repro.service.specs import topology_from_spec, topology_to_spec
 
 __all__ = [
+    "AmendRegistry",
+    "AmendStream",
     "ArtifactCache",
     "AsyncCompileClient",
     "CacheStats",
@@ -76,6 +89,7 @@ __all__ = [
     "CompileResult",
     "CompileServer",
     "CompileService",
+    "EpochConflict",
     "Overloaded",
     "ProtectResult",
     "ProtocolError",
@@ -85,6 +99,8 @@ __all__ = [
     "ServiceError",
     "ServiceTimeout",
     "TransportError",
+    "amend_epoch_digest",
+    "amend_root_digest",
     "canonicalize",
     "compile_pattern",
     "protect_pattern",

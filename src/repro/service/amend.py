@@ -1,0 +1,353 @@
+"""Epoch-numbered incremental compilation -- the service face of delta
+scheduling.
+
+A long-running network does not recompile a pattern on every change: it
+opens an **amend stream** and pushes add/remove updates against it.
+The stream is a chain of epochs:
+
+* **epoch 0** compiles the initial pattern (no canonicalization -- an
+  amend stream lives in the caller's node ids, because its identity is
+  the *mutable* pattern instance, not the translation equivalence
+  class) and stores the artifact under the stream's **root digest**;
+* each **amend** applies one update through the stateful
+  :class:`repro.core.delta.DeltaScheduler`, bumps the epoch, and stores
+  the new artifact as a first-class cache entry whose document carries
+  a ``lineage`` block (root, parent digest, epoch, the update rows and
+  the cost-model action), so any epoch's schedule can be audited back
+  to its root;
+* amends are **optimistically concurrent**: a client sends the epoch it
+  believes is current, and a stale epoch is refused with
+  :class:`repro.service.errors.EpochConflict` carrying the current one
+  -- two writers can never silently fork a stream.
+
+Wire shape (see :class:`repro.service.server.CompileServer`)::
+
+    {"op": "amend", "topology": {...}, "pairs": [[s, d], ...]}
+        -> {"root": R, "epoch": 0, "digest": D0, "schedule": {...}, ...}
+    {"op": "amend", "topology": {...}, "root": R, "epoch": 0,
+     "add": [[s, d], ...], "remove": [[s, d], ...]}
+        -> {"root": R, "epoch": 1, "digest": D1, "action": "amend", ...}
+
+Removal rows name connections by ``(src, dst, tag)``; with duplicate
+pairs in the pattern the lowest-indexed (oldest) match is removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Sequence
+
+from repro.compiler.serialize import (
+    FORMAT_VERSION,
+    canonical_dumps,
+    schedule_to_dict,
+)
+from repro.core import perf
+from repro.core.delta import DEFAULT_POLICY, AmendPolicy, DeltaScheduler
+from repro.core.linkmask import resolve_kernel
+from repro.core.paths import Connection
+from repro.core.registry import get_scheduler
+from repro.core.requests import Request, RequestSet
+from repro.core.paths import route_requests
+from repro.service.cache import ArtifactCache
+from repro.service.errors import EpochConflict, ProtocolError
+from repro.topology.base import Topology
+
+#: Version of the amend lineage block (independent of FORMAT_VERSION so
+#: epoch chains can evolve without retiring plain compile artifacts).
+AMEND_VERSION = 1
+
+
+def parse_rows(rows: Sequence[Any], *, what: str) -> list[tuple[int, int, int, int]]:
+    """``[src, dst]``/``[src, dst, size]``/``[src, dst, size, tag]`` rows
+    as full 4-tuples (``ProtocolError`` on a malformed row)."""
+    out = []
+    for row in rows:
+        if not isinstance(row, (list, tuple)) or not 2 <= len(row) <= 4:
+            raise ProtocolError(f"bad {what} row {row!r}")
+        s, d, *rest = row
+        size = int(rest[0]) if rest else 1
+        tag = int(rest[1]) if len(rest) > 1 else 0
+        out.append((int(s), int(d), size, tag))
+    return out
+
+
+def amend_root_digest(
+    topology: Topology,
+    tuples: Sequence[tuple[int, int, int, int]],
+    scheduler: str,
+    kernel: str | None,
+) -> str:
+    """Stable identity of an amend stream.
+
+    Keyed like :func:`repro.service.compile.compile_digest` but over
+    the *caller-order, untranslated* pattern and a distinct header, so
+    an amend root can never collide with a plain compile artifact.
+    """
+    h = hashlib.sha256()
+    h.update(
+        f"repro-amend/v{AMEND_VERSION}\0{topology.signature}\0"
+        f"{scheduler}\0{resolve_kernel(kernel)}\0".encode("ascii")
+    )
+    h.update(canonical_dumps([list(t) for t in tuples]).encode("ascii"))
+    return h.hexdigest()
+
+
+def amend_epoch_digest(
+    parent: str,
+    add: Sequence[tuple[int, int, int, int]],
+    remove: Sequence[tuple[int, int, int, int]],
+) -> str:
+    """Content address of one epoch: parent digest + the update rows.
+
+    The digest chain is the lineage: epoch N's digest commits to every
+    update since the root, so two streams agree on a digest iff they
+    agree on the entire history.
+    """
+    h = hashlib.sha256()
+    h.update(f"repro-amend-epoch/v{AMEND_VERSION}\0{parent}\0".encode("ascii"))
+    h.update(canonical_dumps(
+        {"add": [list(t) for t in add], "remove": [list(t) for t in remove]}
+    ).encode("ascii"))
+    return h.hexdigest()
+
+
+class AmendStream:
+    """Server-side state of one epoch chain.
+
+    Owns the :class:`DeltaScheduler` engine plus a ``(src, dst, tag) ->
+    indices`` map so removal rows resolve in O(1), keeping the amend
+    hot path O(update size).  Every epoch's artifact (including epoch
+    0) is stored in the cache under its lineage digest.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        tuples: Sequence[tuple[int, int, int, int]],
+        *,
+        scheduler: str = "greedy",
+        kernel: str | None = None,
+        cache: ArtifactCache | None = None,
+        policy: AmendPolicy = DEFAULT_POLICY,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.kernel = resolve_kernel(kernel)
+        self.cache = cache
+        requests = RequestSet(
+            (Request(s, d, size=size, tag=tag) for s, d, size, tag in tuples),
+            allow_duplicates=True,
+        )
+        connections = route_requests(topology, requests)
+        schedule = get_scheduler(scheduler)(connections, topology)
+        schedule.validate(connections)
+        self.engine = DeltaScheduler(
+            schedule, num_links=topology.num_links, policy=policy, kernel=kernel
+        )
+        self._next_index = len(connections)
+        self._by_key: dict[tuple[int, int, int], list[int]] = {}
+        for c in connections:
+            self._key_add(c)
+        self.root = amend_root_digest(topology, tuples, scheduler, self.kernel)
+        self.epoch = 0
+        self.digest = self.root
+        self.action = "compile"
+        self.delta_k = 0
+        self._store(add=(), remove=(), parent=None)
+
+    # -- removal-key bookkeeping ---------------------------------------
+    def _key_add(self, c: Connection) -> None:
+        key = (c.request.src, c.request.dst, c.request.tag)
+        self._by_key.setdefault(key, []).append(c.index)
+
+    def _key_pop(self, row: tuple[int, int, int, int]) -> int:
+        s, d, _size, tag = row
+        indices = self._by_key.get((s, d, tag))
+        if not indices:
+            raise ProtocolError(
+                f"remove row ({s}, {d}, tag={tag}) matches no scheduled connection"
+            )
+        # Oldest match first: deterministic under duplicate pairs.
+        idx = min(indices)
+        indices.remove(idx)
+        if not indices:
+            del self._by_key[(s, d, tag)]
+        return idx
+
+    # -- artifact storage ----------------------------------------------
+    def _store(
+        self,
+        *,
+        add: Sequence[tuple[int, int, int, int]],
+        remove: Sequence[tuple[int, int, int, int]],
+        parent: str | None,
+    ) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "version": FORMAT_VERSION,
+            "topology": self.topology.signature,
+            "scheduler": self.scheduler,
+            "schedule": schedule_to_dict(self.engine.schedule),
+            "lineage": {
+                "version": AMEND_VERSION,
+                "root": self.root,
+                "parent": parent,
+                "epoch": self.epoch,
+                "action": self.action,
+                "add": [list(t) for t in add],
+                "remove": [list(t) for t in remove],
+            },
+        }
+        if self.cache is not None:
+            self.cache.put(self.digest, doc)
+        self._doc = doc
+        return doc
+
+    # -- the amend entry point -----------------------------------------
+    def amend(
+        self,
+        *,
+        epoch: int,
+        add: Sequence[tuple[int, int, int, int]] = (),
+        remove: Sequence[tuple[int, int, int, int]] = (),
+    ) -> dict[str, Any]:
+        """Apply one update against ``epoch``; returns the new state doc.
+
+        Raises :class:`EpochConflict` on a stale epoch (state is
+        untouched) and :class:`ProtocolError` on a removal row that
+        matches nothing (state is untouched -- rows are resolved before
+        anything is applied).
+        """
+        if epoch != self.epoch:
+            raise EpochConflict(
+                f"amend against epoch {epoch}, current epoch is {self.epoch}",
+                current_epoch=self.epoch,
+            )
+        # Resolve every removal row before touching the engine, so a
+        # bad row cannot half-apply an update.  Resolution mutates the
+        # key map; roll it back on failure.
+        resolved: list[tuple[tuple[int, int, int, int], int]] = []
+        try:
+            for row in remove:
+                resolved.append((row, self._key_pop(row)))
+        except ProtocolError:
+            for row, idx in resolved:
+                self._by_key.setdefault((row[0], row[1], row[3]), []).append(idx)
+            raise
+        connections = []
+        for s, d, size, tag in add:
+            connections.append(Connection(
+                self._next_index, Request(s, d, size=size, tag=tag),
+                self.topology.route(s, d),
+            ))
+            self._next_index += 1
+        result = self.engine.amend(
+            add=connections, remove=[idx for _, idx in resolved]
+        )
+        for c in connections:
+            self._key_add(c)
+        parent = self.digest
+        self.epoch += 1
+        self.digest = amend_epoch_digest(parent, add, remove)
+        self.action = result.action
+        self.delta_k = result.delta_k
+        return self._store(add=add, remove=remove, parent=parent)
+
+    # -- views -----------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return self.engine.degree
+
+    @property
+    def doc(self) -> dict[str, Any]:
+        """The current epoch's artifact document."""
+        return self._doc
+
+    def state(self) -> dict[str, Any]:
+        """Reply payload describing the current epoch."""
+        return {
+            "root": self.root,
+            "epoch": self.epoch,
+            "digest": self.digest,
+            "degree": self.degree,
+            "action": self.action,
+            "delta_k": self.delta_k,
+            "connections": self.engine.num_connections,
+            "fragmentation": self.engine.fragmentation(),
+        }
+
+
+class AmendRegistry:
+    """Root-keyed registry of live amend streams (one per server).
+
+    Opening a stream is idempotent: re-sending the creation request for
+    an existing root returns the stream's *current* epoch instead of
+    resetting it, so a client that lost the reply can resume safely.
+    """
+
+    def __init__(self, cache: ArtifactCache | None = None) -> None:
+        self.cache = cache
+        self._streams: dict[str, AmendStream] = {}
+        self.opened = 0
+        self.amends = 0
+        self.conflicts = 0
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def open(
+        self,
+        topology: Topology,
+        tuples: Sequence[tuple[int, int, int, int]],
+        *,
+        scheduler: str = "greedy",
+        kernel: str | None = None,
+        policy: AmendPolicy = DEFAULT_POLICY,
+    ) -> tuple[AmendStream, bool]:
+        """Get-or-create the stream for this pattern; True = created."""
+        root = amend_root_digest(
+            topology, tuples, scheduler, resolve_kernel(kernel)
+        )
+        stream = self._streams.get(root)
+        if stream is not None:
+            return stream, False
+        t0 = perf.perf_timer()
+        stream = AmendStream(
+            topology, tuples, scheduler=scheduler, kernel=kernel,
+            cache=self.cache, policy=policy,
+        )
+        self._streams[stream.root] = stream
+        self.opened += 1
+        perf.COUNTERS.amend_seconds += perf.perf_timer() - t0
+        return stream, True
+
+    def get(self, root: str) -> AmendStream:
+        stream = self._streams.get(root)
+        if stream is None:
+            raise ProtocolError(f"unknown amend root {root!r}")
+        return stream
+
+    def amend(
+        self,
+        root: str,
+        *,
+        epoch: int,
+        add: Sequence[tuple[int, int, int, int]] = (),
+        remove: Sequence[tuple[int, int, int, int]] = (),
+    ) -> AmendStream:
+        stream = self.get(root)
+        try:
+            stream.amend(epoch=epoch, add=add, remove=remove)
+        except EpochConflict:
+            self.conflicts += 1
+            raise
+        self.amends += 1
+        return stream
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "streams": len(self._streams),
+            "opened": self.opened,
+            "amends": self.amends,
+            "conflicts": self.conflicts,
+        }

@@ -74,7 +74,44 @@ __all__ = [
 ]
 
 #: Verbs safe to replay: read-only, or content-addressed (``compile``).
+#: ``amend`` is deliberately absent -- replaying an epoch update would
+#: apply it twice; the server's epoch check turns a blind replay into a
+#: typed :class:`~repro.service.errors.EpochConflict` instead.
 IDEMPOTENT_OPS = frozenset({"ping", "stats", "health", "ready", "compile"})
+
+
+def _amend_request(
+    topology: dict[str, Any] | None,
+    *,
+    pattern: dict[str, Any] | None,
+    pairs: list | None,
+    scheduler: str | None,
+    root: str | None,
+    epoch: int | None,
+    add: list | None,
+    remove: list | None,
+    request_id: int,
+    deadline: float | None = None,
+) -> dict[str, Any]:
+    req: dict[str, Any] = {"op": "amend", "id": request_id}
+    if topology is not None:
+        req["topology"] = topology
+    if pattern is not None:
+        req["pattern"] = pattern
+    if pairs is not None:
+        req["pairs"] = [list(p) for p in pairs]
+    if scheduler is not None:
+        req["scheduler"] = scheduler
+    if root is not None:
+        req["root"] = root
+        req["epoch"] = epoch
+    if add is not None:
+        req["add"] = [list(r) for r in add]
+    if remove is not None:
+        req["remove"] = [list(r) for r in remove]
+    if deadline is not None:
+        req["deadline"] = deadline
+    return req
 
 
 def _compile_request(
@@ -323,6 +360,35 @@ class AsyncCompileClient(_ResilientBase):
             )
         )
 
+    async def amend(
+        self,
+        topology: dict[str, Any] | None = None,
+        *,
+        pattern: dict[str, Any] | None = None,
+        pairs: list | None = None,
+        scheduler: str | None = None,
+        root: str | None = None,
+        epoch: int | None = None,
+        add: list | None = None,
+        remove: list | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        """Open an amend stream (``topology`` + pattern) or push one
+        epoch update (``root`` + ``epoch`` + ``add``/``remove`` rows).
+
+        Raises :class:`~repro.service.errors.EpochConflict` when the
+        epoch is stale; never retried automatically (not idempotent).
+        """
+        self._next_id += 1
+        return await self.request(
+            _amend_request(
+                topology,
+                pattern=pattern, pairs=pairs, scheduler=scheduler,
+                root=root, epoch=epoch, add=add, remove=remove,
+                request_id=self._next_id, deadline=deadline,
+            )
+        )
+
 
 class CompileClient(_ResilientBase):
     """Blocking client over a plain socket (CLI / CI / scripts)."""
@@ -472,5 +538,29 @@ class CompileClient(_ResilientBase):
                 registers=registers,
                 request_id=self._next_id,
                 deadline=deadline,
+            )
+        )
+
+    def amend(
+        self,
+        topology: dict[str, Any] | None = None,
+        *,
+        pattern: dict[str, Any] | None = None,
+        pairs: list | None = None,
+        scheduler: str | None = None,
+        root: str | None = None,
+        epoch: int | None = None,
+        add: list | None = None,
+        remove: list | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        """Blocking twin of :meth:`AsyncCompileClient.amend`."""
+        self._next_id += 1
+        return self.request(
+            _amend_request(
+                topology,
+                pattern=pattern, pairs=pairs, scheduler=scheduler,
+                root=root, epoch=epoch, add=add, remove=remove,
+                request_id=self._next_id, deadline=deadline,
             )
         )

@@ -16,6 +16,7 @@ class                     code            exit code
 :class:`Overloaded`       overloaded      75
 :class:`TransportError`   transport       69
 :class:`CircuitOpen`      circuit_open    75
+:class:`EpochConflict`    epoch_conflict  75
 ========================  ==============  =========
 
 :class:`ServiceTimeout` also subclasses the builtin ``TimeoutError``
@@ -97,6 +98,22 @@ class TransportError(ServiceError, ConnectionError):
     retryable = True
 
 
+class EpochConflict(ServiceError):
+    """An amend targeted a stale epoch (optimistic concurrency failure).
+
+    The reply carries ``current_epoch``; the caller must rebase its
+    update onto the current schedule and resend against that epoch.
+    Not retryable as-is -- replaying the identical request loses again.
+    """
+
+    code = "epoch_conflict"
+    exit_code = EX_TEMPFAIL
+
+    def __init__(self, message: str = "amend epoch conflict", *, current_epoch: int = 0):
+        super().__init__(message)
+        self.current_epoch = int(current_epoch)
+
+
 class CircuitOpen(ServiceError):
     """The client's circuit breaker is open: fast-fail without I/O."""
 
@@ -109,7 +126,7 @@ CODE_TO_ERROR: dict[str, type[ServiceError]] = {
     cls.code: cls
     for cls in (
         ServiceError, ServerError, ProtocolError, ServiceTimeout,
-        Overloaded, TransportError, CircuitOpen,
+        Overloaded, TransportError, CircuitOpen, EpochConflict,
     )
 }
 
@@ -127,6 +144,12 @@ def error_fields(exc: BaseException) -> dict[str, Any]:
             "error": str(exc) or exc.code,
             "error_type": exc.code,
             "retry_after": exc.retry_after,
+        }
+    if isinstance(exc, EpochConflict):
+        return {
+            "error": str(exc) or exc.code,
+            "error_type": exc.code,
+            "current_epoch": exc.current_epoch,
         }
     if isinstance(exc, ServiceError):
         return {"error": f"{type(exc).__name__}: {exc}", "error_type": exc.code}
@@ -149,4 +172,8 @@ def reply_error(reply: dict[str, Any]) -> ServiceError:
     message = str(reply.get("error", "unknown server error"))
     if cls is Overloaded:
         return Overloaded(message, retry_after=float(reply.get("retry_after", 0.0)))
+    if cls is EpochConflict:
+        return EpochConflict(
+            message, current_epoch=int(reply.get("current_epoch", 0))
+        )
     return cls(message)

@@ -11,6 +11,9 @@ Verbs::
     {"op": "stats"}
     {"op": "health"}     # queue depth, breaker-relevant state, cache
     {"op": "ready"}      # {"ready": true|false} readiness probe
+    {"op": "amend", "topology": {...}, "pairs": [[0, 1], ...]}  # open (epoch 0)
+    {"op": "amend", "root": "...", "epoch": 0,
+     "add": [[2, 3]], "remove": [[0, 1]]}                       # epoch 0 -> 1
     {"op": "shutdown"}
 
 ``pattern`` is a declarative spec (:mod:`repro.compiler.recognition`);
@@ -67,6 +70,7 @@ from typing import Any
 
 from repro.analysis.parallel import _run_isolated, resolve_workers
 from repro.core import perf
+from repro.service.amend import AmendRegistry, parse_rows
 from repro.service.cache import ArtifactCache
 from repro.service.compile import CompileService, artifact_verifier, compile_digest
 from repro.service.canonical import (
@@ -152,6 +156,7 @@ class CompileServer:
         else:
             self.cache = ArtifactCache(cache)
         self.service = CompileService(self.cache, scheduler=scheduler)
+        self.amends = AmendRegistry(self.cache)
         self.workers = 0 if workers == 0 else (resolve_workers(workers) or 1)
         self.host, self.port, self.socket_path = host, port, socket_path
         self.policy = policy if policy is not None else ServerPolicy()
@@ -311,7 +316,10 @@ class CompileServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # wait_closed itself may be cancelled by loop teardown;
+                # the transport is already closing, nothing to salvage.
                 pass
 
     async def _dispatch(self, line: bytes) -> dict[str, Any]:
@@ -337,6 +345,8 @@ class CompileServer:
                 return self._reply(req, op="shutdown")
             if op == "compile":
                 return await self._compile(req)
+            if op == "amend":
+                return await self._amend(req)
             raise ProtocolError(f"unknown op {op!r}")
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             req = req if isinstance(req, dict) else {}
@@ -382,6 +392,7 @@ class CompileServer:
     def _stats(self) -> dict[str, Any]:
         return {
             **self.service.stats(),
+            "amend": self.amends.stats(),
             "inflight": len(self._inflight),
             "inflight_coalesced": self.inflight_coalesced,
             "requests": self.requests_served,
@@ -491,6 +502,77 @@ class CompileServer:
         # End-to-end payload integrity (chaos-grade links): the client
         # re-hashes what it received and rejects a garbled artifact.
         out["payload_sha256"] = artifact_digest(payload)
+        return out
+
+    # ------------------------------------------------------------------
+    # the amend verb (epoch-numbered incremental compilation)
+    # ------------------------------------------------------------------
+    async def _amend(self, req: dict[str, Any]) -> dict[str, Any]:
+        if self._active >= self.policy.max_pending:
+            self.shed += 1
+            perf.COUNTERS.service_shed += 1
+            raise Overloaded(
+                "overloaded: admission queue full",
+                retry_after=self.policy.retry_after,
+            )
+        self._active += 1
+        try:
+            return self._amend_admitted(req)
+        finally:
+            self._active -= 1
+
+    def _amend_admitted(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Open an amend stream (epoch 0) or apply one epoch update.
+
+        Amend updates are O(update size) bitmask work on the stream's
+        live :class:`~repro.core.delta.DeltaScheduler` (plus O(pattern)
+        serialization of the reply), so they run on the event loop --
+        no worker-pool round trip, no in-flight dedup (``amend`` is
+        deliberately *not* idempotent: replaying an update would apply
+        it twice, which is exactly what the epoch check refuses).
+        """
+        t0 = perf.perf_timer()
+        if "root" in req:
+            stream = self.amends.get(str(req["root"]))
+            if "topology" in req:
+                topology = topology_from_spec(req["topology"])
+                if topology.signature != stream.topology.signature:
+                    raise ProtocolError(
+                        f"amend root was opened on {stream.topology.signature!r}, "
+                        f"request names {topology.signature!r}"
+                    )
+            epoch = req.get("epoch")
+            if isinstance(epoch, bool) or not isinstance(epoch, int):
+                raise ProtocolError("amend request needs an integer 'epoch'")
+            add = parse_rows(req.get("add", []), what="add")
+            remove = parse_rows(req.get("remove", []), what="remove")
+            if not add and not remove:
+                raise ProtocolError("amend request needs 'add' or 'remove' rows")
+            stream = self.amends.amend(
+                str(req["root"]), epoch=epoch, add=add, remove=remove
+            )
+            cache = "amend"
+        else:
+            if "topology" not in req:
+                raise ProtocolError("amend request needs 'topology'")
+            topology = topology_from_spec(req["topology"])
+            tuples = _parse_pattern(req)
+            scheduler = req.get("scheduler") or self.service.default_scheduler
+            stream, created = self.amends.open(
+                topology, tuples, scheduler=scheduler, kernel=req.get("kernel"),
+            )
+            cache = "open" if created else "resume"
+        schedule_doc = stream.doc["schedule"]
+        out = self._reply(
+            req,
+            op="amend",
+            cache=cache,
+            seconds=perf.perf_timer() - t0,
+            schedule=schedule_doc,
+            lineage=stream.doc["lineage"],
+            **stream.state(),
+        )
+        out["payload_sha256"] = artifact_digest({"schedule": schedule_doc})
         return out
 
     async def _lead_compile(

@@ -18,10 +18,13 @@ from repro.simulator.params import SimParams
 from repro.simulator.messages import Message, messages_from_requests
 from repro.simulator.tdm import LinkSlotState, TDMNetwork
 from repro.simulator.compiled import (
+    CompiledEpochResult,
     CompiledFaultResult,
     CompiledResult,
+    EpochUpdate,
     compiled_completion_time,
     simulate_compiled,
+    simulate_compiled_epochs,
     simulate_compiled_faulty,
 )
 from repro.simulator.dynamic import DynamicResult, simulate_dynamic
@@ -40,9 +43,12 @@ __all__ = [
     "messages_from_requests",
     "LinkSlotState",
     "TDMNetwork",
+    "CompiledEpochResult",
     "CompiledFaultResult",
     "CompiledResult",
+    "EpochUpdate",
     "simulate_compiled",
+    "simulate_compiled_epochs",
     "simulate_compiled_faulty",
     "compiled_completion_time",
     "DynamicResult",

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.core import perf
 from repro.core.configuration import ConfigurationSet
-from repro.core.paths import route_requests
+from repro.core.paths import Connection, route_requests
 from repro.core.registry import get_scheduler
 from repro.core.requests import RequestSet
 from repro.simulator.messages import Message, messages_from_requests
@@ -552,6 +552,200 @@ def simulate_compiled_faulty(
         failovers=failovers,
         failover_slots=failover_slots,
         uncovered=uncovered_hits,
+    )
+
+
+@dataclass(frozen=True)
+class EpochUpdate:
+    """One pattern change applied to a running compiled pattern.
+
+    ``add`` rows are ``(src, dst)`` or ``(src, dst, size)`` request
+    tuples; ``remove`` names existing messages by mid.  Updates are
+    applied at ``slot`` (clamped to the current simulation time if the
+    network is already past it).
+    """
+
+    slot: int
+    add: tuple = ()
+    remove: tuple = ()
+
+
+@dataclass
+class CompiledEpochResult:
+    """Outcome of a compiled run through a sequence of epoch updates.
+
+    Each :class:`EpochUpdate` pauses the network at an **epoch
+    boundary**: the delta scheduler amends the live schedule (removals
+    free slack in place, additions pack into it, the cost model may
+    repack or recompile), the amended register image is swapped in, and
+    the run resumes ``SimParams.amend_latency`` slots later.  Transfers
+    advance in closed form between boundaries, so nothing delivered is
+    retransmitted; messages removed before delivery are **cancelled**.
+    """
+
+    completion_time: int
+    #: schedule degree of the initial (epoch-0) compilation.
+    initial_degree: int
+    #: largest degree any epoch needed.
+    max_degree: int
+    #: degree of the final epoch's schedule.
+    final_degree: int
+    #: number of amends applied (final epoch number).
+    epochs: int
+    #: total slots spent paused swapping schedules.
+    amend_slots: int
+    #: undelivered messages removed by an update.
+    cancelled: int
+    messages: list[Message]
+    #: one entry per update: slot, epoch, cost-model action, delta_k,
+    #: degree after the amend, and added/removed/cancelled counts.
+    epoch_log: list[dict]
+    params: SimParams
+
+    @property
+    def makespan(self) -> int:
+        """Alias for ``completion_time`` (slots)."""
+        return self.completion_time
+
+
+def simulate_compiled_epochs(
+    topology: Topology,
+    requests: RequestSet,
+    updates,
+    params: SimParams = SimParams(),
+    *,
+    scheduler: str = "combined",
+    policy=None,
+    kernel: str | None = None,
+    validate: bool = True,
+) -> CompiledEpochResult:
+    """Compiled run of ``requests`` through a sequence of epoch updates.
+
+    The compiled model's answer to a pattern that *changes* mid-run:
+    instead of stopping the network and recompiling from scratch, each
+    update is amended into the live schedule by
+    :class:`repro.core.delta.DeltaScheduler` and the network pays only
+    ``amend_latency`` slots of pause (plus whatever slot reshuffling the
+    cost model's chosen action implies -- surviving transfers keep their
+    delivered element counts either way).  With no updates this reduces
+    exactly to :func:`compiled_completion_time`.
+
+    New messages get fresh mids (``len(messages)`` onward); removal of
+    an already-delivered message just frees its slot for later packing,
+    while removal of an in-flight message **cancels** it (``lost`` is
+    stamped with the boundary slot).  With ``validate=True`` (default)
+    every epoch's schedule is re-checked against its connection set, so
+    a campaign doubles as a correctness gate.
+    """
+    from repro.core.delta import DEFAULT_POLICY, DeltaScheduler
+    from repro.core.requests import Request
+
+    if policy is None:
+        policy = DEFAULT_POLICY
+    connections = route_requests(topology, requests)
+    schedule = get_scheduler(scheduler)(connections, topology)
+    engine = DeltaScheduler(
+        schedule, num_links=topology.num_links, policy=policy, kernel=kernel
+    )
+    messages = messages_from_requests(requests)
+    remaining = {m.mid: m.size for m in messages}
+    slots = engine.schedule.slot_map()  # mid == connection index
+    degree = max(engine.degree, 1)
+    t = params.compiled_startup
+    for m in messages:
+        m.first_attempt = 0
+        m.established = t
+        m.slot = slots[m.mid]
+
+    initial_degree = engine.degree
+    max_degree = engine.degree
+    amend_slots = 0
+    cancelled = 0
+    epoch_log: list[dict] = []
+    epoch = 0
+
+    def advance(t0: int, t1: int | None) -> None:
+        """Move data during ``[t0, t1)`` (``t1=None``: run to drain)."""
+        for mid in list(remaining):
+            m = messages[mid]
+            chunks = transfer_chunks(remaining[mid], params.slot_payload)
+            if t1 is not None:
+                got = chunks_in_window(t0, t1, slots[mid], degree)
+                if got < chunks:
+                    remaining[mid] -= got * params.slot_payload
+                    continue
+            m.delivered = transfer_finish(t0, slots[mid], degree, chunks)
+            del remaining[mid]
+
+    events = sorted(updates, key=lambda u: u.slot)
+    for ev in events:
+        if ev.slot > t:
+            if remaining:
+                advance(t, ev.slot)
+            t = ev.slot
+        at = max(t, ev.slot)
+        removed_here = 0
+        cancelled_here = 0
+        for mid in ev.remove:
+            if not 0 <= mid < len(messages):
+                raise ValueError(f"remove names unknown mid {mid}")
+            removed_here += 1
+            if mid in remaining:
+                messages[mid].lost = at
+                del remaining[mid]
+                cancelled_here += 1
+        new_msgs: list[Message] = []
+        new_conns = []
+        for row in ev.add:
+            src, dst, *rest = row
+            size = int(rest[0]) if rest else 1
+            mid = len(messages) + len(new_msgs)
+            new_msgs.append(Message(mid=mid, src=src, dst=dst, size=size))
+            new_conns.append(Connection(
+                mid, Request(src, dst, size=size), topology.route(src, dst)
+            ))
+        result = engine.amend(add=new_conns, remove=list(ev.remove))
+        if validate:
+            engine.schedule.validate(engine.connections())
+        epoch += 1
+        resume = at + params.amend_latency
+        slots = engine.schedule.slot_map()
+        degree = max(engine.degree, 1)
+        max_degree = max(max_degree, engine.degree)
+        for m in new_msgs:
+            m.first_attempt = at
+            remaining[m.mid] = m.size
+        messages.extend(new_msgs)
+        for mid in remaining:
+            messages[mid].slot = slots[mid]
+            messages[mid].established = resume
+        amend_slots += resume - at
+        cancelled += cancelled_here
+        epoch_log.append({
+            "slot": ev.slot, "epoch": epoch, "action": result.action,
+            "delta_k": result.delta_k, "degree": engine.degree,
+            "added": len(new_msgs), "removed": removed_here,
+            "cancelled": cancelled_here,
+        })
+        t = resume
+    if remaining:
+        advance(t, None)
+
+    completion = max(
+        (m.delivered for m in messages if m.delivered is not None),
+        default=params.compiled_startup,
+    )
+    return CompiledEpochResult(
+        completion_time=max(completion, params.compiled_startup),
+        initial_degree=initial_degree,
+        max_degree=max_degree,
+        final_degree=engine.degree,
+        epochs=epoch,
+        amend_slots=amend_slots,
+        cancelled=cancelled,
+        messages=messages,
+        epoch_log=epoch_log,
+        params=params,
     )
 
 

@@ -51,6 +51,13 @@ substitutions (see DESIGN.md section 3):
     image-select plus one sync slot, an order cheaper than
     ``recompile_latency`` and independent of pattern size.
 
+``amend_latency``
+    Slots a running compiled pattern pays to swap schedules at an
+    **epoch boundary** (the incremental ``amend`` path): distribute the
+    amended register image and resynchronise.  1 -- an amend touches
+    O(update) switch states and the image swap is the same operation as
+    a protected failover, an order cheaper than ``recompile_latency``.
+
 ``fault_retry_limit``
     Dynamic control under faults: consecutive routing failures (source
     and destination disconnected by the current fiber cuts) a message
@@ -79,6 +86,7 @@ class SimParams:
     hold_timeout: int = 64
     recompile_latency: int = 3
     failover_latency: int = 1
+    amend_latency: int = 1
     fault_retry_limit: int = 32
     seed: int = 0
     max_slots: int = 10_000_000
@@ -98,6 +106,8 @@ class SimParams:
             raise ValueError("recompile_latency must be >= 0")
         if self.failover_latency < 0:
             raise ValueError("failover_latency must be >= 0")
+        if self.amend_latency < 0:
+            raise ValueError("amend_latency must be >= 0")
         if self.fault_retry_limit < 1:
             raise ValueError("fault_retry_limit must be >= 1")
         if self.max_slots < 1:

@@ -51,6 +51,30 @@ class TestConfigurationSet:
                                Configuration([conns[1], conns[2]])])
         assert cs.slot_map() == {0: 0, 3: 0, 1: 1, 2: 1}
 
+    def test_slot_map_rejects_double_scheduling(self, conns):
+        """A connection in two slots is the signature bug of an
+        incremental amend path -- slot_map must refuse, not mask it."""
+        cs = ConfigurationSet([Configuration([conns[0]]),
+                               Configuration([conns[1]]),
+                               Configuration([conns[0]])])
+        with pytest.raises(ScheduleValidationError, match="slot 0 and slot 2"):
+            cs.slot_map()
+
+    def test_slot_map_rejects_duplicate_within_slot(self, conns):
+        cfg = Configuration()
+        cfg.connections = [conns[0], conns[0]]  # forced in, bypassing add()
+        with pytest.raises(ScheduleValidationError, match="scheduled in both"):
+            ConfigurationSet([cfg]).slot_map()
+
+    def test_clone_is_independent(self, conns):
+        cs = ConfigurationSet([Configuration([conns[0], conns[3]]),
+                               Configuration([conns[1], conns[2]])])
+        copy = cs.clone()
+        copy[0].remove(conns[0])
+        assert len(cs[0]) == 2 and len(copy[0]) == 1
+        assert cs.slot_map() == {0: 0, 3: 0, 1: 1, 2: 1}
+        cs.validate(conns)
+
     def test_validate_accepts_good_schedule(self, conns):
         cs = ConfigurationSet([Configuration([conns[0], conns[3]]),
                                Configuration([conns[1], conns[2]])])

@@ -81,6 +81,20 @@ class TestRepack:
         conns = route_requests(torus8, RequestSet.from_pairs([(0, 1)]))
         assert repack(first_fit(conns)).scheduler.endswith("+repack")
 
+    def test_input_schedule_byte_identical_after_repack(self, torus8):
+        """Aliasing regression: repack used to mutate the caller's
+        configurations in place, corrupting cache-held artifacts.  The
+        input must serialize to the exact same bytes afterwards."""
+        from repro.compiler.serialize import canonical_dumps, schedule_to_dict
+
+        conns = route_requests(torus8, random_pattern(64, 60, seed=3))
+        padded = ConfigurationSet([Configuration([c]) for c in conns])
+        before = canonical_dumps(schedule_to_dict(padded))
+        packed = repack(padded)
+        assert packed.degree < padded.degree  # repack actually did work
+        assert canonical_dumps(schedule_to_dict(padded)) == before
+        padded.validate(conns)
+
     def test_matches_resort_reference(self, torus8):
         """The incrementally maintained candidate order reaches exactly
         the local optimum of the straightforward re-sort-every-round

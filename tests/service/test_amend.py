@@ -1,0 +1,259 @@
+"""Tests for the service's epoch-numbered amend streams."""
+
+import asyncio
+
+import pytest
+
+from repro.compiler.serialize import schedule_from_dict
+from repro.core.configuration import ScheduleValidationError
+from repro.service.amend import (
+    AmendRegistry,
+    AmendStream,
+    amend_epoch_digest,
+    amend_root_digest,
+    parse_rows,
+)
+from repro.service.cache import ArtifactCache
+from repro.service.client import AsyncCompileClient, ServerError
+from repro.service.errors import EpochConflict, ProtocolError
+from repro.service.server import CompileServer
+from repro.topology.torus import Torus2D
+
+TORUS4_SPEC = {"kind": "torus", "width": 4}
+RING8 = [(i, (i + 1) % 8, 1, 0) for i in range(8)]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(fn, **server_kwargs):
+    server = CompileServer(**server_kwargs)
+    await server.start()
+    host, port = server.address
+    try:
+        return await fn(server, host, port)
+    finally:
+        await server.shutdown()
+
+
+class TestParseRows:
+    def test_accepts_2_to_4_columns(self):
+        assert parse_rows([[0, 1], [2, 3, 5], [4, 5, 1, 7]], what="add") == [
+            (0, 1, 1, 0), (2, 3, 5, 0), (4, 5, 1, 7),
+        ]
+
+    @pytest.mark.parametrize("bad", [[[0]], [[0, 1, 2, 3, 4]], [0], ["xy"]])
+    def test_malformed_rows_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_rows(bad, what="add")
+
+
+class TestDigests:
+    def test_root_keyed_by_pattern_and_scheduler(self, torus4):
+        a = amend_root_digest(torus4, RING8, "greedy", None)
+        assert a == amend_root_digest(torus4, RING8, "greedy", None)
+        assert a != amend_root_digest(torus4, RING8[:-1], "greedy", None)
+        assert a != amend_root_digest(torus4, RING8, "coloring", None)
+
+    def test_root_not_translation_canonicalised(self, torus4):
+        """An amend stream lives in the caller's node ids: a shifted
+        pattern is a different stream, unlike plain compile digests."""
+        shifted = [(s + 1, (d + 1) % 16, size, tag)
+                   for s, d, size, tag in [(0, 1, 1, 0)]]
+        assert amend_root_digest(torus4, [(0, 1, 1, 0)], "greedy", None) != \
+            amend_root_digest(torus4, shifted, "greedy", None)
+
+    def test_epoch_digest_chains_history(self):
+        d1 = amend_epoch_digest("root", [(0, 1, 1, 0)], [])
+        d2 = amend_epoch_digest(d1, [], [(0, 1, 1, 0)])
+        assert d1 != d2
+        assert amend_epoch_digest("root", [(0, 1, 1, 0)], []) == d1
+        assert amend_epoch_digest("other", [(0, 1, 1, 0)], []) != d1
+
+
+class TestAmendStream:
+    def make(self, tmp_path, torus4, pattern=RING8):
+        cache = ArtifactCache(tmp_path)
+        return AmendStream(torus4, pattern, cache=cache), cache
+
+    def test_epoch_zero_state(self, tmp_path, torus4):
+        stream, cache = self.make(tmp_path, torus4)
+        assert stream.epoch == 0
+        assert stream.digest == stream.root
+        assert stream.action == "compile"
+        assert cache.get(stream.root)["lineage"]["parent"] is None
+
+    def test_amend_bumps_epoch_and_stores_lineage(self, tmp_path, torus4):
+        stream, cache = self.make(tmp_path, torus4)
+        root = stream.digest
+        stream.amend(epoch=0, add=[(0, 2, 1, 0)], remove=[(0, 1, 1, 0)])
+        assert stream.epoch == 1
+        doc = cache.get(stream.digest)
+        lineage = doc["lineage"]
+        assert lineage["root"] == stream.root
+        assert lineage["parent"] == root
+        assert lineage["epoch"] == 1
+        assert lineage["add"] == [[0, 2, 1, 0]]
+        assert lineage["remove"] == [[0, 1, 1, 0]]
+        assert lineage["action"] in ("amend", "amend+repack", "recompile")
+        # The stored schedule materialises and validates.
+        schedule_from_dict(torus4, doc["schedule"])
+
+    def test_stale_epoch_refused_with_current(self, tmp_path, torus4):
+        stream, _ = self.make(tmp_path, torus4)
+        stream.amend(epoch=0, add=[(0, 2, 1, 0)])
+        with pytest.raises(EpochConflict) as exc:
+            stream.amend(epoch=0, add=[(0, 5, 1, 0)])
+        assert exc.value.current_epoch == 1
+        assert stream.epoch == 1  # state untouched
+
+    def test_unknown_remove_row_leaves_state(self, tmp_path, torus4):
+        stream, _ = self.make(tmp_path, torus4)
+        with pytest.raises(ProtocolError):
+            stream.amend(epoch=0, remove=[(9, 9, 1, 0)])
+        assert stream.epoch == 0
+        # The key map rolled back: the legitimate removal still works.
+        stream.amend(epoch=0, remove=[(0, 1, 1, 0)])
+        assert stream.epoch == 1
+
+    def test_partial_bad_update_rolls_back_resolved_rows(self, tmp_path, torus4):
+        stream, _ = self.make(tmp_path, torus4)
+        with pytest.raises(ProtocolError):
+            # First row resolves, second does not; both must roll back.
+            stream.amend(epoch=0, remove=[(0, 1, 1, 0), (9, 9, 1, 0)])
+        assert stream.epoch == 0
+        stream.amend(epoch=0, remove=[(0, 1, 1, 0)])
+
+    def test_duplicate_pairs_removed_oldest_first(self, tmp_path, torus4):
+        pattern = [(0, 1, 1, 0), (0, 1, 1, 0), (2, 3, 1, 0)]
+        stream, _ = self.make(tmp_path, torus4, pattern=pattern)
+        stream.amend(epoch=0, remove=[(0, 1, 1, 0)])
+        left = {c.index for c in stream.engine.connections()}
+        assert left == {1, 2}  # index 0 (oldest) went first
+        stream.amend(epoch=1, remove=[(0, 1, 1, 0)])
+        assert {c.index for c in stream.engine.connections()} == {2}
+
+    def test_schedule_valid_after_every_epoch(self, tmp_path, torus4):
+        stream, _ = self.make(tmp_path, torus4)
+        for epoch in range(6):
+            stream.amend(
+                epoch=epoch,
+                add=[(epoch, (epoch + 4) % 16, 1, 7)],
+                remove=[RING8[epoch][:4]] if epoch < len(RING8) else [],
+            )
+            stream.engine.schedule.validate(stream.engine.connections())
+
+
+class TestAmendRegistry:
+    def test_open_is_idempotent(self, torus4):
+        reg = AmendRegistry()
+        s1, created1 = reg.open(torus4, RING8)
+        s1.amend(epoch=0, add=[(0, 2, 1, 0)])
+        s2, created2 = reg.open(torus4, RING8)
+        assert created1 and not created2
+        assert s2 is s1 and s2.epoch == 1  # resume, not reset
+        assert reg.opened == 1 and len(reg) == 1
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ProtocolError):
+            AmendRegistry().get("no-such-root")
+
+    def test_stats_count_amends_and_conflicts(self, torus4):
+        reg = AmendRegistry()
+        stream, _ = reg.open(torus4, RING8)
+        reg.amend(stream.root, epoch=0, add=[(0, 2, 1, 0)])
+        with pytest.raises(EpochConflict):
+            reg.amend(stream.root, epoch=0, add=[(0, 5, 1, 0)])
+        assert reg.stats() == {
+            "streams": 1, "opened": 1, "amends": 1, "conflicts": 1,
+        }
+
+
+class TestAmendVerb:
+    """The wire-level amend verb end to end."""
+
+    def test_open_then_amend_then_conflict(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                opened = await c.amend(
+                    TORUS4_SPEC, pairs=[[i, (i + 1) % 8] for i in range(8)]
+                )
+                assert opened["epoch"] == 0 and opened["cache"] == "open"
+                root = opened["root"]
+
+                amended = await c.amend(
+                    root=root, epoch=0, add=[[0, 5]], remove=[[0, 1]],
+                )
+                assert amended["epoch"] == 1
+                assert amended["root"] == root
+                assert amended["digest"] != root
+                assert amended["lineage"]["parent"] == opened["digest"]
+                assert amended["action"] in ("amend", "amend+repack", "recompile")
+
+                # The returned schedule materialises and validates
+                # client-side against the amended pattern.
+                topo = Torus2D(4)
+                schedule_from_dict(topo, amended["schedule"])
+
+                with pytest.raises(EpochConflict) as exc:
+                    await c.amend(root=root, epoch=0, add=[[1, 6]])
+                assert exc.value.current_epoch == 1
+            stats = server.amends.stats()
+            assert stats["amends"] == 1 and stats["conflicts"] == 1
+
+        run(with_server(go))
+
+    def test_reopen_resumes_current_epoch(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                pairs = [[i, (i + 1) % 8] for i in range(8)]
+                opened = await c.amend(TORUS4_SPEC, pairs=pairs)
+                await c.amend(root=opened["root"], epoch=0, add=[[0, 5]])
+                again = await c.amend(TORUS4_SPEC, pairs=pairs)
+            assert again["cache"] == "resume"
+            assert again["epoch"] == 1
+
+        run(with_server(go))
+
+    def test_epoch_artifacts_are_cache_entries(self, tmp_path):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                opened = await c.amend(TORUS4_SPEC, pairs=[[0, 1], [2, 3]])
+                amended = await c.amend(
+                    root=opened["root"], epoch=0, add=[[4, 5]],
+                )
+            for digest in (opened["digest"], amended["digest"]):
+                doc = server.cache.get(digest)
+                assert doc["lineage"]["root"] == opened["root"]
+
+        run(with_server(go, cache=ArtifactCache(tmp_path)))
+
+    def test_malformed_amend_requests_are_replies(self):
+        async def go(server, host, port):
+            async with AsyncCompileClient(host, port) as c:
+                for bad in (
+                    {"op": "amend"},  # neither topology nor root
+                    {"op": "amend", "root": "nope", "epoch": 0,
+                     "add": [[0, 1]]},  # unknown root
+                    {"op": "amend", "topology": TORUS4_SPEC},  # no pattern
+                ):
+                    with pytest.raises(ServerError):
+                        await c.request(bad)
+                opened = await c.amend(TORUS4_SPEC, pairs=[[0, 1]])
+                for bad in (
+                    {"op": "amend", "root": opened["root"],
+                     "add": [[0, 2]]},  # missing epoch
+                    {"op": "amend", "root": opened["root"], "epoch": 0},
+                    {"op": "amend", "root": opened["root"], "epoch": 0,
+                     "add": [[0]]},  # malformed row
+                    {"op": "amend", "root": opened["root"], "epoch": 0,
+                     "remove": [[9, 9]]},  # matches nothing
+                ):
+                    with pytest.raises(ServerError):
+                        await c.request(bad)
+                # Stream survived all of it at epoch 0.
+                ok = await c.amend(root=opened["root"], epoch=0, add=[[0, 2]])
+                assert ok["epoch"] == 1
+
+        run(with_server(go))

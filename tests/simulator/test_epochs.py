@@ -1,0 +1,113 @@
+"""Tests for epoch-boundary schedule swaps in the compiled simulator."""
+
+import pytest
+
+from repro.core.requests import RequestSet
+from repro.patterns.random_patterns import random_pattern
+from repro.simulator.compiled import (
+    EpochUpdate,
+    compiled_completion_time,
+    simulate_compiled_epochs,
+)
+from repro.simulator.params import SimParams
+
+RING8 = RequestSet.from_pairs([(i, (i + 1) % 8) for i in range(8)])
+
+
+class TestNoUpdates:
+    def test_reduces_to_compiled_model(self, torus8, params):
+        """With no updates the epoch simulator is the compiled model."""
+        for n, seed in ((30, 0), (120, 1)):
+            requests = random_pattern(64, n, seed=seed, size=13)
+            static = compiled_completion_time(torus8, requests, params)
+            epoch = simulate_compiled_epochs(torus8, requests, [], params)
+            assert epoch.completion_time == static.completion_time
+            assert epoch.initial_degree == static.degree
+            assert epoch.epochs == 0 and epoch.cancelled == 0
+
+    def test_epoch_log_empty(self, torus8, params):
+        res = simulate_compiled_epochs(torus8, RING8, [], params)
+        assert res.epoch_log == [] and res.amend_slots == 0
+
+
+class TestEpochUpdates:
+    def test_added_message_is_delivered(self, torus8, params):
+        res = simulate_compiled_epochs(
+            torus8, RING8, [EpochUpdate(slot=4, add=((0, 5, 13),))], params,
+        )
+        added = res.messages[-1]
+        assert (added.src, added.dst, added.size) == (0, 5, 13)
+        assert added.delivered is not None
+        assert added.first_attempt >= 4
+        assert res.epochs == 1
+        assert res.epoch_log[0]["added"] == 1
+
+    def test_removed_inflight_message_is_cancelled(self, torus8, params):
+        # Large sizes keep everything in flight at slot 2.
+        big = RequestSet.from_pairs(
+            [(i, (i + 1) % 8) for i in range(8)], size=64
+        )
+        res = simulate_compiled_epochs(
+            torus8, big, [EpochUpdate(slot=2, remove=(0,))], params,
+        )
+        assert res.cancelled == 1
+        assert res.messages[0].delivered is None
+        assert res.messages[0].lost is not None
+        assert all(
+            m.delivered is not None for m in res.messages if m.mid != 0
+        )
+
+    def test_remove_unknown_mid_raises(self, torus8, params):
+        with pytest.raises(ValueError):
+            simulate_compiled_epochs(
+                torus8, RING8, [EpochUpdate(slot=1, remove=(99,))], params,
+            )
+
+    def test_amend_latency_pauses_the_frame(self, torus8):
+        big = RequestSet.from_pairs([(0, 1)], size=64)
+        update = [EpochUpdate(slot=2, add=((2, 3, 1),))]
+        fast = simulate_compiled_epochs(
+            torus8, big, update, SimParams(amend_latency=0),
+        )
+        slow = simulate_compiled_epochs(
+            torus8, big, update, SimParams(amend_latency=32),
+        )
+        assert slow.completion_time > fast.completion_time
+
+    def test_degree_tracking_and_validation(self, torus8, params):
+        updates = [
+            EpochUpdate(slot=3, add=((0, 9, 8), (1, 10, 8))),
+            EpochUpdate(slot=9, remove=(0, 1)),
+            EpochUpdate(slot=15, add=((5, 2, 4),)),
+        ]
+        res = simulate_compiled_epochs(
+            torus8, RING8, updates, params, validate=True,
+        )
+        assert res.epochs == 3
+        assert res.max_degree >= res.final_degree
+        assert [e["epoch"] for e in res.epoch_log] == [1, 2, 3]
+        assert all(e["degree"] >= 1 for e in res.epoch_log)
+
+    def test_updates_applied_in_slot_order(self, torus8, params):
+        # Deliberately unsorted input: the log must come out ordered.
+        updates = [
+            EpochUpdate(slot=12, add=((3, 7, 2),)),
+            EpochUpdate(slot=2, add=((0, 9, 2),)),
+        ]
+        res = simulate_compiled_epochs(torus8, RING8, updates, params)
+        assert [e["slot"] for e in res.epoch_log] == [2, 12]
+
+    def test_makespan_property(self, torus8, params):
+        res = simulate_compiled_epochs(
+            torus8, RING8, [EpochUpdate(slot=4, add=((0, 5, 4),))], params,
+        )
+        assert res.makespan == res.completion_time
+
+
+class TestParamsValidation:
+    def test_negative_amend_latency_rejected(self):
+        with pytest.raises(ValueError, match="amend_latency"):
+            SimParams(amend_latency=-1)
+
+    def test_default_is_one_slot(self):
+        assert SimParams().amend_latency == 1
