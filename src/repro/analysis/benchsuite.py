@@ -38,6 +38,15 @@ Three case kinds cover the three performance surfaces:
     cost must be ~O(update size), not O(pattern size)), per-epoch
     validation errors and degree-bound violations.
 
+``farm``
+    :func:`~repro.analysis.experiments.farm_campaign` -- sustained-QPS
+    mixed cold/warm throughput of the sharded compile farm across farm
+    sizes.  Metrics: per-size QPS, the largest-to-smallest scaling
+    ratio (gated ``min_scaling``), typed failures (gated zero).  Cold
+    compiles are padded to a fixed service-time floor in the worker so
+    the ratio measures the farm's request-level parallelism, not the
+    harness host's core count.
+
 Assertion rules (``assert`` maps rule name to a number, or to
 ``{"value": x, "severity": "error" | "warning"}``):
 
@@ -55,19 +64,22 @@ rule                    metric              passes when
 ``max_flatness``        ``flatness``        value <= limit
 ``max_validation_errors`` ``validation_errors`` value <= limit
 ``max_bound_violations`` ``bound_violations`` value <= limit
+``min_scaling``         ``scaling``         value >= limit
+``min_qps``             ``qps``             value >= limit
+``max_failed``          ``failed``          value <= limit
 ``max_regression_pct``  kind-specific       worst drift vs baseline
                                             <= limit percent
 ======================  ==================  =========================
 
 ``max_regression_pct`` compares against the **committed baselines**
 (``BENCH_kernel.json`` / ``BENCH_cache.json`` / ``BENCH_faults.json``
-/ ``BENCH_churn.json``, one file per kind, ``{"schema", "header",
-"cases": {name: metrics}}``) using each kind's regression metrics --
-kernel: ``seconds`` down / ``throughput`` up is good; cache:
-``warm_seconds`` down / ``speedup`` up; faults: ``ttr`` down; churn:
-``amend_us`` down / ``flatness`` down.  A case with no baseline entry
-*passes with a warning* so new cases can land before their baseline
-does.
+/ ``BENCH_churn.json`` / ``BENCH_farm.json``, one file per kind,
+``{"schema", "header", "cases": {name: metrics}}``) using each kind's
+regression metrics -- kernel: ``seconds`` down / ``throughput`` up is
+good; cache: ``warm_seconds`` down / ``speedup`` up; faults: ``ttr``
+down; churn: ``amend_us`` down / ``flatness`` down; farm: ``scaling``
+up / ``qps`` up.  A case with no baseline entry *passes with a
+warning* so new cases can land before their baseline does.
 
 The workflow the CLI (``repro-tdm bench``) wraps:
 
@@ -110,6 +122,7 @@ BASELINE_FILES = {
     "cache": "BENCH_cache.json",
     "faults": "BENCH_faults.json",
     "churn": "BENCH_churn.json",
+    "farm": "BENCH_farm.json",
 }
 
 KINDS = tuple(BASELINE_FILES)
@@ -128,6 +141,9 @@ RULES: dict[str, tuple[str, Callable[[float, float], bool]]] = {
     "max_flatness": ("flatness", lambda v, lim: v <= lim),
     "max_validation_errors": ("validation_errors", lambda v, lim: v <= lim),
     "max_bound_violations": ("bound_violations", lambda v, lim: v <= lim),
+    "min_scaling": ("scaling", lambda v, lim: v >= lim),
+    "min_qps": ("qps", lambda v, lim: v >= lim),
+    "max_failed": ("failed", lambda v, lim: v <= lim),
 }
 
 #: Per kind: the metrics the regression gate watches, and whether
@@ -137,6 +153,7 @@ REGRESSION_METRICS: dict[str, tuple[tuple[str, bool], ...]] = {
     "cache": (("warm_seconds", True), ("speedup", False)),
     "faults": (("ttr", True),),
     "churn": (("amend_us", True), ("flatness", True)),
+    "farm": (("scaling", False), ("qps", False)),
 }
 
 
@@ -614,11 +631,59 @@ def run_churn_case(params: dict) -> dict[str, object]:
     }
 
 
+def run_farm_case(params: dict) -> dict[str, object]:
+    """Compile-farm throughput scaling: sustained mixed cold/warm QPS.
+
+    ``scaling`` is qps(largest farm) / qps(smallest) over the same
+    seeded workload (gated ``min_scaling``: the tentpole claim is
+    near-linear 1 -> 4 worker scaling); ``qps`` the largest farm's
+    throughput; ``failed`` the typed-error count across every size
+    (gates at zero -- shedding or timeouts mean the sizing is wrong
+    for the harness).
+    """
+    from repro.analysis.experiments import farm_campaign
+
+    t0 = perf.perf_timer()
+    out = farm_campaign(
+        farms=tuple(params.get("farms", [1, 2, 4])),
+        requests=max(1, int(params.get("requests", 128))),
+        concurrency=max(1, int(params.get("concurrency", 12))),
+        replication=int(params.get("replication", 2)),
+        torus=int(params.get("torus", 8)),
+        pairs=int(params.get("pairs", 48)),
+        cold_frac=float(params.get("cold_frac", 0.5)),
+        warm_patterns=int(params.get("warm_patterns", 6)),
+        workers=int(params.get("workers", 1)),
+        scheduler=params.get("scheduler", "combined"),
+        registers=bool(params.get("registers", False)),
+        service_floor=float(params.get("service_floor", 0.15)),
+        seed=int(params.get("seed", 0)),
+    )
+    elapsed = perf.perf_timer() - t0
+    rows, summary = out["rows"], out["summary"]
+    return {
+        "farms": [r["nodes"] for r in rows],
+        "workers": summary["workers"],
+        "requests": rows[0]["requests"],
+        "service_floor": out["service_floor"],
+        "scaling": round(summary["scaling"], 3),
+        "qps": round(rows[-1]["qps"], 2),
+        "qps_per_size": [round(q, 2) for q in summary["qps"]],
+        "completed": summary["completed"],
+        "failed": int(summary["failed"]),
+        "direct": int(sum(r["direct"] for r in rows)),
+        "via_router": int(sum(r["via_router"] for r in rows)),
+        "replicas_pushed": int(sum(r["replicas_pushed"] for r in rows)),
+        "seconds": elapsed,
+    }
+
+
 _RUNNERS = {
     "kernel": run_kernel_case,
     "cache": run_cache_case,
     "faults": run_faults_case,
     "churn": run_churn_case,
+    "farm": run_farm_case,
 }
 
 

@@ -453,6 +453,7 @@ def _serve(args) -> None:
                 request_deadline=args.deadline,
                 max_pending=args.max_pending,
             ),
+            amend_streams=args.amend_streams,
         )
         await server.start()
         where = server.address
@@ -565,6 +566,59 @@ def _print_chaos(args) -> None:
         print(f"\nwrote {args.output}")
     if not report["ok"]:
         raise SystemExit(70)  # EX_SOFTWARE: the service corrupted data
+
+
+def _print_farm(args) -> None:
+    from repro.service.chaos import run_farm_chaos_campaign
+
+    report = run_farm_chaos_campaign(
+        args.requests,
+        nodes=args.nodes,
+        replication=args.replication,
+        kill_after=args.kill_after,
+        seed=args.seed,
+        cache_dir=args.cache,
+    )
+    typed = sum(report["typed_failures"].values())
+    reb = report["rebalance"]
+    rows = [
+        ("requests", report["requests"],
+         f"{report['nodes']} nodes, replication {report['replication']}"),
+        ("completed byte-identical", report["completed"], ""),
+        ("typed failures", typed,
+         ", ".join(f"{k}={v}" for k, v in
+                   sorted(report["typed_failures"].items())) or "-"),
+        ("UNTYPED failures", len(report["untyped_failures"]),
+         "; ".join(report["untyped_failures"][:3]) or "-"),
+        ("CORRUPTED replies", len(report["corrupted"]), ""),
+        ("node killed", reb["killed"],
+         f"at request {report.get('killed_at', '-')}"),
+        ("router failovers", reb["failovers"],
+         f"map v{reb['map_version']}, {reb['live_nodes']} live"),
+        ("victim demoted", int(reb["victim_removed"]),
+         f"survivors adopted: {reb['survivors_adopted']}"),
+        ("client routing", report["client"]["direct"],
+         f"direct; via router: {report['client']['via_router']}, "
+         f"map refreshes: {report['client']['map_refreshes']}"),
+        ("replication", report["farm"]["replicas_pushed"],
+         f"pushed; read repairs: {report['farm']['read_repairs']}, "
+         f"wrong-shard redirects: {report['farm']['wrong_shard']}"),
+    ]
+    print(format_table(
+        ["check", "count", "detail"],
+        rows,
+        title=(
+            f"Farm chaos campaign: {args.requests} requests, "
+            f"shard killed mid-run (seed {args.seed}) -- "
+            + ("INVARIANT HOLDS" if report["ok"] else "INVARIANT VIOLATED")
+        ),
+    ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"\nwrote {args.output}")
+    if not report["ok"]:
+        raise SystemExit(70)  # EX_SOFTWARE: the farm corrupted data
 
 
 def _amend_service_campaign(args) -> dict:
@@ -877,6 +931,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="per-request compile budget in seconds")
     pv.add_argument("--max-pending", type=_pos_arg, default=64,
                     help="admission high-water mark before load shedding")
+    pv.add_argument("--amend-streams", type=_pos_arg, default=None,
+                    help="LRU cap on live amend streams (default 256)")
     pv.set_defaults(fn=_serve)
 
     px = sub.add_parser(
@@ -902,6 +958,23 @@ def main(argv: list[str] | None = None) -> int:
                     help="skip the kill-mid-write cache crash test")
     px.add_argument("--output", default=None, help="write the report as JSON")
     px.set_defaults(fn=_print_chaos)
+
+    pfm = sub.add_parser(
+        "farm",
+        help="node-kill chaos campaign against the sharded compile farm",
+    )
+    pfm.add_argument("--requests", type=_pos_arg, default=100)
+    pfm.add_argument("--nodes", type=_pos_arg, default=3,
+                     help="farm nodes behind the shard router")
+    pfm.add_argument("--replication", type=_pos_arg, default=2,
+                     help="replicas per artifact")
+    pfm.add_argument("--kill-after", type=float, default=0.5,
+                     help="fraction of the campaign before the shard kill")
+    pfm.add_argument("--seed", type=int, default=0)
+    pfm.add_argument("--cache", default=None,
+                     help="per-node artifact cache root (default: memory)")
+    pfm.add_argument("--output", default=None, help="write the report as JSON")
+    pfm.set_defaults(fn=_print_farm)
 
     pcb = sub.add_parser(
         "cachebench", help="cold vs warm artifact-cache compile benchmark"

@@ -30,7 +30,11 @@ content-addressed, persistent, servable artifacts.
 * :mod:`repro.service.amend` -- epoch-numbered incremental compilation
   (the ``amend`` verb): open a stream, push add/remove updates, each
   epoch's schedule stored as a first-class cache entry with digest
-  lineage back to its root (``repro-tdm amend``).
+  lineage back to its root (``repro-tdm amend``);
+* :mod:`repro.service.farm` -- the distributed compile farm: N nodes
+  behind a shard router, artifacts routed by canonical pattern digest
+  over a consistent-hash ring, replicated with read repair, and
+  rebalanced onto survivors when a node dies (``repro-tdm farm``).
 """
 
 from repro.service.amend import (
@@ -61,6 +65,15 @@ from repro.service.errors import (
     ServiceError,
     ServiceTimeout,
     TransportError,
+    WrongShard,
+)
+from repro.service.farm import (
+    AsyncFarmClient,
+    Farm,
+    FarmNodeServer,
+    HashRing,
+    ShardMap,
+    ShardRouter,
 )
 from repro.service.protect import (
     ProtectResult,
@@ -81,6 +94,7 @@ __all__ = [
     "AmendStream",
     "ArtifactCache",
     "AsyncCompileClient",
+    "AsyncFarmClient",
     "CacheStats",
     "CanonicalPattern",
     "CircuitBreaker",
@@ -90,6 +104,9 @@ __all__ = [
     "CompileServer",
     "CompileService",
     "EpochConflict",
+    "Farm",
+    "FarmNodeServer",
+    "HashRing",
     "Overloaded",
     "ProtectResult",
     "ProtocolError",
@@ -98,7 +115,10 @@ __all__ = [
     "ServerPolicy",
     "ServiceError",
     "ServiceTimeout",
+    "ShardMap",
+    "ShardRouter",
     "TransportError",
+    "WrongShard",
     "amend_epoch_digest",
     "amend_root_digest",
     "canonicalize",

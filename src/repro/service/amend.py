@@ -35,11 +35,13 @@ pairs in the pattern the lowest-indexed (oldest) match is removed.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Any, Sequence
 
 from repro.compiler.serialize import (
     FORMAT_VERSION,
     canonical_dumps,
+    schedule_from_dict,
     schedule_to_dict,
 )
 from repro.core import perf
@@ -155,6 +157,59 @@ class AmendStream:
         self.action = "compile"
         self.delta_k = 0
         self._store(add=(), remove=(), parent=None)
+
+    @classmethod
+    def resume(
+        cls,
+        topology: Topology,
+        doc: dict[str, Any],
+        *,
+        scheduler: str,
+        kernel: str | None = None,
+        cache: ArtifactCache | None = None,
+        policy: AmendPolicy = DEFAULT_POLICY,
+    ) -> "AmendStream":
+        """Rebuild an evicted stream from its latest cached epoch artifact.
+
+        The stream continues the *stored* lineage: the schedule is
+        reloaded (and re-validated) from ``doc``, the epoch counter and
+        digest chain pick up where the evicted stream left off, and the
+        next amend chains onto the stored epoch's digest exactly as if
+        the stream had never left memory.
+        """
+        lineage = doc.get("lineage")
+        if not isinstance(lineage, dict):
+            raise ProtocolError("artifact has no amend lineage to resume from")
+        stream = cls.__new__(cls)
+        stream.topology = topology
+        stream.scheduler = scheduler
+        stream.kernel = resolve_kernel(kernel)
+        stream.cache = cache
+        # schedule_from_dict re-routes and re-validates: a tampered or
+        # stale artifact cannot resume into a conflicting live schedule.
+        schedule, connections = schedule_from_dict(topology, doc["schedule"])
+        stream.engine = DeltaScheduler(
+            schedule, num_links=topology.num_links, policy=policy, kernel=kernel
+        )
+        stream._next_index = len(connections)
+        stream._by_key = {}
+        for c in connections:
+            stream._key_add(c)
+        stream.root = str(lineage["root"])
+        stream.epoch = int(lineage["epoch"])
+        if stream.epoch == 0:
+            stream.digest = stream.root
+        else:
+            # The lineage commits to its own digest: parent + rows.
+            stream.digest = amend_epoch_digest(
+                str(lineage["parent"]),
+                [tuple(t) for t in lineage.get("add", [])],
+                [tuple(t) for t in lineage.get("remove", [])],
+            )
+        stream.action = str(lineage.get("action", "compile"))
+        stream.delta_k = 0
+        stream._doc = doc
+        return stream
 
     # -- removal-key bookkeeping ---------------------------------------
     def _key_add(self, c: Connection) -> None:
@@ -277,23 +332,89 @@ class AmendStream:
         }
 
 
+#: Default live-stream cap of one :class:`AmendRegistry`.
+DEFAULT_MAX_STREAMS = 256
+
+
 class AmendRegistry:
     """Root-keyed registry of live amend streams (one per server).
 
     Opening a stream is idempotent: re-sending the creation request for
     an existing root returns the stream's *current* epoch instead of
     resetting it, so a client that lost the reply can resume safely.
+
+    The registry is **bounded**: at most ``max_streams`` engines stay
+    live; past the cap the least-recently-used stream is evicted to a
+    tombstone (root -> latest epoch digest).  Because every epoch is a
+    first-class cache entry, touching an evicted root -- an idempotent
+    ``open`` or a follow-up ``amend`` -- *resumes* the stream from its
+    latest cached epoch artifact (same root, same epoch counter, same
+    digest chain) instead of silently resetting lineage.  Only when the
+    artifact itself is gone does an ``open`` fall back to a fresh
+    epoch-0 compile (counted in ``resets``); an ``amend`` in that state
+    gets a typed :class:`ProtocolError`.
     """
 
-    def __init__(self, cache: ArtifactCache | None = None) -> None:
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        *,
+        max_streams: int | None = None,
+    ) -> None:
         self.cache = cache
-        self._streams: dict[str, AmendStream] = {}
+        self.max_streams = (
+            DEFAULT_MAX_STREAMS if max_streams is None else int(max_streams)
+        )
+        if self.max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {max_streams!r}")
+        self._streams: "OrderedDict[str, AmendStream]" = OrderedDict()
+        #: root -> resume metadata of streams dropped by the LRU policy.
+        self._evicted: dict[str, dict[str, Any]] = {}
         self.opened = 0
         self.amends = 0
         self.conflicts = 0
+        self.evictions = 0
+        self.resumes = 0
+        self.resets = 0
 
     def __len__(self) -> int:
         return len(self._streams)
+
+    def _touch(self, root: str) -> None:
+        self._streams.move_to_end(root)
+
+    def _admit(self, stream: AmendStream) -> None:
+        """Install a stream, evicting the LRU one past the cap."""
+        self._streams[stream.root] = stream
+        self._streams.move_to_end(stream.root)
+        while len(self._streams) > self.max_streams:
+            root, victim = self._streams.popitem(last=False)
+            self._evicted[root] = {
+                "digest": victim.digest,
+                "epoch": victim.epoch,
+                "scheduler": victim.scheduler,
+                "kernel": victim.kernel,
+                "topology": victim.topology,
+            }
+            self.evictions += 1
+
+    def _resume(self, root: str) -> AmendStream | None:
+        """Rebuild an evicted stream from its cached epoch artifact."""
+        meta = self._evicted.get(root)
+        if meta is None or self.cache is None:
+            return None
+        doc = self.cache.get(meta["digest"])
+        if doc is None or not isinstance(doc.get("lineage"), dict):
+            return None
+        stream = AmendStream.resume(
+            meta["topology"], doc,
+            scheduler=meta["scheduler"], kernel=meta["kernel"],
+            cache=self.cache,
+        )
+        del self._evicted[root]
+        self._admit(stream)
+        self.resumes += 1
+        return stream
 
     def open(
         self,
@@ -310,22 +431,40 @@ class AmendRegistry:
         )
         stream = self._streams.get(root)
         if stream is not None:
+            self._touch(root)
             return stream, False
+        stream = self._resume(root)
+        if stream is not None:
+            return stream, False
+        if root in self._evicted:
+            # Evicted and the artifact is gone: the only remaining
+            # honest answer to an *open* is a fresh epoch-0 lineage.
+            del self._evicted[root]
+            self.resets += 1
         t0 = perf.perf_timer()
         stream = AmendStream(
             topology, tuples, scheduler=scheduler, kernel=kernel,
             cache=self.cache, policy=policy,
         )
-        self._streams[stream.root] = stream
+        self._admit(stream)
         self.opened += 1
         perf.COUNTERS.amend_seconds += perf.perf_timer() - t0
         return stream, True
 
     def get(self, root: str) -> AmendStream:
         stream = self._streams.get(root)
-        if stream is None:
-            raise ProtocolError(f"unknown amend root {root!r}")
-        return stream
+        if stream is not None:
+            self._touch(root)
+            return stream
+        stream = self._resume(root)
+        if stream is not None:
+            return stream
+        if root in self._evicted:
+            raise ProtocolError(
+                f"amend root {root!r} was evicted and its epoch artifact is "
+                "no longer cached; re-open the stream"
+            )
+        raise ProtocolError(f"unknown amend root {root!r}")
 
     def amend(
         self,
@@ -347,7 +486,11 @@ class AmendRegistry:
     def stats(self) -> dict[str, Any]:
         return {
             "streams": len(self._streams),
+            "max_streams": self.max_streams,
             "opened": self.opened,
             "amends": self.amends,
             "conflicts": self.conflicts,
+            "evictions": self.evictions,
+            "resumes": self.resumes,
+            "resets": self.resets,
         }

@@ -468,3 +468,179 @@ def run_chaos_campaign(
         seed=seed,
         deadline=deadline,
     ))
+
+
+# ----------------------------------------------------------------------
+# the node-level campaign (farm chaos)
+# ----------------------------------------------------------------------
+
+def _farm_extra_combos(seed: int, count: int = 8) -> list[dict[str, Any]]:
+    """Seeded unique pair patterns: cold traffic that keeps arriving
+    after the kill, so failover is exercised on *compiles*, not just
+    warm reads."""
+    rng = random.Random(seed ^ 0x5AFE)
+    combos = []
+    for _ in range(count):
+        pairs = []
+        for _ in range(rng.randrange(3, 7)):
+            src = rng.randrange(16)
+            dst = rng.randrange(16)
+            while dst == src:
+                dst = rng.randrange(16)
+            pairs.append([src, dst])
+        combos.append({"topology": {"kind": "torus", "width": 4},
+                       "pairs": pairs})
+    return combos
+
+
+async def _run_farm_campaign_async(
+    requests: int,
+    *,
+    nodes: int,
+    replication: int,
+    kill_after: float,
+    seed: int,
+    cache_dir: str | Path | None,
+) -> dict[str, Any]:
+    from repro.service.farm import Farm
+
+    combos = CAMPAIGN_REQUESTS + _farm_extra_combos(seed)
+    report: dict[str, Any] = {
+        "requests": requests,
+        "nodes": nodes,
+        "replication": replication,
+        "completed": 0,
+        "typed_failures": {},
+        "corrupted": [],
+        "untyped_failures": [],
+    }
+
+    # Independent baseline: one plain single-box server.  Compiles are
+    # deterministic, so every farm reply -- before the kill, after the
+    # kill, served by any replica -- must be byte-identical to it.
+    baseline: list[str] = []
+    single = CompileServer(workers=0)
+    await single.start()
+    try:
+        async with AsyncCompileClient(*single.address, retry=None) as clean:
+            for combo in combos:
+                reply = await clean.request({"op": "compile", **combo})
+                baseline.append(_reply_bytes(reply))
+    finally:
+        await single.shutdown()
+
+    farm = Farm(
+        nodes, replication=replication, workers=0, cache_dir=cache_dir,
+        policy=ServerPolicy(max_pending=64, retry_after=0.05),
+    )
+    await farm.start()
+    client = farm.client()
+    rng = random.Random(seed)
+    kill_at = max(1, int(requests * kill_after))
+    try:
+        await client.connect()
+        # The victim is the primary owner of combo 0: after the kill a
+        # router-path probe of that combo *must* trigger a demote, so
+        # rebalance verification cannot depend on random routing luck.
+        from repro.service.farm import route_digest
+
+        probe_digest = route_digest(dict({"op": "compile", **combos[0]}))
+        victim = farm.router.shard_map.owners(probe_digest)[0]
+
+        for i in range(requests):
+            if i == kill_at:
+                await farm.kill_node(victim)
+                report["killed_at"] = i
+                async with AsyncCompileClient(*farm.router_address) as probe:
+                    reply = await probe.request({"op": "compile", **combos[0]})
+                    if _reply_bytes(reply) != baseline[0]:
+                        report["corrupted"].append(
+                            {"request": "post-kill-probe",
+                             "digest": reply.get("digest")}
+                        )
+            which = rng.randrange(len(combos))
+            try:
+                reply = await client.request({"op": "compile", **combos[which]})
+            except ServiceError as exc:
+                key = exc.code
+                report["typed_failures"][key] = (
+                    report["typed_failures"].get(key, 0) + 1
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 - the invariant itself
+                report["untyped_failures"].append(repr(exc))
+                continue
+            if _reply_bytes(reply) == baseline[which]:
+                report["completed"] += 1
+            else:
+                report["corrupted"].append(
+                    {"request": which, "digest": reply.get("digest")}
+                )
+
+        router = farm.router
+        survivors_adopted = all(
+            node.shard_map.version == router.shard_map.version
+            for node in farm.nodes.values()
+        )
+        report["client"] = {
+            "direct": client.direct,
+            "via_router": client.via_router,
+            "map_refreshes": client.map_refreshes,
+        }
+        report["rebalance"] = {
+            "killed": victim,
+            "failovers": router.failovers,
+            "map_version": router.shard_map.version,
+            "live_nodes": len(router.shard_map.nodes),
+            "victim_removed": victim not in router.shard_map.nodes,
+            "survivors_adopted": survivors_adopted,
+        }
+        report["farm"] = {
+            "wrong_shard": sum(n.wrong_shard for n in farm.nodes.values()),
+            "replicas_pushed": sum(
+                n.replicas_pushed for n in farm.nodes.values()
+            ),
+            "read_repairs": sum(n.read_repairs for n in farm.nodes.values()),
+        }
+    finally:
+        await client.close()
+        await farm.shutdown()
+
+    report["ok"] = (
+        not report["corrupted"]
+        and not report["untyped_failures"]
+        and report["rebalance"]["victim_removed"]
+        and report["rebalance"]["survivors_adopted"]
+        and report["rebalance"]["failovers"] >= 1
+    )
+    return report
+
+
+def run_farm_chaos_campaign(
+    requests: int = 100,
+    *,
+    nodes: int = 3,
+    replication: int = 2,
+    kill_after: float = 0.5,
+    seed: int = 0,
+    cache_dir: str | Path | None = None,
+) -> dict[str, Any]:
+    """Node-level chaos: kill a shard mid-campaign, verify rebalance.
+
+    Runs a mixed cold/warm compile campaign against an in-process farm
+    and abruptly kills the primary owner of a known digest partway
+    through.  The returned report's ``ok`` is True iff **every**
+    request either completed byte-identical to an independent
+    single-server baseline or failed with a typed
+    :class:`ServiceError` (the farm extension of the byte-identical-
+    or-typed-error invariant), the dead node was demoted from the
+    shard map, and every survivor adopted the rebalanced map.
+    """
+    return asyncio.run(_run_farm_campaign_async(
+        requests,
+        nodes=nodes,
+        replication=replication,
+        kill_after=kill_after,
+        seed=seed,
+        cache_dir=cache_dir,
+    ))

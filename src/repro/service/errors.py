@@ -17,6 +17,7 @@ class                     code            exit code
 :class:`TransportError`   transport       69
 :class:`CircuitOpen`      circuit_open    75
 :class:`EpochConflict`    epoch_conflict  75
+:class:`WrongShard`       wrong_shard     75
 ========================  ==============  =========
 
 :class:`ServiceTimeout` also subclasses the builtin ``TimeoutError``
@@ -114,6 +115,31 @@ class EpochConflict(ServiceError):
         self.current_epoch = int(current_epoch)
 
 
+class WrongShard(ServiceError):
+    """A farm node refused a request it does not own (shard redirect).
+
+    The reply carries the node's current ``shard_map`` document and the
+    ``owners`` it computed for the request's digest, so the caller can
+    adopt the newer map and resend to the right node.  Not blindly
+    retryable -- replaying against the same node loses again; the farm
+    client handles it as a redirect instead.
+    """
+
+    code = "wrong_shard"
+    exit_code = EX_TEMPFAIL
+
+    def __init__(
+        self,
+        message: str = "request routed to a non-owning shard",
+        *,
+        shard_map: dict[str, Any] | None = None,
+        owners: list[str] | None = None,
+    ):
+        super().__init__(message)
+        self.shard_map = shard_map
+        self.owners = list(owners) if owners is not None else []
+
+
 class CircuitOpen(ServiceError):
     """The client's circuit breaker is open: fast-fail without I/O."""
 
@@ -127,6 +153,7 @@ CODE_TO_ERROR: dict[str, type[ServiceError]] = {
     for cls in (
         ServiceError, ServerError, ProtocolError, ServiceTimeout,
         Overloaded, TransportError, CircuitOpen, EpochConflict,
+        WrongShard,
     )
 }
 
@@ -151,6 +178,15 @@ def error_fields(exc: BaseException) -> dict[str, Any]:
             "error_type": exc.code,
             "current_epoch": exc.current_epoch,
         }
+    if isinstance(exc, WrongShard):
+        out: dict[str, Any] = {
+            "error": str(exc) or exc.code,
+            "error_type": exc.code,
+            "owners": exc.owners,
+        }
+        if exc.shard_map is not None:
+            out["shard_map"] = exc.shard_map
+        return out
     if isinstance(exc, ServiceError):
         return {"error": f"{type(exc).__name__}: {exc}", "error_type": exc.code}
     if isinstance(exc, ValueError):
@@ -175,5 +211,11 @@ def reply_error(reply: dict[str, Any]) -> ServiceError:
     if cls is EpochConflict:
         return EpochConflict(
             message, current_epoch=int(reply.get("current_epoch", 0))
+        )
+    if cls is WrongShard:
+        return WrongShard(
+            message,
+            shard_map=reply.get("shard_map"),
+            owners=list(reply.get("owners", [])),
         )
     return cls(message)

@@ -1,0 +1,1199 @@
+"""Distributed compile farm: digest-sharded, replicated serving.
+
+One compile server is a throughput ceiling; the farm is N of them
+behind a shard router, partitioned by the *canonical pattern digest*
+-- the same content address the cache already keys on -- so every
+request has exactly one home set of nodes and the farm's aggregate
+cache is the union of disjoint shards instead of N copies of one.
+
+Pieces
+------
+:class:`HashRing`
+    Consistent hashing with virtual nodes: each node projects
+    ``vnodes`` sha256 points onto a 64-bit ring and a digest's owners
+    are the next ``replication`` *distinct* nodes clockwise from its
+    own point.  Adding or removing one node moves only the keys in its
+    arcs (~1/N of the space), which is what makes failover a rebalance
+    instead of a flush.
+
+:class:`ShardMap`
+    Versioned membership document: node endpoints + replication factor
+    + the ring derived from them.  Higher version wins everywhere; the
+    router is the membership authority and bumps the version when it
+    demotes a dead node.
+
+:class:`FarmNodeServer`
+    A :class:`~repro.service.server.CompileServer` that knows its shard:
+    ``compile``/``amend`` requests it does not own are refused with a
+    typed :class:`~repro.service.errors.WrongShard` carrying the node's
+    current map, cold compiles are pushed to the other owners
+    (``store``), and a local miss is first repaired from a peer replica
+    (``fetch`` + hash check + semantic re-verification) before falling
+    back to a recompile.  New verbs: ``shardmap``, ``reshard``,
+    ``fetch``, ``store``.
+
+:class:`ShardRouter`
+    Thin request router: computes the route digest, forwards the **raw
+    request bytes** to the owning node and relays the **raw reply
+    bytes** back, so the client's end-to-end integrity checks (``idem``
+    echo, ``payload_sha256``) survive the extra hop byte-for-byte.  A
+    node that dies mid-request is demoted -- removed from the map,
+    version bumped, survivors reshard -- and the request retries on the
+    new owner.  Its ``stats``/``health`` verbs aggregate every node
+    (per-node breakdown plus numeric farm-wide totals).
+
+:class:`AsyncFarmClient`
+    Carries a shard map so warm requests go straight to an owning node,
+    skipping the router hop; a ``WrongShard`` redirect refreshes the
+    map in-line, and a dead node falls back to the router (which owns
+    failover) followed by a map refresh.
+
+:class:`Farm`
+    In-process supervisor for tests, chaos campaigns and benchmarks:
+    N nodes (each with its *own* cache tier and its own worker pool,
+    so a 4-node farm really cold-compiles 4 patterns in parallel) plus
+    one router, with abrupt ``kill_node`` for node-level chaos.
+
+Failure semantics
+-----------------
+Compiles are deterministic functions of their digest, so *losing every
+replica of an artifact is not a correctness event* -- the next request
+recompiles byte-identical content; replication only buys locality and
+latency.  The one stateful thing in the farm is an amend stream: it
+lives on its root's primary owner, and a primary that dies takes the
+stream's live engine with it.  Subsequent amends against that root get
+a typed error (``unknown amend root`` from the new primary), and the
+client re-opens -- landing on the new primary, which resumes from the
+latest *cached epoch artifact* when the cache survived (see
+:class:`~repro.service.amend.AmendRegistry`) or restarts the lineage
+at epoch 0 when it did not.  Nothing is ever silently wrong: every
+farm failure mode is a typed error or a byte-identical reply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.compiler.serialize import artifact_digest
+from repro.service.amend import amend_root_digest
+from repro.service.cache import ArtifactCache
+from repro.service.canonical import canonicalize
+from repro.service.client import (
+    AsyncCompileClient,
+    _amend_request,
+    _compile_request,
+)
+from repro.service.compile import artifact_verifier, compile_digest
+from repro.service.errors import (
+    ProtocolError,
+    ServerError,
+    ServiceError,
+    ServiceTimeout,
+    TransportError,
+    WrongShard,
+    error_fields,
+    reply_error,
+)
+from repro.service.policy import MAX_LINE_BYTES, ServerPolicy, request_digest
+from repro.service.server import CompileServer, _parse_pattern
+from repro.service.specs import topology_from_spec
+
+__all__ = [
+    "HashRing",
+    "ShardMap",
+    "FarmNodeServer",
+    "ShardRouter",
+    "AsyncFarmClient",
+    "Farm",
+    "route_digest",
+    "sum_stats",
+]
+
+#: Virtual nodes per physical node on the ring.  64 keeps the largest
+#: arc within a few percent of fair share at farm sizes that fit one
+#: router, while a membership change still only re-hashes 64 points.
+DEFAULT_VNODES = 64
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+
+class HashRing:
+    """Consistent-hash ring over node names (sha256, 64-bit points)."""
+
+    def __init__(self, nodes: Any, *, vnodes: int = DEFAULT_VNODES) -> None:
+        self.vnodes = int(vnodes)
+        self._nodes = sorted(set(nodes))
+        points: list[tuple[int, str]] = []
+        for node in self._nodes:
+            for v in range(self.vnodes):
+                h = hashlib.sha256(f"{node}#{v}".encode("utf-8")).digest()
+                points.append((int.from_bytes(h[:8], "big"), node))
+        points.sort()
+        self._points = points
+        self._keys = [p[0] for p in points]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def owners(self, digest: str, count: int) -> list[str]:
+        """The next ``count`` distinct nodes clockwise from ``digest``.
+
+        ``owners()[0]`` is the *primary*; replicas follow in ring
+        order, so every map agrees on the ordering, not just the set.
+        """
+        if not self._points:
+            return []
+        count = min(int(count), len(self._nodes))
+        point = int.from_bytes(
+            hashlib.sha256(digest.encode("utf-8")).digest()[:8], "big"
+        )
+        start = bisect.bisect_right(self._keys, point) % len(self._points)
+        out: list[str] = []
+        for k in range(len(self._points)):
+            node = self._points[(start + k) % len(self._points)][1]
+            if node not in out:
+                out.append(node)
+                if len(out) == count:
+                    break
+        return out
+
+
+class ShardMap:
+    """Versioned farm membership: endpoints, replication, the ring.
+
+    Immutable in practice -- membership changes produce a *new* map
+    with a higher version (:meth:`without`), and every component adopts
+    whichever map it has seen with the highest version.
+    """
+
+    def __init__(
+        self,
+        nodes: dict[str, dict[str, Any]],
+        *,
+        replication: int = 2,
+        version: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        self.nodes = {str(k): dict(v) for k, v in nodes.items()}
+        self.replication = int(replication)
+        self.version = int(version)
+        self.vnodes = int(vnodes)
+        self._ring = HashRing(self.nodes, vnodes=self.vnodes)
+
+    def owners(self, digest: str) -> list[str]:
+        return self._ring.owners(digest, self.replication)
+
+    def endpoint(self, name: str) -> tuple[str, int]:
+        ep = self.nodes[name]
+        return str(ep["host"]), int(ep["port"])
+
+    def without(self, name: str) -> "ShardMap":
+        """A successor map (version + 1) with ``name`` removed."""
+        nodes = {k: v for k, v in self.nodes.items() if k != name}
+        return ShardMap(
+            nodes, replication=self.replication,
+            version=self.version + 1, vnodes=self.vnodes,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "replication": self.replication,
+            "vnodes": self.vnodes,
+            "nodes": {k: dict(v) for k, v in self.nodes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardMap":
+        if not isinstance(data, dict) or not isinstance(data.get("nodes"), dict):
+            raise ProtocolError(f"malformed shard map: {data!r}")
+        return cls(
+            data["nodes"],
+            replication=int(data.get("replication", 2)),
+            version=int(data.get("version", 1)),
+            vnodes=int(data.get("vnodes", DEFAULT_VNODES)),
+        )
+
+
+def route_digest(
+    req: dict[str, Any], *, default_scheduler: str = "combined"
+) -> str | None:
+    """The digest a request shards on (``None`` = not shardable).
+
+    Mirrors exactly what the serving node will key its cache / amend
+    registry with -- a ``compile`` routes on its canonical compile
+    digest, an amend *open* on its root digest, an amend *update* on
+    the root it names -- so router, client and node always agree on
+    ownership without trusting anything but the request bytes.
+    """
+    op = req.get("op", "compile")
+    if op == "compile":
+        if "topology" not in req:
+            raise ProtocolError("compile request needs 'topology'")
+        topology = topology_from_spec(req["topology"])
+        canonical = canonicalize(topology, _parse_pattern(req))
+        scheduler = req.get("scheduler") or default_scheduler
+        return compile_digest(topology, canonical, scheduler, req.get("kernel"))
+    if op == "amend":
+        if "root" in req:
+            return str(req["root"])
+        if "topology" not in req:
+            raise ProtocolError("amend request needs 'topology'")
+        topology = topology_from_spec(req["topology"])
+        scheduler = req.get("scheduler") or default_scheduler
+        return amend_root_digest(
+            topology, _parse_pattern(req), scheduler, req.get("kernel")
+        )
+    return None
+
+
+def sum_stats(docs: list[dict[str, Any]]) -> dict[str, Any]:
+    """Farm-wide totals: recursive sum of every numeric leaf.
+
+    Strings, bools and ``None`` are identity/flag fields, not measures,
+    and are skipped -- summing ``workers`` across nodes is meaningful,
+    summing ``name`` is not.
+    """
+    out: dict[str, Any] = {}
+    for doc in docs:
+        _sum_into(out, doc)
+    return out
+
+
+def _sum_into(out: dict[str, Any], doc: dict[str, Any]) -> None:
+    for key, value in doc.items():
+        if isinstance(value, bool) or value is None or isinstance(value, str):
+            continue
+        if isinstance(value, dict):
+            sub = out.setdefault(key, {})
+            if isinstance(sub, dict):
+                _sum_into(sub, value)
+        elif isinstance(value, (int, float)):
+            prev = out.get(key, 0)
+            if isinstance(prev, (int, float)) and not isinstance(prev, bool):
+                out[key] = prev + value
+
+
+# ----------------------------------------------------------------------
+# the farm node
+# ----------------------------------------------------------------------
+
+class FarmNodeServer(CompileServer):
+    """A compile server that owns one shard of the digest space.
+
+    Extends the verb set with ``shardmap`` (read the node's map),
+    ``reshard`` (adopt a newer map), ``fetch`` (read one artifact for a
+    peer) and ``store`` (accept one replica, hash-verified).  The
+    inherited ``compile``/``amend`` verbs gain an ownership gate: a
+    request whose route digest this node does not own is refused with
+    :class:`WrongShard` so a stale client or router can never populate
+    the wrong shard.
+    """
+
+    def __init__(
+        self, *args: Any, name: str, shard_map: ShardMap,
+        peer_timeout: float = 10.0, **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.name = str(name)
+        self.shard_map = shard_map
+        self.peer_timeout = float(peer_timeout)
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._repl_tasks: set[asyncio.Task] = set()
+        self.wrong_shard = 0
+        self.replicas_pushed = 0
+        self.replicas_received = 0
+        self.replica_push_failures = 0
+        self.read_repairs = 0
+        self.read_repair_failures = 0
+        #: one-shot reuse of the ownership check's canonicalization by
+        #: the inherited compile path (keyed by request identity).
+        self._key_memo: dict[int, Any] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Track live connections so kill() can cut them abruptly -- a
+        # crashed node does not drain.
+        self._conns.add(writer)
+        try:
+            await super()._handle_client(reader, writer)
+        finally:
+            self._conns.discard(writer)
+
+    async def kill(self) -> None:
+        """Crash, don't drain: stop listening, cut every connection.
+
+        This is the chaos-harness faithful version of a node loss --
+        peers and the router see resets and half-finished frames, never
+        a goodbye.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._conns):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        for task in list(self._repl_tasks):
+            task.cancel()
+        if self._repl_tasks:
+            await asyncio.gather(*self._repl_tasks, return_exceptions=True)
+            self._repl_tasks.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._shutdown.set()
+
+    async def shutdown(self) -> None:
+        if self._repl_tasks:
+            await asyncio.gather(*self._repl_tasks, return_exceptions=True)
+            self._repl_tasks.clear()
+        await super().shutdown()
+
+    # -- verbs ----------------------------------------------------------
+    async def _handle_op(self, op: str, req: dict[str, Any]) -> dict[str, Any]:
+        if op == "shardmap":
+            return self._reply(
+                req, op="shardmap", shard_map=self.shard_map.as_dict()
+            )
+        if op == "reshard":
+            return self._reshard(req)
+        if op == "fetch":
+            return self._fetch(req)
+        if op == "store":
+            return self._store_replica(req)
+        if op in ("compile", "amend"):
+            if op == "compile":
+                key = super()._compile_key(req)
+                digest = key[3]
+            else:
+                key = None
+                digest = route_digest(
+                    req, default_scheduler=self.service.default_scheduler
+                )
+            owners = self.shard_map.owners(digest)
+            if self.name not in owners:
+                self.wrong_shard += 1
+                raise WrongShard(
+                    f"digest {digest[:12]}... is owned by {owners}, "
+                    f"not {self.name!r}",
+                    shard_map=self.shard_map.as_dict(), owners=owners,
+                )
+            if op == "compile":
+                await self._read_repair(req, digest, owners)
+                self._key_memo[id(req)] = key
+                try:
+                    reply = await super()._handle_op(op, req)
+                finally:
+                    self._key_memo.pop(id(req), None)
+                if reply.get("ok") and reply.get("cache") == "miss":
+                    self._spawn_replication(str(reply["digest"]), owners)
+                return reply
+        return await super()._handle_op(op, req)
+
+    def _compile_key(self, req: dict[str, Any]):
+        memo = self._key_memo.pop(id(req), None)
+        if memo is not None:
+            return memo
+        return super()._compile_key(req)
+
+    def _reshard(self, req: dict[str, Any]) -> dict[str, Any]:
+        new = ShardMap.from_dict(req.get("shard_map"))
+        adopted = new.version > self.shard_map.version
+        if adopted:
+            self.shard_map = new
+        return self._reply(
+            req, op="reshard", adopted=adopted,
+            version=self.shard_map.version,
+        )
+
+    def _fetch(self, req: dict[str, Any]) -> dict[str, Any]:
+        digest = str(req.get("digest") or "")
+        if not digest:
+            raise ProtocolError("fetch request needs 'digest'")
+        doc = self.cache.get(digest)
+        out = self._reply(req, op="fetch", digest=digest, found=doc is not None)
+        if doc is not None:
+            out["artifact"] = doc
+            out["payload_sha256"] = artifact_digest(doc)
+        return out
+
+    def _store_replica(self, req: dict[str, Any]) -> dict[str, Any]:
+        digest = str(req.get("digest") or "")
+        doc = req.get("artifact")
+        if not digest or not isinstance(doc, dict):
+            raise ProtocolError("store request needs 'digest' and 'artifact'")
+        if artifact_digest(doc) != req.get("payload_sha256"):
+            raise ProtocolError("store payload integrity check failed")
+        self.cache.put(digest, doc)
+        self.replicas_received += 1
+        return self._reply(req, op="store", digest=digest, stored=True)
+
+    # -- replication / read-repair -------------------------------------
+    def _spawn_replication(self, digest: str, owners: list[str]) -> None:
+        """Push a freshly compiled artifact to the other owners.
+
+        Fire-and-forget: replication buys locality, not correctness
+        (compiles are deterministic), so a failed push is a counter,
+        never an error on the client's reply.
+        """
+        doc = self.cache.get(digest)
+        if doc is None:
+            return
+        payload = {
+            "op": "store", "digest": digest, "artifact": doc,
+            "payload_sha256": artifact_digest(doc),
+        }
+        for peer in owners:
+            if peer == self.name or peer not in self.shard_map.nodes:
+                continue
+            task = asyncio.ensure_future(self._push_replica(peer, payload))
+            self._repl_tasks.add(task)
+            task.add_done_callback(self._repl_tasks.discard)
+
+    async def _push_replica(self, peer: str, payload: dict[str, Any]) -> None:
+        try:
+            await self._peer_request(peer, payload)
+            self.replicas_pushed += 1
+        except ServiceError:
+            self.replica_push_failures += 1
+
+    async def _read_repair(
+        self, req: dict[str, Any], digest: str, owners: list[str]
+    ) -> None:
+        """Adopt a peer replica before paying for a recompile.
+
+        Runs on the serve path of a local miss -- including the miss a
+        *corrupt* local entry turns into once the verifier quarantines
+        it.  A peer copy is accepted only after its transported hash
+        matches a local re-hash **and** it passes the same semantic
+        verification a cache read gets; anything else counts as a
+        failed repair and the cold-compile path takes over.
+        """
+        topology = topology_from_spec(req["topology"])
+        verifier = artifact_verifier(topology)
+        local = self.cache.get(digest, verifier=verifier)
+        want_registers = bool(req.get("registers", False))
+        if local is not None and (not want_registers or "registers" in local):
+            return
+        for peer in owners:
+            if peer == self.name or peer not in self.shard_map.nodes:
+                continue
+            try:
+                reply = await self._peer_request(
+                    peer, {"op": "fetch", "digest": digest}
+                )
+            except ServiceError:
+                self.read_repair_failures += 1
+                continue
+            doc = reply.get("artifact")
+            if not isinstance(doc, dict):
+                continue  # clean peer miss: nothing to repair from
+            if want_registers and "registers" not in doc:
+                continue
+            try:
+                if artifact_digest(doc) != reply.get("payload_sha256"):
+                    raise ProtocolError("replica hash mismatch")
+                verifier(doc)  # raises on a semantically bad replica
+            except Exception:
+                self.read_repair_failures += 1
+                continue
+            self.cache.put(digest, doc)
+            self.read_repairs += 1
+            return
+
+    async def _peer_request(
+        self, peer: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """One request/reply round trip to a peer node (fresh conn)."""
+        host, port = self.shard_map.endpoint(peer)
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES
+            )
+        except OSError as exc:
+            raise TransportError(f"peer {peer!r} unreachable: {exc}") from exc
+        try:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.peer_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            raise ServiceTimeout(
+                f"peer {peer!r} gave no reply within {self.peer_timeout}s"
+            ) from None
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise TransportError(
+                f"peer {peer!r} connection failed: {exc}"
+            ) from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if not line or not line.endswith(b"\n"):
+            raise TransportError(f"peer {peer!r} cut mid-reply")
+        try:
+            reply = json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(f"peer {peer!r} malformed reply: {exc}") from None
+        if not isinstance(reply, dict):
+            raise ProtocolError(f"peer {peer!r} malformed reply: {reply!r}")
+        if not reply.get("ok"):
+            raise reply_error(reply)
+        return reply
+
+    # -- stats ----------------------------------------------------------
+    def _stats(self) -> dict[str, Any]:
+        out = super()._stats()
+        out["farm"] = {
+            "name": self.name,
+            "map_version": self.shard_map.version,
+            "wrong_shard": self.wrong_shard,
+            "replicas_pushed": self.replicas_pushed,
+            "replicas_received": self.replicas_received,
+            "replica_push_failures": self.replica_push_failures,
+            "read_repairs": self.read_repairs,
+            "read_repair_failures": self.read_repair_failures,
+        }
+        return out
+
+
+# ----------------------------------------------------------------------
+# the shard router
+# ----------------------------------------------------------------------
+
+class ShardRouter:
+    """Routes requests to owning nodes; owns membership and failover.
+
+    Forwarding is **byte-transparent**: the router parses the request
+    only to compute its route digest, then writes the original line to
+    the node and relays the node's reply line verbatim -- the client's
+    ``idem`` echo and ``payload_sha256`` checks therefore cover the
+    full client-router-node path with no re-serialization in between.
+
+    A forward that dies on transport (or times out) demotes the node:
+    it is removed from the map, the version is bumped, survivors get a
+    ``reshard`` push, and the request retries against the digest's new
+    owner.  A ``wrong_shard`` reply from a node with an *older* map
+    gets the router's map pushed and one retry -- the router is the
+    authority, nodes converge to it.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_scheduler: str = "combined",
+        node_timeout: float = 120.0,
+        max_attempts: int = 6,
+        pool_idle: int = 8,
+    ) -> None:
+        self.shard_map = shard_map
+        self.host, self.port = host, port
+        self.default_scheduler = default_scheduler
+        self.node_timeout = float(node_timeout)
+        self.max_attempts = int(max_attempts)
+        self.pool_idle = int(pool_idle)
+        self._server: asyncio.AbstractServer | None = None
+        self._pools: dict[
+            str, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+        ] = {}
+        self._demote_lock = asyncio.Lock()
+        self.requests_served = 0
+        self.forwarded = 0
+        self.rerouted = 0
+        self.failovers = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None, "router not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "ShardRouter":
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conns in self._pools.values():
+            for _, writer in conns:
+                writer.close()
+        self._pools.clear()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    line = exc.partial
+                    if not line:
+                        break
+                except asyncio.LimitOverrunError:
+                    err = ProtocolError(
+                        f"frame exceeds {MAX_LINE_BYTES} bytes"
+                    )
+                    writer.write(json.dumps(
+                        {"id": None, "ok": False, **error_fields(err)}
+                    ).encode() + b"\n")
+                    await writer.drain()
+                    break
+                if not line.strip():
+                    break
+                writer.write(await self._route(line))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _route(self, line: bytes) -> bytes:
+        """One raw request line to one raw reply line."""
+        req: Any = {}
+        try:
+            try:
+                req = json.loads(line)
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ProtocolError(f"bad JSON frame: {exc}") from None
+            if not isinstance(req, dict):
+                raise ProtocolError("request must be a JSON object")
+            self.requests_served += 1
+            op = req.get("op", "compile")
+            if op == "ping":
+                return self._local_reply(req, op="ping")
+            if op == "shardmap":
+                return self._local_reply(
+                    req, op="shardmap", shard_map=self.shard_map.as_dict()
+                )
+            if op in ("stats", "health"):
+                return await self._aggregate(req, op)
+            if op == "ready":
+                return self._local_reply(
+                    req, op="ready", ready=bool(self.shard_map.nodes)
+                )
+            if op == "shutdown":
+                return await self._shutdown_farm(req)
+            if op in ("compile", "amend"):
+                return await self._forward(line, req)
+            raise ProtocolError(f"unknown op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            req = req if isinstance(req, dict) else {}
+            return json.dumps(
+                {"id": req.get("id"), "ok": False, **error_fields(exc)}
+            ).encode() + b"\n"
+
+    def _local_reply(self, req: dict[str, Any], **payload: Any) -> bytes:
+        out = {"id": req.get("id"), "ok": True, **payload}
+        if "idem" in req:
+            out["idem"] = request_digest(req)
+        return json.dumps(out).encode() + b"\n"
+
+    # -- forwarding -----------------------------------------------------
+    async def _forward(self, line: bytes, req: dict[str, Any]) -> bytes:
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        last_error: ServiceError = ServerError("no live farm nodes")
+        for attempt in range(self.max_attempts):
+            digest = route_digest(
+                req, default_scheduler=self.default_scheduler
+            )
+            owners = self.shard_map.owners(digest)
+            if not owners:
+                raise ServerError("no live farm nodes")
+            target = owners[0]
+            try:
+                reply_line = await self._node_request_raw(target, line)
+            except (TransportError, ServiceTimeout) as exc:
+                last_error = exc
+                await self._demote(target)
+                continue
+            self.forwarded += 1
+            try:
+                reply = json.loads(reply_line)
+            except ValueError:
+                # Unparseable node reply: relay as-is; the client's
+                # frame/integrity checks own this failure mode.
+                return reply_line
+            if (
+                isinstance(reply, dict)
+                and not reply.get("ok")
+                and reply.get("error_type") == WrongShard.code
+            ):
+                # Map skew: the node is behind (or we are).  Adopt the
+                # newer map, push ours if the node's is older, retry.
+                self.rerouted += 1
+                node_map = reply.get("shard_map")
+                if isinstance(node_map, dict):
+                    try:
+                        new = ShardMap.from_dict(node_map)
+                    except ProtocolError:
+                        new = None
+                    if new is not None and new.version > self.shard_map.version:
+                        self.shard_map = new
+                        continue
+                await self._push_map(target)
+                continue
+            return reply_line
+        raise last_error
+
+    async def _demote(self, name: str) -> None:
+        """A node died on us: remove it, bump the map, reshard the rest."""
+        async with self._demote_lock:
+            if name not in self.shard_map.nodes:
+                return  # a concurrent request already demoted it
+            self.shard_map = self.shard_map.without(name)
+            self.failovers += 1
+            for _, writer in self._pools.pop(name, []):
+                writer.close()
+            for peer in list(self.shard_map.nodes):
+                await self._push_map(peer)
+
+    async def _push_map(self, name: str) -> None:
+        """Best-effort ``reshard`` push; a dead target demotes on use."""
+        req = json.dumps(
+            {"op": "reshard", "shard_map": self.shard_map.as_dict()}
+        ).encode() + b"\n"
+        try:
+            await self._node_request_raw(name, req)
+        except ServiceError:
+            pass
+
+    # -- node connections (pooled, one in-flight request each) ---------
+    async def _node_request_raw(self, name: str, line: bytes) -> bytes:
+        conn = await self._acquire(name)
+        reader, writer = conn
+        try:
+            writer.write(line)
+            await writer.drain()
+            reply = await asyncio.wait_for(
+                reader.readline(), timeout=self.node_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            writer.close()
+            raise ServiceTimeout(
+                f"node {name!r} gave no reply within {self.node_timeout}s"
+            ) from None
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            writer.close()
+            raise TransportError(f"node {name!r} died mid-request: {exc}") from exc
+        if not reply or not reply.endswith(b"\n"):
+            writer.close()
+            raise TransportError(f"node {name!r} cut mid-reply")
+        self._release(name, conn)
+        return reply
+
+    async def _acquire(
+        self, name: str
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        pool = self._pools.setdefault(name, [])
+        while pool:
+            reader, writer = pool.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        try:
+            host, port = self.shard_map.endpoint(name)
+        except KeyError:
+            raise TransportError(f"node {name!r} is not in the shard map") from None
+        try:
+            return await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES
+            )
+        except OSError as exc:
+            raise TransportError(f"node {name!r} unreachable: {exc}") from exc
+
+    def _release(
+        self,
+        name: str,
+        conn: tuple[asyncio.StreamReader, asyncio.StreamWriter],
+    ) -> None:
+        pool = self._pools.setdefault(name, [])
+        if name in self.shard_map.nodes and len(pool) < self.pool_idle:
+            pool.append(conn)
+        else:
+            conn[1].close()
+
+    # -- aggregation (stats / health across the farm) -------------------
+    async def _aggregate(self, req: dict[str, Any], op: str) -> bytes:
+        """Per-node breakdown plus farm-wide numeric totals."""
+        per_node: dict[str, dict[str, Any]] = {}
+        down: list[str] = []
+        probe = json.dumps({"op": op}).encode() + b"\n"
+        for name in list(self.shard_map.nodes):
+            try:
+                line = await self._node_request_raw(name, probe)
+                reply = json.loads(line)
+            except (ServiceError, ValueError):
+                down.append(name)
+                continue
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                down.append(name)
+                continue
+            per_node[name] = {
+                k: v for k, v in reply.items()
+                if k not in ("id", "ok", "op", "idem")
+            }
+        out = {
+            "nodes": per_node,
+            "farm": sum_stats(list(per_node.values())),
+            "down": down,
+            "router": {
+                "requests": self.requests_served,
+                "forwarded": self.forwarded,
+                "rerouted": self.rerouted,
+                "failovers": self.failovers,
+                "map_version": self.shard_map.version,
+                "live_nodes": len(self.shard_map.nodes),
+            },
+            "shard_map": self.shard_map.as_dict(),
+        }
+        if op == "health":
+            out["ready"] = any(
+                bool(doc.get("ready")) for doc in per_node.values()
+            )
+        return self._local_reply(req, op=op, **out)
+
+    async def _shutdown_farm(self, req: dict[str, Any]) -> bytes:
+        """Forward ``shutdown`` to every node, then stop routing."""
+        if self._server is not None:
+            self._server.close()
+        line = json.dumps({"op": "shutdown"}).encode() + b"\n"
+        for name in list(self.shard_map.nodes):
+            try:
+                await self._node_request_raw(name, line)
+            except ServiceError:
+                pass
+        return self._local_reply(req, op="shutdown")
+
+
+# ----------------------------------------------------------------------
+# the shard-map-carrying client
+# ----------------------------------------------------------------------
+
+class AsyncFarmClient:
+    """Farm client: direct-to-shard on warm state, router on trouble.
+
+    Holds one :class:`AsyncCompileClient` per node plus one for the
+    router.  Shardable requests are sent straight to an owner computed
+    from the carried map (read load spread across replicas by digest;
+    amends pinned to the primary).  A :class:`WrongShard` reply hands
+    us the node's newer map and the request is re-aimed in-line; a
+    node that cannot be reached at all falls back to the router --
+    which performs failover -- and the map is re-fetched afterwards.
+    """
+
+    #: bounded in-line redirects before deferring to the router.
+    MAX_REDIRECTS = 4
+
+    def __init__(
+        self,
+        router_address: tuple[str, int],
+        *,
+        shard_map: ShardMap | None = None,
+        timeout: float | None = None,
+        default_scheduler: str = "combined",
+    ) -> None:
+        self.router_address = (str(router_address[0]), int(router_address[1]))
+        self.shard_map = shard_map
+        self.timeout = timeout
+        self.default_scheduler = default_scheduler
+        self._router = AsyncCompileClient(*self.router_address, timeout=timeout)
+        self._nodes: dict[str, AsyncCompileClient] = {}
+        self._next_id = 0
+        self.direct = 0
+        self.via_router = 0
+        self.map_refreshes = 0
+
+    async def connect(self) -> "AsyncFarmClient":
+        await self._router.connect()
+        if self.shard_map is None:
+            await self.refresh_map()
+        return self
+
+    async def close(self) -> None:
+        for client in self._nodes.values():
+            await client.close()
+        self._nodes.clear()
+        await self._router.close()
+
+    async def __aenter__(self) -> "AsyncFarmClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def refresh_map(self) -> ShardMap:
+        reply = await self._router.request({"op": "shardmap"})
+        self._adopt(ShardMap.from_dict(reply["shard_map"]))
+        assert self.shard_map is not None
+        return self.shard_map
+
+    def _adopt(self, new: ShardMap) -> None:
+        if self.shard_map is not None and new.version <= self.shard_map.version:
+            return
+        self.shard_map = new
+        self.map_refreshes += 1
+        for name in list(self._nodes):
+            if name not in new.nodes:
+                # Close lazily: the transport teardown needs no await
+                # to stop the client being *used*.
+                stale = self._nodes.pop(name)
+                asyncio.ensure_future(stale.close())
+
+    def _node_client(self, name: str) -> AsyncCompileClient:
+        client = self._nodes.get(name)
+        if client is None:
+            assert self.shard_map is not None
+            host, port = self.shard_map.endpoint(name)
+            # No client-side retries against a single node: the farm
+            # fallback (router failover) *is* the retry.
+            client = AsyncCompileClient(host, port, timeout=self.timeout,
+                                        retry=None)
+            self._nodes[name] = client
+        return client
+
+    def _pick_owner(self, op: str, digest: str, owners: list[str]) -> str:
+        if op == "amend":
+            return owners[0]  # streams are primary-resident state
+        # Spread reads/compiles across the replica set, deterministically
+        # by digest so one artifact's requests still coalesce per node.
+        return owners[int(digest[:8], 16) % len(owners)]
+
+    async def request(self, req: dict[str, Any]) -> dict[str, Any]:
+        op = req.get("op", "compile")
+        if op not in ("compile", "amend") or self.shard_map is None:
+            return await self._router.request(req)
+        try:
+            digest = route_digest(
+                req, default_scheduler=self.default_scheduler
+            )
+        except ProtocolError:
+            # Malformed request: let the router answer it with the
+            # same typed error a node would.
+            return await self._router.request(req)
+        for _ in range(self.MAX_REDIRECTS):
+            owners = self.shard_map.owners(digest)
+            if not owners:
+                break
+            target = self._pick_owner(op, digest, owners)
+            client = self._node_client(target)
+            try:
+                reply = await client.request(req)
+            except WrongShard as exc:
+                if isinstance(exc.shard_map, dict):
+                    try:
+                        newer = ShardMap.from_dict(exc.shard_map)
+                    except ProtocolError:
+                        break
+                    if (
+                        self.shard_map is None
+                        or newer.version > self.shard_map.version
+                    ):
+                        self._adopt(newer)
+                        continue
+                break  # the *node* is stale; the router will sort it out
+            except (TransportError, ServiceTimeout):
+                break  # node unreachable: the router owns failover
+            self.direct += 1
+            return reply
+        self.via_router += 1
+        reply = await self._router.request(req)
+        try:
+            await self.refresh_map()
+        except ServiceError:
+            pass
+        return reply
+
+    # -- convenience verbs (mirror AsyncCompileClient) ------------------
+    async def ping(self) -> dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request({"op": "stats"})
+
+    async def health(self) -> dict[str, Any]:
+        return await self.request({"op": "health"})
+
+    async def shutdown(self) -> dict[str, Any]:
+        return await self.request({"op": "shutdown"})
+
+    async def compile(
+        self,
+        topology: dict[str, Any],
+        *,
+        pattern: dict[str, Any] | None = None,
+        pairs: list | None = None,
+        scheduler: str | None = None,
+        registers: bool = False,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        self._next_id += 1
+        return await self.request(
+            _compile_request(
+                topology, pattern=pattern, pairs=pairs, scheduler=scheduler,
+                registers=registers, request_id=self._next_id,
+                deadline=deadline,
+            )
+        )
+
+    async def amend(
+        self,
+        topology: dict[str, Any] | None = None,
+        *,
+        pattern: dict[str, Any] | None = None,
+        pairs: list | None = None,
+        scheduler: str | None = None,
+        root: str | None = None,
+        epoch: int | None = None,
+        add: list | None = None,
+        remove: list | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        self._next_id += 1
+        return await self.request(
+            _amend_request(
+                topology, pattern=pattern, pairs=pairs, scheduler=scheduler,
+                root=root, epoch=epoch, add=add, remove=remove,
+                request_id=self._next_id, deadline=deadline,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# the in-process farm supervisor
+# ----------------------------------------------------------------------
+
+class Farm:
+    """N farm nodes + one router in this process, for tests and benches.
+
+    ``workers`` is *per node*: the default of 1 worker process per node
+    means an N-node farm runs N cold compiles truly in parallel (each
+    node owns a single-process pool), which is the scaling the farm
+    benchmark measures.  ``workers=0`` keeps each node single-process
+    (worker thread), the fully deterministic mode chaos tests use.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 3,
+        *,
+        replication: int = 2,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        scheduler: str = "combined",
+        policy: ServerPolicy | None = None,
+        amend_streams: int | None = None,
+        host: str = "127.0.0.1",
+        node_timeout: float = 120.0,
+    ) -> None:
+        if nodes < 1:
+            raise ValueError(f"a farm needs at least one node, got {nodes}")
+        self.num_nodes = int(nodes)
+        self.replication = max(1, min(int(replication), self.num_nodes))
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.scheduler = scheduler
+        self.policy = policy
+        self.amend_streams = amend_streams
+        self.host = host
+        self.node_timeout = float(node_timeout)
+        self.nodes: dict[str, FarmNodeServer] = {}
+        self.dead: dict[str, FarmNodeServer] = {}
+        self.router: ShardRouter | None = None
+
+    async def start(self) -> "Farm":
+        # Two-phase: bind every node on an ephemeral port first, then
+        # build the v1 map from the real endpoints and hand it out.
+        placeholder = ShardMap({}, replication=self.replication)
+        for i in range(self.num_nodes):
+            name = f"node{i}"
+            cache = ArtifactCache(
+                self.cache_dir / name if self.cache_dir is not None else None
+            )
+            node = FarmNodeServer(
+                name=name,
+                shard_map=placeholder,
+                cache=cache,
+                workers=self.workers,
+                host=self.host,
+                port=0,
+                scheduler=self.scheduler,
+                policy=self.policy,
+                amend_streams=self.amend_streams,
+            )
+            await node.start()
+            self.nodes[name] = node
+        endpoints = {
+            name: {"host": node.address[0], "port": node.address[1]}
+            for name, node in self.nodes.items()
+        }
+        shard_map = ShardMap(endpoints, replication=self.replication)
+        for node in self.nodes.values():
+            node.shard_map = shard_map
+        self.router = ShardRouter(
+            shard_map,
+            host=self.host,
+            default_scheduler=self.scheduler,
+            node_timeout=self.node_timeout,
+        )
+        await self.router.start()
+        return self
+
+    @property
+    def router_address(self) -> tuple[str, int]:
+        assert self.router is not None, "farm not started"
+        return self.router.address
+
+    def client(self, **kwargs: Any) -> AsyncFarmClient:
+        return AsyncFarmClient(
+            self.router_address,
+            default_scheduler=self.scheduler,
+            **kwargs,
+        )
+
+    async def kill_node(self, name: str) -> FarmNodeServer:
+        """Abruptly crash one node (chaos): no drain, no goodbye."""
+        node = self.nodes.pop(name)
+        self.dead[name] = node
+        await node.kill()
+        return node
+
+    async def shutdown(self) -> None:
+        if self.router is not None:
+            await self.router.stop()
+            self.router = None
+        for node in self.nodes.values():
+            await node.shutdown()
+        self.nodes.clear()
+        self.dead.clear()

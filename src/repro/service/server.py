@@ -92,13 +92,22 @@ from repro.compiler.serialize import artifact_digest
 
 def _worker_compile(task: dict[str, Any]) -> dict[str, Any]:
     """Top-level (picklable) worker: cold-compile a canonical pattern."""
+    floor = float(task.get("simulated_cost") or 0.0)
+    t0 = time.perf_counter() if floor else 0.0
     topology = topology_from_spec(task["topology_spec"])
-    return _compile_mod.build_canonical_artifact(
+    doc = _compile_mod.build_canonical_artifact(
         topology,
         [tuple(r) for r in task["requests"]],
         task["scheduler"],
         include_registers=task["include_registers"],
     )
+    if floor:
+        # Pad to the policy's service-time floor in the worker, where
+        # the wait occupies a pool slot but not the event loop.
+        remaining = floor - (time.perf_counter() - t0)
+        if remaining > 0:
+            time.sleep(remaining)
+    return doc
 
 
 def _parse_pattern(req: dict[str, Any]) -> list[tuple[int, int, int, int]]:
@@ -150,13 +159,14 @@ class CompileServer:
         socket_path: str | None = None,
         scheduler: str = "combined",
         policy: ServerPolicy | None = None,
+        amend_streams: int | None = None,
     ) -> None:
         if isinstance(cache, ArtifactCache):
             self.cache = cache
         else:
             self.cache = ArtifactCache(cache)
         self.service = CompileService(self.cache, scheduler=scheduler)
-        self.amends = AmendRegistry(self.cache)
+        self.amends = AmendRegistry(self.cache, max_streams=amend_streams)
         self.workers = 0 if workers == 0 else (resolve_workers(workers) or 1)
         self.host, self.port, self.socket_path = host, port, socket_path
         self.policy = policy if policy is not None else ServerPolicy()
@@ -333,24 +343,32 @@ class CompileServer:
                 raise ProtocolError("request must be a JSON object")
             op = req.get("op", "compile")
             self.requests_served += 1
-            if op == "ping":
-                return self._reply(req, op="ping")
-            if op == "stats":
-                return self._reply(req, op="stats", **self._stats())
-            if op == "health":
-                return self._reply(req, op="health", **self._health())
-            if op == "ready":
-                return self._reply(req, op="ready", ready=self._ready())
-            if op == "shutdown":
-                return self._reply(req, op="shutdown")
-            if op == "compile":
-                return await self._compile(req)
-            if op == "amend":
-                return await self._amend(req)
-            raise ProtocolError(f"unknown op {op!r}")
+            return await self._handle_op(op, req)
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             req = req if isinstance(req, dict) else {}
             return {"id": req.get("id"), "ok": False, **error_fields(exc)}
+
+    async def _handle_op(self, op: str, req: dict[str, Any]) -> dict[str, Any]:
+        """Route one parsed request to its verb handler.
+
+        Subclasses (the farm node) extend the verb set by overriding
+        this and delegating unknown ops to ``super()``.
+        """
+        if op == "ping":
+            return self._reply(req, op="ping")
+        if op == "stats":
+            return self._reply(req, op="stats", **self._stats())
+        if op == "health":
+            return self._reply(req, op="health", **self._health())
+        if op == "ready":
+            return self._reply(req, op="ready", ready=self._ready())
+        if op == "shutdown":
+            return self._reply(req, op="shutdown")
+        if op == "compile":
+            return await self._compile(req)
+        if op == "amend":
+            return await self._amend(req)
+        raise ProtocolError(f"unknown op {op!r}")
 
     def _reply(self, req: dict[str, Any], **payload: Any) -> dict[str, Any]:
         out = {"id": req.get("id"), "ok": True, **payload}
@@ -392,6 +410,9 @@ class CompileServer:
     def _stats(self) -> dict[str, Any]:
         return {
             **self.service.stats(),
+            # Process-global perf counters: meaningful per node (one
+            # process each in a farm), aggregated by the shard router.
+            "counters": perf.snapshot(),
             "amend": self.amends.stats(),
             "inflight": len(self._inflight),
             "inflight_coalesced": self.inflight_coalesced,
@@ -430,17 +451,27 @@ class CompileServer:
         finally:
             self._active -= 1
 
-    async def _compile_admitted(self, req: dict[str, Any]) -> dict[str, Any]:
-        t0 = perf.perf_timer()
-        deadline = self._request_deadline(req)
+    def _compile_key(self, req: dict[str, Any]):
+        """Parse + canonicalize one compile request to its cache key.
+
+        Returns ``(topology, scheduler, canonical, digest)``.  A farm
+        node overrides this to reuse the canonicalization it already
+        performed for the ownership check, so sharded serving does not
+        pay the (group-sized) canonical scan twice per request.
+        """
         if "topology" not in req:
             raise ProtocolError("compile request needs 'topology'")
         topology = topology_from_spec(req["topology"])
         scheduler = req.get("scheduler") or self.service.default_scheduler
-        include_registers = bool(req.get("registers", False))
-        tuples = _parse_pattern(req)
-        canonical = canonicalize(topology, tuples)
+        canonical = canonicalize(topology, _parse_pattern(req))
         digest = compile_digest(topology, canonical, scheduler, req.get("kernel"))
+        return topology, scheduler, canonical, digest
+
+    async def _compile_admitted(self, req: dict[str, Any]) -> dict[str, Any]:
+        t0 = perf.perf_timer()
+        deadline = self._request_deadline(req)
+        include_registers = bool(req.get("registers", False))
+        topology, scheduler, canonical, digest = self._compile_key(req)
 
         outcome = "hit"
         doc = self.cache.get(digest, verifier=artifact_verifier(topology))
@@ -599,6 +630,7 @@ class CompileServer:
             "requests": [list(r) for r in canonical_requests],
             "scheduler": scheduler,
             "include_registers": include_registers,
+            "simulated_cost": self.policy.simulated_cost,
         }
         try:
             doc, counters = await asyncio.wait_for(

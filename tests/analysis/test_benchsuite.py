@@ -285,6 +285,28 @@ def test_faults_case_protected_metrics():
     assert m["ttr"] >= 0 and m["lost"] >= 0 and m["seconds"] > 0
 
 
+def test_farm_case_metrics():
+    m = bs.run_farm_case({
+        "farms": [1, 2], "requests": 8, "concurrency": 2,
+        "replication": 1, "torus": 4, "pairs": 4, "warm_patterns": 1,
+        "workers": 0, "scheduler": "greedy", "service_floor": 0.0,
+    })
+    assert m["farms"] == [1, 2]
+    assert m["completed"] == 16 and m["failed"] == 0
+    assert m["scaling"] > 0 and m["qps"] > 0 and m["seconds"] > 0
+    assert len(m["qps_per_size"]) == 2
+    # farm rules wire into the generic assertion engine
+    v = bs.evaluate_case(
+        "farm", m,
+        {"min_scaling": {"value": 1e9, "severity": "error"},
+         "max_failed": {"value": 0, "severity": "error"}},
+        None,
+    )
+    by_rule = {a["rule"]: a for a in v["assertions"]}
+    assert not by_rule["min_scaling"]["passed"]
+    assert by_rule["max_failed"]["passed"]
+
+
 def test_report_header_git_block():
     header = bs.report_header()
     git = header["git"]

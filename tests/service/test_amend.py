@@ -166,8 +166,76 @@ class TestAmendRegistry:
         with pytest.raises(EpochConflict):
             reg.amend(stream.root, epoch=0, add=[(0, 5, 1, 0)])
         assert reg.stats() == {
-            "streams": 1, "opened": 1, "amends": 1, "conflicts": 1,
+            "streams": 1, "max_streams": reg.max_streams,
+            "opened": 1, "amends": 1, "conflicts": 1,
+            "evictions": 0, "resumes": 0, "resets": 0,
         }
+
+
+class TestRegistryBound:
+    """LRU eviction + resume-from-cache of the bounded registry."""
+
+    def patterns(self, n):
+        """n distinct patterns (distinct roots) on a 4x4 torus."""
+        return [
+            [(i, (i + k + 1) % 16, 1, 0) for i in range(8)]
+            for k in range(n)
+        ]
+
+    def test_cap_evicts_lru(self, torus4):
+        reg = AmendRegistry(max_streams=2)
+        p = self.patterns(3)
+        s0, _ = reg.open(torus4, p[0])
+        s1, _ = reg.open(torus4, p[1])
+        reg.get(s0.root)  # touch: s1 becomes LRU
+        reg.open(torus4, p[2])
+        assert len(reg) == 2 and reg.evictions == 1
+        assert s0.root in reg._streams and s1.root not in reg._streams
+
+    def test_evicted_stream_resumes_from_cache(self, torus4, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        reg = AmendRegistry(cache, max_streams=1)
+        p = self.patterns(2)
+        s0, _ = reg.open(torus4, p[0])
+        reg.amend(s0.root, epoch=0, add=[(0, 2, 1, 9)])
+        root, epoch, digest = s0.root, s0.epoch, s0.digest
+        reg.open(torus4, p[1])  # evicts s0
+        assert reg.evictions == 1 and root not in reg._streams
+        # get() resumes the evicted stream at its stored epoch/digest...
+        resumed = reg.get(root)
+        assert resumed is not s0
+        assert (resumed.root, resumed.epoch, resumed.digest) == (
+            root, epoch, digest
+        )
+        assert reg.resumes == 1
+        # ...and the lineage continues: the next amend chains onto the
+        # stored digest exactly as the live stream would have.
+        after = reg.amend(root, epoch=epoch, add=[(1, 3, 1, 9)])
+        assert after.epoch == epoch + 1
+        assert after.digest == amend_epoch_digest(digest, [(1, 3, 1, 9)], [])
+
+    def test_idempotent_open_resumes_not_resets(self, torus4, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        reg = AmendRegistry(cache, max_streams=1)
+        p = self.patterns(2)
+        s0, _ = reg.open(torus4, p[0])
+        reg.amend(s0.root, epoch=0, add=[(0, 2, 1, 9)])
+        reg.open(torus4, p[1])  # evicts s0 at epoch 1
+        reopened, created = reg.open(torus4, p[0])
+        assert not created and reopened.epoch == 1  # resume, not reset
+        assert reg.resumes == 1 and reg.resets == 0
+
+    def test_artifact_gone_get_raises_open_resets(self, torus4, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        reg = AmendRegistry(cache, max_streams=1)
+        p = self.patterns(2)
+        s0, _ = reg.open(torus4, p[0])
+        reg.open(torus4, p[1])  # evicts s0
+        reg.cache = ArtifactCache()  # the epoch artifact is gone
+        with pytest.raises(ProtocolError, match="evicted"):
+            reg.get(s0.root)
+        fresh, created = reg.open(torus4, p[0])
+        assert created and fresh.epoch == 0 and reg.resets == 1
 
 
 class TestAmendVerb:
