@@ -123,6 +123,7 @@ BASELINE_FILES = {
     "faults": "BENCH_faults.json",
     "churn": "BENCH_churn.json",
     "farm": "BENCH_farm.json",
+    "ha": "BENCH_ha.json",
 }
 
 KINDS = tuple(BASELINE_FILES)
@@ -144,6 +145,10 @@ RULES: dict[str, tuple[str, Callable[[float, float], bool]]] = {
     "min_scaling": ("scaling", lambda v, lim: v >= lim),
     "min_qps": ("qps", lambda v, lim: v >= lim),
     "max_failed": ("failed", lambda v, lim: v <= lim),
+    "min_availability": ("availability", lambda v, lim: v >= lim),
+    "max_restore_sweeps": ("restore_sweeps", lambda v, lim: v <= lim),
+    "max_corrupt": ("corrupt", lambda v, lim: v <= lim),
+    "max_gates_failed": ("gates_failed", lambda v, lim: v <= lim),
 }
 
 #: Per kind: the metrics the regression gate watches, and whether
@@ -154,6 +159,9 @@ REGRESSION_METRICS: dict[str, tuple[tuple[str, bool], ...]] = {
     "faults": (("ttr", True),),
     "churn": (("amend_us", True), ("flatness", True)),
     "farm": (("scaling", False), ("qps", False)),
+    # restore_sweeps is a small integer, useless as a percentage gate;
+    # availability is the one continuously-valued HA metric.
+    "ha": (("availability", False),),
 }
 
 
@@ -678,12 +686,56 @@ def run_farm_case(params: dict) -> dict[str, object]:
     }
 
 
+def run_ha_case(params: dict) -> dict[str, object]:
+    """Farm self-healing under a scripted kill/rejoin schedule.
+
+    Runs the five-phase HA chaos campaign (replica-push loss, one-way
+    partition, kill-primary-mid-amend-stream, rejoin, router restart)
+    and reports ``availability`` (fraction of scored requests answered
+    correctly -- a typed refusal of a stale amend counts as correct
+    service), ``restore_sweeps`` (worst-case anti-entropy sweeps to
+    return every tracked digest to replication factor R), ``corrupt``
+    (gates at zero: a wrong-bytes reply is never acceptable) and
+    ``gates_failed`` (the campaign's own pass/fail conjuncts).
+    """
+    from repro.service.chaos import run_farm_ha_campaign
+
+    t0 = perf.perf_timer()
+    report = run_farm_ha_campaign(
+        max(1, int(params.get("requests", 48))),
+        nodes=int(params.get("nodes", 3)),
+        replication=int(params.get("replication", 2)),
+        seed=int(params.get("seed", 0)),
+        cache_dir=None,
+        drop_rate=float(params.get("drop_rate", 0.5)),
+        max_restore_sweeps=int(params.get("max_sweeps", 3)),
+        amend_steps=int(params.get("amend_steps", 6)),
+    )
+    elapsed = perf.perf_timer() - t0
+    return {
+        "attempted": report["attempted"],
+        "completed": report["completed"],
+        "availability": round(report["availability"], 4),
+        "restore_sweeps": int(report["restore_sweeps"]),
+        "corrupt": len(report["corrupted"]),
+        "untyped": len(report["untyped_failures"]),
+        "gates_failed": sum(
+            1 for ok in report["gates"].values() if not ok
+        ),
+        "repaired": report["replication_stats"]["repaired"],
+        "amend_takeovers": report["replication_stats"]["amend_takeovers"],
+        "rejoins": report["router"]["rejoins"],
+        "seconds": elapsed,
+    }
+
+
 _RUNNERS = {
     "kernel": run_kernel_case,
     "cache": run_cache_case,
     "faults": run_faults_case,
     "churn": run_churn_case,
     "farm": run_farm_case,
+    "ha": run_ha_case,
 }
 
 

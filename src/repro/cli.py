@@ -568,8 +568,73 @@ def _print_chaos(args) -> None:
         raise SystemExit(70)  # EX_SOFTWARE: the service corrupted data
 
 
+def _print_farm_ha(args) -> None:
+    from repro.service.chaos import run_farm_ha_campaign
+
+    report = run_farm_ha_campaign(
+        args.requests,
+        nodes=args.nodes,
+        replication=args.replication,
+        seed=args.seed,
+        cache_dir=args.cache,
+        drop_rate=args.drop_rate,
+        max_restore_sweeps=args.max_sweeps,
+        amend_steps=args.amend_steps,
+    )
+    typed = sum(report["typed_failures"].values())
+    phases = report["phases"]
+    repl = report["replication_stats"]
+    rows = [
+        ("scored requests", report["attempted"],
+         f"{report['nodes']} nodes, replication {report['replication']}"),
+        ("completed", report["completed"],
+         f"availability {report['availability']:.3f}"),
+        ("typed failures", typed,
+         ", ".join(f"{k}={v}" for k, v in
+                   sorted(report["typed_failures"].items())) or "-"),
+        ("UNTYPED failures", len(report["untyped_failures"]),
+         "; ".join(report["untyped_failures"][:3]) or "-"),
+        ("CORRUPTED replies", len(report["corrupted"]), ""),
+        ("replica pushes dropped", phases["drop"]["pushes_dropped"],
+         f"restored in {phases['drop']['restore_sweeps']} sweep(s)"),
+        ("partition", "->".join(phases["partition"]["pair"]),
+         f"restored in {phases['partition']['restore_sweeps']} sweep(s)"),
+        ("amend failover", phases["amend_failover"]["killed"],
+         f"epoch {phases['amend_failover']['epoch']}, "
+         f"takeovers {phases['amend_failover']['takeovers']}"),
+        ("rejoin", phases["rejoin"]["node"],
+         f"{phases['rejoin']['owned_digests']} owned digests, "
+         f"{phases['rejoin']['missing_after']} still missing"),
+        ("anti-entropy", repl["repaired"],
+         f"repaired over {repl['anti_entropy_rounds']} rounds; "
+         f"push retries {repl['retries']}"),
+        ("gates failed", sum(1 for ok in report["gates"].values() if not ok),
+         ", ".join(sorted(k for k, ok in report["gates"].items()
+                          if not ok)) or "-"),
+    ]
+    print(format_table(
+        ["check", "count", "detail"],
+        rows,
+        title=(
+            f"Farm HA campaign: drop/partition/kill-primary/rejoin/"
+            f"router-restart (seed {args.seed}) -- "
+            + ("ALL GATES HOLD" if report["ok"] else "GATE VIOLATED")
+        ),
+    ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"\nwrote {args.output}")
+    if not report["ok"]:
+        raise SystemExit(70)  # EX_SOFTWARE: the farm failed to self-heal
+
+
 def _print_farm(args) -> None:
     from repro.service.chaos import run_farm_chaos_campaign
+
+    if args.ha:
+        _print_farm_ha(args)
+        return
 
     report = run_farm_chaos_campaign(
         args.requests,
@@ -973,6 +1038,16 @@ def main(argv: list[str] | None = None) -> int:
     pfm.add_argument("--seed", type=int, default=0)
     pfm.add_argument("--cache", default=None,
                      help="per-node artifact cache root (default: memory)")
+    pfm.add_argument("--ha", action="store_true",
+                     help="run the high-availability campaign instead: "
+                          "replica-push loss, partition, kill-primary-"
+                          "mid-amend, rejoin, router restart")
+    pfm.add_argument("--drop-rate", type=float, default=0.5,
+                     help="[--ha] per-push replica drop probability")
+    pfm.add_argument("--max-sweeps", type=_pos_arg, default=3,
+                     help="[--ha] anti-entropy sweeps allowed to restore R")
+    pfm.add_argument("--amend-steps", type=_pos_arg, default=6,
+                     help="[--ha] epoch updates before the primary kill")
     pfm.add_argument("--output", default=None, help="write the report as JSON")
     pfm.set_defaults(fn=_print_farm)
 

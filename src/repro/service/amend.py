@@ -277,6 +277,7 @@ class AmendStream:
             raise EpochConflict(
                 f"amend against epoch {epoch}, current epoch is {self.epoch}",
                 current_epoch=self.epoch,
+                current_digest=self.digest,
             )
         # Resolve every removal row before touching the engine, so a
         # bad row cannot half-apply an update.  Resolution mutates the
@@ -376,6 +377,7 @@ class AmendRegistry:
         self.evictions = 0
         self.resumes = 0
         self.resets = 0
+        self.takeovers = 0
 
     def __len__(self) -> int:
         return len(self._streams)
@@ -414,6 +416,29 @@ class AmendRegistry:
         del self._evicted[root]
         self._admit(stream)
         self.resumes += 1
+        return stream
+
+    def peek(self, root: str) -> AmendStream | None:
+        """The live stream for ``root``, if any (no LRU touch, no resume)."""
+        return self._streams.get(root)
+
+    def knows(self, root: str) -> bool:
+        """True when the registry can answer for ``root`` by itself --
+        the stream is live or tombstoned for its own resume path."""
+        return root in self._streams or root in self._evicted
+
+    def adopt(self, stream: AmendStream) -> AmendStream:
+        """Install a stream rebuilt *elsewhere* (farm failover takeover).
+
+        Used by a farm node that became the new primary of a root it
+        never served: the node resumes the stream from the replicated
+        epoch artifact (:meth:`AmendStream.resume`) and admits it here,
+        continuing the stored lineage.  Any eviction tombstone for the
+        root is superseded -- the adopted stream *is* the latest state.
+        """
+        self._evicted.pop(stream.root, None)
+        self._admit(stream)
+        self.takeovers += 1
         return stream
 
     def open(
@@ -493,4 +518,5 @@ class AmendRegistry:
             "evictions": self.evictions,
             "resumes": self.resumes,
             "resets": self.resets,
+            "takeovers": self.takeovers,
         }

@@ -168,12 +168,29 @@ class ArtifactCache:
 
     def __len__(self) -> int:
         """Number of distinct artifacts reachable from this cache."""
+        return len(self.digests())
+
+    def digests(self) -> set[str]:
+        """Every digest reachable from either tier (union of both)."""
         on_disk = (
             {p.stem for p in self.root.glob("??/*.json")}
             if self.root is not None and self.root.is_dir()
             else set()
         )
-        return len(on_disk | set(self._memory))
+        return on_disk | set(self._memory)
+
+    def peek(self, digest: str) -> dict[str, Any] | None:
+        """Read without touching hit/miss stats or the LRU order.
+
+        For inventory-style scans (anti-entropy digest exchange): the
+        disk read still payload-hash checks (and quarantines a corrupt
+        entry), but a peek never promotes, never counts as a hit, and
+        never reorders the memory tier.
+        """
+        doc = self._memory.get(digest)
+        if doc is not None:
+            return doc
+        return self._disk_read(digest)
 
     # ------------------------------------------------------------------
     # memory tier

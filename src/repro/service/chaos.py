@@ -644,3 +644,428 @@ def run_farm_chaos_campaign(
         seed=seed,
         cache_dir=cache_dir,
     ))
+
+
+# ----------------------------------------------------------------------
+# the high-availability campaign (self-healing farm)
+# ----------------------------------------------------------------------
+
+def _under_replicated(farm: Any, digests: Any) -> list[dict[str, Any]]:
+    """Tracked digests currently below replication factor.
+
+    Audits the *live* map: every node the current map assigns a digest
+    to must actually hold it.  Dead nodes are expected misses and do
+    not count -- the invariant is about the replicas the farm claims
+    to have, not the ones it lost.
+    """
+    under = []
+    for digest in sorted(set(digests)):
+        owners = farm.router.shard_map.owners(digest)
+        have = sum(
+            1 for name in owners
+            if name in farm.nodes
+            and digest in farm.nodes[name].cache.digests()
+        )
+        if have < len(owners):
+            under.append({"digest": digest, "have": have, "want": len(owners)})
+    return under
+
+
+async def _repair_all(farm: Any) -> None:
+    """One farm-wide anti-entropy round via the ``repair`` verb."""
+    for node in list(farm.nodes.values()):
+        host, port = node.address
+        async with AsyncCompileClient(host, port, retry=None) as repairer:
+            await repairer.request({"op": "repair"})
+
+
+async def _restore_replication(
+    farm: Any, digests: Any, max_sweeps: int
+) -> tuple[int, list[dict[str, Any]]]:
+    """Sweep until the tracked set is fully replicated (or budget spent)."""
+    sweeps = 0
+    under = _under_replicated(farm, digests)
+    while under and sweeps < max_sweeps:
+        sweeps += 1
+        await _repair_all(farm)
+        under = _under_replicated(farm, digests)
+    return sweeps, under
+
+
+async def _run_farm_ha_campaign_async(
+    requests: int,
+    *,
+    nodes: int,
+    replication: int,
+    seed: int,
+    cache_dir: str | Path | None,
+    drop_rate: float,
+    max_restore_sweeps: int,
+    amend_steps: int,
+) -> dict[str, Any]:
+    from repro.service.amend import amend_epoch_digest, parse_rows
+    from repro.service.errors import EpochConflict
+    from repro.service.farm import Farm
+
+    combos = CAMPAIGN_REQUESTS + _farm_extra_combos(seed)
+    part_combos = _farm_extra_combos(seed ^ 0x9A11, count=6)
+    all_combos = combos + part_combos
+
+    # Independent baseline: compiles are deterministic, so every farm
+    # reply in every phase must be byte-identical to one plain server.
+    baseline: list[str] = []
+    single = CompileServer(workers=0)
+    await single.start()
+    try:
+        async with AsyncCompileClient(*single.address, retry=None) as clean:
+            for combo in all_combos:
+                reply = await clean.request({"op": "compile", **combo})
+                baseline.append(_reply_bytes(reply))
+    finally:
+        await single.shutdown()
+
+    report: dict[str, Any] = {
+        "requests": requests,
+        "nodes": nodes,
+        "replication": replication,
+        "attempted": 0,
+        "completed": 0,
+        "typed_failures": {},
+        "corrupted": [],
+        "untyped_failures": [],
+        "phases": {},
+    }
+    gates: dict[str, bool] = {}
+    tracked: dict[int, str] = {}  # combo index -> compile digest
+
+    farm = Farm(
+        nodes, replication=replication, workers=0, cache_dir=cache_dir,
+        policy=ServerPolicy(max_pending=64, retry_after=0.05),
+        chaos_seed=seed,
+    )
+    await farm.start()
+    client = farm.client()
+    rng = random.Random(seed)
+
+    async def drive(which: int) -> None:
+        """One scored compile request through the farm client."""
+        report["attempted"] += 1
+        try:
+            reply = await client.request(
+                {"op": "compile", **all_combos[which]}
+            )
+        except ServiceError as exc:
+            report["typed_failures"][exc.code] = (
+                report["typed_failures"].get(exc.code, 0) + 1
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - the invariant itself
+            report["untyped_failures"].append(repr(exc))
+            return
+        if _reply_bytes(reply) == baseline[which]:
+            report["completed"] += 1
+            tracked[which] = str(reply["digest"])
+        else:
+            report["corrupted"].append(
+                {"request": which, "digest": reply.get("digest")}
+            )
+
+    async def drain_pushes() -> None:
+        """Let in-flight replica pushes land before an audit."""
+        for node in list(farm.nodes.values()):
+            if node._repl_tasks:
+                await asyncio.gather(
+                    *node._repl_tasks, return_exceptions=True
+                )
+
+    try:
+        await client.connect()
+
+        # -- phase A: silent replica loss ------------------------------
+        # Every node drops a seeded fraction of its outbound replica
+        # pushes; replies must stay byte-identical regardless, and the
+        # anti-entropy sweeps must restore replication factor R within
+        # the configured budget.
+        for node in farm.nodes.values():
+            node.drop_replica_push_rate = drop_rate
+        for _ in range(requests):
+            await drive(rng.randrange(len(combos)))
+        for node in farm.nodes.values():
+            node.drop_replica_push_rate = 0.0
+        await drain_pushes()
+        sweeps_a, under_a = await _restore_replication(
+            farm, tracked.values(), max_restore_sweeps
+        )
+        report["phases"]["drop"] = {
+            "pushes_dropped": sum(
+                n.replica_pushes_dropped for n in farm.nodes.values()
+            ),
+            "restore_sweeps": sweeps_a,
+            "under_replicated": under_a,
+        }
+        gates["drops_restored"] = not under_a
+
+        # -- phase B: one-way partition --------------------------------
+        # Peer traffic src->dst is blocked; client traffic is not, so
+        # availability must hold while replication silently degrades.
+        # Healing plus sweeps must close the gap.
+        names = sorted(farm.nodes)
+        src, dst = names[0], names[1]
+        farm.partition(src, dst)
+        for j in range(len(part_combos)):
+            await drive(len(combos) + j)
+        farm.heal(src, dst)
+        await drain_pushes()
+        sweeps_b, under_b = await _restore_replication(
+            farm, tracked.values(), max_restore_sweeps
+        )
+        report["phases"]["partition"] = {
+            "pair": [src, dst],
+            "restore_sweeps": sweeps_b,
+            "under_replicated": under_b,
+        }
+        gates["partition_restored"] = not under_b
+
+        # -- phase C: kill the primary mid-amend-stream ----------------
+        torus = {"kind": "torus", "width": 4}
+        open_pairs = [[i, (i + 1) % 16] for i in range(8)]
+        report["attempted"] += 1
+        reply = await client.amend(torus, pairs=open_pairs)
+        report["completed"] += 1
+        root = str(reply["root"])
+        chain = str(reply["digest"])
+        epoch = int(reply["epoch"])
+        lineage_ok = chain == root  # epoch 0 digest *is* the root
+
+        def rows(e: int) -> list[list[int]]:
+            return [[e % 16, (e + 5) % 16, 1, 3]]
+
+        async def step(e: int) -> bool:
+            """One epoch update, checked against the client-side chain."""
+            nonlocal chain, epoch, lineage_ok
+            add = rows(e)
+            report["attempted"] += 1
+            try:
+                reply = await client.amend(root=root, epoch=epoch, add=add)
+            except ServiceError as exc:
+                report["typed_failures"][exc.code] = (
+                    report["typed_failures"].get(exc.code, 0) + 1
+                )
+                return False
+            expect = amend_epoch_digest(
+                chain, parse_rows(add, what="add"), []
+            )
+            if str(reply["digest"]) != expect:
+                lineage_ok = False
+                report["corrupted"].append(
+                    {"request": f"amend-epoch-{e}",
+                     "digest": reply.get("digest")}
+                )
+            else:
+                report["completed"] += 1
+            chain = str(reply["digest"])
+            epoch = int(reply["epoch"])
+            return True
+
+        for e in range(amend_steps):
+            await step(e)
+        primary = farm.router.shard_map.owners(root)[0]
+        await drain_pushes()  # epoch artifacts + resume heads must land
+        await farm.kill_node(primary)
+        # Deterministic demote: drive the probe state machine by hand
+        # (suspect -> dead takes `suspect_after` consecutive failures).
+        for _ in range(farm.suspect_after):
+            await farm.router.probe_round()
+        demoted = primary not in farm.router.shard_map.nodes
+        stale_epoch = epoch
+        continued = await step(amend_steps)  # lands on the new owner
+        takeovers = sum(n.amend_takeovers for n in farm.nodes.values())
+        # Stale racer: replays the epoch the winner just consumed.  It
+        # must get a typed EpochConflict naming the winner's head --
+        # proof the stream did not fork or silently reset.
+        stale_typed = no_fork = False
+        report["attempted"] += 1
+        try:
+            await client.amend(root=root, epoch=stale_epoch, add=rows(99))
+        except EpochConflict as exc:
+            stale_typed = True
+            no_fork = (
+                exc.current_epoch == epoch and exc.current_digest == chain
+            )
+            report["completed"] += 1  # a typed refusal is the correct reply
+        except ServiceError as exc:
+            report["typed_failures"][exc.code] = (
+                report["typed_failures"].get(exc.code, 0) + 1
+            )
+        for e in range(amend_steps + 1, amend_steps + 3):
+            await step(e)
+        report["phases"]["amend_failover"] = {
+            "root": root,
+            "killed": primary,
+            "epoch": epoch,
+            "takeovers": takeovers,
+        }
+        gates["amend_primary_demoted"] = demoted
+        gates["amend_takeover"] = continued and takeovers >= 1
+        gates["amend_lineage_unbroken"] = lineage_ok
+        gates["stale_racer_typed"] = stale_typed
+        gates["no_fork"] = no_fork
+
+        # -- phase D: the dead node comes back -------------------------
+        # Fresh process on the original endpoint with an empty (or
+        # recovered) cache and a stale map: one probe round must
+        # rejoin it, and the targeted repair must leave it able to
+        # serve its owned digests without a router hop.
+        await farm.restart_node(primary)
+        await farm.router.probe_round()
+        rejoined = (
+            primary in farm.router.shard_map.nodes
+            and farm.router.rejoins >= 1
+        )
+        owned = [
+            (which, digest) for which, digest in sorted(tracked.items())
+            if primary in farm.router.shard_map.owners(digest)
+        ]
+        sweeps_d = 0
+        missing = [
+            d for _, d in owned
+            if d not in farm.nodes[primary].cache.digests()
+        ]
+        while missing and sweeps_d < max_restore_sweeps:
+            sweeps_d += 1
+            await _repair_all(farm)
+            missing = [
+                d for _, d in owned
+                if d not in farm.nodes[primary].cache.digests()
+            ]
+        direct_ok = False
+        if owned and not missing:
+            which = owned[0][0]
+            host, port = farm.nodes[primary].address
+            async with AsyncCompileClient(host, port, retry=None) as direct:
+                reply = await direct.request(
+                    {"op": "compile", **all_combos[which]}
+                )
+                direct_ok = (
+                    reply.get("cache") == "hit"
+                    and _reply_bytes(reply) == baseline[which]
+                )
+        report["phases"]["rejoin"] = {
+            "node": primary,
+            "owned_digests": len(owned),
+            "restore_sweeps": sweeps_d,
+            "missing_after": len(missing),
+        }
+        gates["rejoined"] = rejoined
+        gates["rejoin_direct_serve"] = direct_ok
+
+        # -- phase E: the router itself dies ---------------------------
+        # The router is stateless: a replacement on the same port,
+        # seeded with the stale v1 map, must converge through the skew
+        # machinery on the first request.  Snapshot the dying router's
+        # counters first -- the replacement starts from zero.
+        report["router"] = {
+            "failovers": farm.router.failovers,
+            "rejoins": farm.router.rejoins,
+            "probe_rounds": farm.router.probe_rounds,
+            "probe_demotions": farm.router.probe_demotions,
+            "map_version": farm.router.shard_map.version,
+        }
+        await farm.kill_router()
+        await farm.restart_router()
+        report["attempted"] += 1
+        router_ok = False
+        try:
+            async with AsyncCompileClient(
+                *farm.router_address, retry=None
+            ) as fresh:
+                reply = await fresh.request({"op": "compile", **combos[0]})
+            router_ok = _reply_bytes(reply) == baseline[0]
+            if router_ok:
+                report["completed"] += 1
+            else:
+                report["corrupted"].append(
+                    {"request": "router-restart",
+                     "digest": reply.get("digest")}
+                )
+        except ServiceError as exc:
+            report["typed_failures"][exc.code] = (
+                report["typed_failures"].get(exc.code, 0) + 1
+            )
+        gates["router_restart"] = router_ok
+
+        report["replication_stats"] = {
+            "pushed": sum(n.replicas_pushed for n in farm.nodes.values()),
+            "dropped": sum(
+                n.replica_pushes_dropped for n in farm.nodes.values()
+            ),
+            "retries": sum(
+                n.replica_push_retries for n in farm.nodes.values()
+            ),
+            "repaired": sum(
+                n.replicas_repaired for n in farm.nodes.values()
+            ),
+            "anti_entropy_rounds": sum(
+                n.anti_entropy_rounds for n in farm.nodes.values()
+            ),
+            "amend_takeovers": sum(
+                n.amend_takeovers for n in farm.nodes.values()
+            ),
+        }
+        report["router"]["restarted_map_version"] = (
+            farm.router.shard_map.version
+        )
+    finally:
+        await client.close()
+        await farm.shutdown()
+
+    gates["no_corruption"] = not report["corrupted"]
+    gates["no_untyped_failures"] = not report["untyped_failures"]
+    report["availability"] = (
+        report["completed"] / report["attempted"] if report["attempted"]
+        else 0.0
+    )
+    report["restore_sweeps"] = max(sweeps_a, sweeps_b, sweeps_d)
+    report["gates"] = gates
+    report["ok"] = all(gates.values())
+    return report
+
+
+def run_farm_ha_campaign(
+    requests: int = 60,
+    *,
+    nodes: int = 3,
+    replication: int = 2,
+    seed: int = 0,
+    cache_dir: str | Path | None = None,
+    drop_rate: float = 0.5,
+    max_restore_sweeps: int = 3,
+    amend_steps: int = 6,
+) -> dict[str, Any]:
+    """High-availability chaos: the farm must heal everything it loses.
+
+    Five scripted phases against an in-process farm -- silent replica-
+    push loss, a one-way peer partition, kill-the-primary mid-amend-
+    stream, restart-and-rejoin of the dead node, and a router
+    kill/restart -- each gated on the byte-identical-or-typed-error
+    invariant plus its own recovery criterion: replication factor R
+    restored within ``max_restore_sweeps`` anti-entropy sweeps, the
+    amend stream continued on the new owner with an unbroken client-
+    verified epoch digest chain (a stale racer gets a typed
+    :class:`~repro.service.errors.EpochConflict` naming the winning
+    head, never a fork), the rejoined node serving its owned digests
+    without a router hop, and the replacement router converging from
+    a stale map.  ``ok`` is the conjunction of every gate; the report's
+    ``availability`` is the fraction of scored requests that completed
+    (a typed refusal of a stale amend counts as correct service).
+    """
+    return asyncio.run(_run_farm_ha_campaign_async(
+        requests,
+        nodes=nodes,
+        replication=replication,
+        seed=seed,
+        cache_dir=cache_dir,
+        drop_rate=drop_rate,
+        max_restore_sweeps=max_restore_sweeps,
+        amend_steps=amend_steps,
+    ))

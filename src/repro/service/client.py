@@ -73,11 +73,16 @@ __all__ = [
     "request_digest",
 ]
 
-#: Verbs safe to replay: read-only, or content-addressed (``compile``).
+#: Verbs safe to replay: read-only, or content-addressed (``compile``),
+#: or convergent (``repair`` -- an anti-entropy sweep run twice settles
+#: on the same replica set; ``digests`` is a read-only inventory).
 #: ``amend`` is deliberately absent -- replaying an epoch update would
 #: apply it twice; the server's epoch check turns a blind replay into a
 #: typed :class:`~repro.service.errors.EpochConflict` instead.
-IDEMPOTENT_OPS = frozenset({"ping", "stats", "health", "ready", "compile"})
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "stats", "health", "ready", "compile", "shardmap",
+     "digests", "repair"}
+)
 
 
 def _amend_request(

@@ -102,17 +102,28 @@ class TransportError(ServiceError, ConnectionError):
 class EpochConflict(ServiceError):
     """An amend targeted a stale epoch (optimistic concurrency failure).
 
-    The reply carries ``current_epoch``; the caller must rebase its
+    The reply carries ``current_epoch`` and ``current_digest`` (the
+    digest the stream is actually at); the caller must rebase its
     update onto the current schedule and resend against that epoch.
+    ``current_digest`` lets a caller racing a failover distinguish "I
+    lost the race" (the digest extends the chain it knows) from a fork
+    (it does not) without another round trip.
     Not retryable as-is -- replaying the identical request loses again.
     """
 
     code = "epoch_conflict"
     exit_code = EX_TEMPFAIL
 
-    def __init__(self, message: str = "amend epoch conflict", *, current_epoch: int = 0):
+    def __init__(
+        self,
+        message: str = "amend epoch conflict",
+        *,
+        current_epoch: int = 0,
+        current_digest: str = "",
+    ):
         super().__init__(message)
         self.current_epoch = int(current_epoch)
+        self.current_digest = str(current_digest)
 
 
 class WrongShard(ServiceError):
@@ -173,11 +184,14 @@ def error_fields(exc: BaseException) -> dict[str, Any]:
             "retry_after": exc.retry_after,
         }
     if isinstance(exc, EpochConflict):
-        return {
+        out = {
             "error": str(exc) or exc.code,
             "error_type": exc.code,
             "current_epoch": exc.current_epoch,
         }
+        if exc.current_digest:
+            out["current_digest"] = exc.current_digest
+        return out
     if isinstance(exc, WrongShard):
         out: dict[str, Any] = {
             "error": str(exc) or exc.code,
@@ -210,7 +224,9 @@ def reply_error(reply: dict[str, Any]) -> ServiceError:
         return Overloaded(message, retry_after=float(reply.get("retry_after", 0.0)))
     if cls is EpochConflict:
         return EpochConflict(
-            message, current_epoch=int(reply.get("current_epoch", 0))
+            message,
+            current_epoch=int(reply.get("current_epoch", 0)),
+            current_digest=str(reply.get("current_digest", "")),
         )
     if cls is WrongShard:
         return WrongShard(

@@ -59,15 +59,25 @@ Failure semantics
 Compiles are deterministic functions of their digest, so *losing every
 replica of an artifact is not a correctness event* -- the next request
 recompiles byte-identical content; replication only buys locality and
-latency.  The one stateful thing in the farm is an amend stream: it
-lives on its root's primary owner, and a primary that dies takes the
-stream's live engine with it.  Subsequent amends against that root get
-a typed error (``unknown amend root`` from the new primary), and the
-client re-opens -- landing on the new primary, which resumes from the
-latest *cached epoch artifact* when the cache survived (see
-:class:`~repro.service.amend.AmendRegistry`) or restarts the lineage
-at epoch 0 when it did not.  Nothing is ever silently wrong: every
-farm failure mode is a typed error or a byte-identical reply.
+latency.  Three self-healing loops keep the farm at full replication
+and membership without waiting for a request to trip over a failure:
+
+* the router's **health-probe loop** demotes a node that fails
+  ``suspect_after`` consecutive probes and *rejoins* a departed node
+  that answers alive-and-ready again (map bump + targeted ``repair``);
+* each node's **anti-entropy sweep** pulls peer digest inventories and
+  adopts -- hash + semantically re-verified, exactly like read repair
+  -- replicas of owned digests it is missing, so a lost
+  fire-and-forget push only leaves R unmet until the next sweep;
+* every **amend epoch is replicated with resume metadata** to the
+  root's co-owners: when a stream's primary dies, the new owner
+  rebuilds the live engine from the latest replicated epoch artifact
+  (:meth:`~repro.service.amend.AmendStream.resume`) and continues the
+  digest chain; a racing stale client gets a typed ``EpochConflict``
+  carrying the current epoch *and digest*, never a fork.
+
+Nothing is ever silently wrong: every farm failure mode is a typed
+error or a byte-identical reply.
 """
 
 from __future__ import annotations
@@ -76,11 +86,12 @@ import asyncio
 import bisect
 import hashlib
 import json
+import random
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.compiler.serialize import artifact_digest
-from repro.service.amend import amend_root_digest
+from repro.service.amend import AmendStream, amend_root_digest
 from repro.service.cache import ArtifactCache
 from repro.service.canonical import canonicalize
 from repro.service.client import (
@@ -101,7 +112,11 @@ from repro.service.errors import (
 )
 from repro.service.policy import MAX_LINE_BYTES, ServerPolicy, request_digest
 from repro.service.server import CompileServer, _parse_pattern
-from repro.service.specs import topology_from_spec
+from repro.service.specs import (
+    TopologySpecError,
+    topology_from_spec,
+    topology_to_spec,
+)
 
 __all__ = [
     "HashRing",
@@ -202,6 +217,17 @@ class ShardMap:
             version=self.version + 1, vnodes=self.vnodes,
         )
 
+    def with_node(self, name: str, endpoint: dict[str, Any]) -> "ShardMap":
+        """A successor map (version + 1) with ``name`` (re-)admitted."""
+        nodes = {k: dict(v) for k, v in self.nodes.items()}
+        nodes[str(name)] = {
+            "host": str(endpoint["host"]), "port": int(endpoint["port"]),
+        }
+        return ShardMap(
+            nodes, replication=self.replication,
+            version=self.version + 1, vnodes=self.vnodes,
+        )
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "version": self.version,
@@ -290,74 +316,102 @@ class FarmNodeServer(CompileServer):
 
     Extends the verb set with ``shardmap`` (read the node's map),
     ``reshard`` (adopt a newer map), ``fetch`` (read one artifact for a
-    peer) and ``store`` (accept one replica, hash-verified).  The
+    peer), ``store`` (accept one replica, hash + semantically
+    verified), ``digests`` (advertise the local inventory for
+    anti-entropy) and ``repair`` (force one anti-entropy sweep).  The
     inherited ``compile``/``amend`` verbs gain an ownership gate: a
     request whose route digest this node does not own is refused with
     :class:`WrongShard` so a stale client or router can never populate
     the wrong shard.
+
+    Self-healing: with ``anti_entropy_interval`` set the node
+    periodically pulls peer inventories and adopts replicas of the
+    digests *it* owns that it is missing -- closing the window a lost
+    fire-and-forget push leaves open.  Every epoch of an amend stream
+    is replicated to the root's other owners with resume metadata, so
+    a new primary can take the stream over after its old primary died
+    (:meth:`_maybe_takeover`).
+
+    Chaos hooks (injected by the harness, inert by default):
+    ``peer_filter(src, dst)`` false-returns simulate one-way network
+    partitions on every peer request; ``drop_replica_push_rate``
+    silently loses that fraction of replica pushes.
     """
 
     def __init__(
         self, *args: Any, name: str, shard_map: ShardMap,
-        peer_timeout: float = 10.0, **kwargs: Any,
+        peer_timeout: float = 10.0,
+        anti_entropy_interval: float | None = None,
+        push_retry_delay: float = 0.05,
+        peer_filter: Callable[[str, str], bool] | None = None,
+        drop_replica_push_rate: float = 0.0,
+        chaos_seed: int | None = None,
+        **kwargs: Any,
     ) -> None:
         super().__init__(*args, **kwargs)
         self.name = str(name)
         self.shard_map = shard_map
         self.peer_timeout = float(peer_timeout)
-        self._conns: set[asyncio.StreamWriter] = set()
+        self.anti_entropy_interval = (
+            float(anti_entropy_interval) if anti_entropy_interval else None
+        )
+        self.push_retry_delay = float(push_retry_delay)
+        self.peer_filter = peer_filter
+        self.drop_replica_push_rate = float(drop_replica_push_rate)
+        self._rng = random.Random(chaos_seed)
         self._repl_tasks: set[asyncio.Task] = set()
+        self._ae_task: asyncio.Task | None = None
+        self._sweep_lock = asyncio.Lock()
         self.wrong_shard = 0
         self.replicas_pushed = 0
         self.replicas_received = 0
         self.replica_push_failures = 0
+        self.replica_push_retries = 0
+        self.replica_pushes_dropped = 0
+        self.replicas_repaired = 0
+        self.anti_entropy_rounds = 0
+        self.amend_takeovers = 0
         self.read_repairs = 0
         self.read_repair_failures = 0
+        #: digest -> topology spec it was compiled for.  Artifact
+        #: documents carry only the topology *signature* (a string,
+        #: not invertible), so semantic re-verification of a replica
+        #: needs the spec carried out-of-band; this index feeds the
+        #: ``digests`` inventory and the ``store`` push payloads.
+        self._specs: dict[str, dict[str, Any]] = {}
+        #: amend root -> latest replicated head metadata (digest,
+        #: epoch, scheduler, kernel, topology_spec) -- what a takeover
+        #: resumes from.
+        self._amend_heads: dict[str, dict[str, Any]] = {}
         #: one-shot reuse of the ownership check's canonicalization by
         #: the inherited compile path (keyed by request identity).
         self._key_memo: dict[int, Any] = {}
 
     # -- lifecycle ------------------------------------------------------
-    async def _handle_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        # Track live connections so kill() can cut them abruptly -- a
-        # crashed node does not drain.
-        self._conns.add(writer)
-        try:
-            await super()._handle_client(reader, writer)
-        finally:
-            self._conns.discard(writer)
+    async def start(self) -> "FarmNodeServer":
+        await super().start()
+        if self.anti_entropy_interval:
+            self._ae_task = asyncio.ensure_future(self._anti_entropy_loop())
+        return self
+
+    async def _cancel_background(self, *, drain: bool) -> None:
+        if self._ae_task is not None:
+            self._ae_task.cancel()
+            await asyncio.gather(self._ae_task, return_exceptions=True)
+            self._ae_task = None
+        if not drain:
+            for task in list(self._repl_tasks):
+                task.cancel()
+        if self._repl_tasks:
+            await asyncio.gather(*self._repl_tasks, return_exceptions=True)
+            self._repl_tasks.clear()
 
     async def kill(self) -> None:
-        """Crash, don't drain: stop listening, cut every connection.
-
-        This is the chaos-harness faithful version of a node loss --
-        peers and the router see resets and half-finished frames, never
-        a goodbye.
-        """
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        for writer in list(self._conns):
-            transport = writer.transport
-            if transport is not None:
-                transport.abort()
-        for task in list(self._repl_tasks):
-            task.cancel()
-        if self._repl_tasks:
-            await asyncio.gather(*self._repl_tasks, return_exceptions=True)
-            self._repl_tasks.clear()
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-        self._shutdown.set()
+        await self._cancel_background(drain=False)
+        await super().kill()
 
     async def shutdown(self) -> None:
-        if self._repl_tasks:
-            await asyncio.gather(*self._repl_tasks, return_exceptions=True)
-            self._repl_tasks.clear()
+        await self._cancel_background(drain=True)
         await super().shutdown()
 
     # -- verbs ----------------------------------------------------------
@@ -372,6 +426,12 @@ class FarmNodeServer(CompileServer):
             return self._fetch(req)
         if op == "store":
             return self._store_replica(req)
+        if op == "digests":
+            return self._digests(req)
+        if op == "repair":
+            return self._reply(
+                req, op="repair", **await self._anti_entropy_sweep()
+            )
         if op in ("compile", "amend"):
             if op == "compile":
                 key = super()._compile_key(req)
@@ -396,9 +456,22 @@ class FarmNodeServer(CompileServer):
                     reply = await super()._handle_op(op, req)
                 finally:
                     self._key_memo.pop(id(req), None)
-                if reply.get("ok") and reply.get("cache") == "miss":
-                    self._spawn_replication(str(reply["digest"]), owners)
+                if reply.get("ok"):
+                    spec = req.get("topology")
+                    if isinstance(spec, dict):
+                        self._specs.setdefault(str(reply["digest"]), dict(spec))
+                    if reply.get("cache") == "miss":
+                        self._spawn_replication(str(reply["digest"]), owners)
                 return reply
+            # amend: this node is an owner.  If the stream's previous
+            # primary died, reconstruct it from the replicated epoch
+            # artifact *before* the registry is consulted.
+            if "root" in req:
+                self._maybe_takeover(str(req["root"]))
+            reply = await super()._handle_op(op, req)
+            if reply.get("ok"):
+                self._replicate_amend_epoch(reply)
+            return reply
         return await super()._handle_op(op, req)
 
     def _compile_key(self, req: dict[str, Any]):
@@ -435,17 +508,156 @@ class FarmNodeServer(CompileServer):
             raise ProtocolError("store request needs 'digest' and 'artifact'")
         if artifact_digest(doc) != req.get("payload_sha256"):
             raise ProtocolError("store payload integrity check failed")
+        spec = req.get("topology_spec")
+        if isinstance(spec, dict):
+            # Same bar as read repair: hash proves transport integrity,
+            # the semantic check proves the artifact is a valid
+            # conflict-free schedule *for the topology it claims*.  A
+            # lying spec fails the signature cross-check inside
+            # verify_artifact.
+            try:
+                artifact_verifier(topology_from_spec(spec))(doc)
+            except Exception as exc:
+                raise ProtocolError(
+                    f"replica failed semantic verification: {exc}"
+                ) from None
+            self._specs[digest] = dict(spec)
         self.cache.put(digest, doc)
         self.replicas_received += 1
+        head = req.get("amend_head")
+        if isinstance(head, dict):
+            self._adopt_head(head)
         return self._reply(req, op="store", digest=digest, stored=True)
 
+    def _digests(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Local inventory for anti-entropy: digest, payload hash, and
+        (when known) the topology spec a puller needs to re-verify."""
+        inventory: list[dict[str, Any]] = []
+        for digest in sorted(self.cache.digests()):
+            doc = self.cache.peek(digest)
+            if doc is None:
+                continue
+            entry: dict[str, Any] = {
+                "digest": digest, "payload_sha256": artifact_digest(doc),
+            }
+            spec = self._specs.get(digest)
+            if spec is not None:
+                entry["topology_spec"] = spec
+            lineage = doc.get("lineage")
+            if isinstance(lineage, dict):
+                # Amend epochs place on their stream's *root*.
+                entry["root"] = str(lineage.get("root", ""))
+            inventory.append(entry)
+        return self._reply(
+            req, op="digests", inventory=inventory,
+            amend_heads={r: dict(h) for r, h in self._amend_heads.items()},
+        )
+
+    # -- amend failover -------------------------------------------------
+    def _adopt_head(self, head: dict[str, Any]) -> None:
+        """Track the newest known epoch of a replicated amend stream."""
+        try:
+            root = str(head["root"])
+            epoch = int(head["epoch"])
+            digest = str(head["digest"])
+        except (KeyError, TypeError, ValueError):
+            return
+        if not root or not digest:
+            return
+        current = self._amend_heads.get(root)
+        if current is not None and int(current["epoch"]) >= epoch:
+            return
+        self._amend_heads[root] = {
+            "root": root, "epoch": epoch, "digest": digest,
+            "scheduler": str(
+                head.get("scheduler") or self.service.default_scheduler
+            ),
+            "kernel": head.get("kernel"),
+            "topology_spec": head.get("topology_spec"),
+        }
+
+    def _maybe_takeover(self, root: str) -> None:
+        """Resume a replicated amend stream this node now owns.
+
+        Runs when an amend update names a root the local registry has
+        never served (the old primary died).  The replicated head
+        metadata points at the latest epoch artifact; the stream is
+        rebuilt through :meth:`AmendStream.resume` -- which re-routes
+        and re-validates the stored schedule -- and adopted into the
+        registry, continuing the stored lineage.  Epoch optimistic
+        concurrency then works exactly as before the failover: a stale
+        racer gets a typed ``EpochConflict``, never a fork.
+        """
+        if self.amends.knows(root):
+            return  # live, or tombstoned for the registry's own resume
+        head = self._amend_heads.get(root)
+        if head is None:
+            return
+        spec = head.get("topology_spec")
+        if not isinstance(spec, dict):
+            return
+        doc = self.cache.get(head["digest"])
+        if doc is None or not isinstance(doc.get("lineage"), dict):
+            return
+        try:
+            stream = AmendStream.resume(
+                topology_from_spec(spec), doc,
+                scheduler=head["scheduler"], kernel=head["kernel"],
+                cache=self.cache,
+            )
+        except Exception:
+            return  # unresumable artifact: the registry's typed
+            #         "unknown amend root" answer stands
+        if stream.root != root or stream.digest != head["digest"]:
+            return  # head metadata does not match the artifact's lineage
+        self.amends.adopt(stream)
+        self.amend_takeovers += 1
+
+    def _replicate_amend_epoch(self, reply: dict[str, Any]) -> None:
+        """Push the new epoch artifact + resume metadata to co-owners.
+
+        Called after every successful amend (open and update): the
+        stream's current epoch artifact is replicated to the other
+        owners of the *root* (streams place by root, not by epoch
+        digest) so any of them can take the stream over if this
+        primary dies.
+        """
+        root = str(reply.get("root") or "")
+        stream = self.amends.peek(root)
+        if stream is None:
+            return
+        try:
+            spec = topology_to_spec(stream.topology)
+        except TopologySpecError:
+            return  # unspeccable topology: stream stays primary-only
+        digest = str(stream.digest)
+        self._specs[digest] = spec
+        head = {
+            "root": root, "epoch": int(stream.epoch), "digest": digest,
+            "scheduler": stream.scheduler, "kernel": stream.kernel,
+            "topology_spec": spec,
+        }
+        self._adopt_head(head)
+        self._spawn_replication(
+            digest, self.shard_map.owners(root), spec=spec, amend_head=head,
+        )
+
     # -- replication / read-repair -------------------------------------
-    def _spawn_replication(self, digest: str, owners: list[str]) -> None:
+    def _spawn_replication(
+        self,
+        digest: str,
+        owners: list[str],
+        *,
+        spec: dict[str, Any] | None = None,
+        amend_head: dict[str, Any] | None = None,
+    ) -> None:
         """Push a freshly compiled artifact to the other owners.
 
         Fire-and-forget: replication buys locality, not correctness
         (compiles are deterministic), so a failed push is a counter,
-        never an error on the client's reply.
+        never an error on the client's reply.  The payload carries the
+        topology spec so receivers can verify semantically, and -- for
+        amend epochs -- the resume metadata a takeover needs.
         """
         doc = self.cache.get(digest)
         if doc is None:
@@ -454,6 +666,12 @@ class FarmNodeServer(CompileServer):
             "op": "store", "digest": digest, "artifact": doc,
             "payload_sha256": artifact_digest(doc),
         }
+        if spec is None:
+            spec = self._specs.get(digest)
+        if spec is not None:
+            payload["topology_spec"] = spec
+        if amend_head is not None:
+            payload["amend_head"] = amend_head
         for peer in owners:
             if peer == self.name or peer not in self.shard_map.nodes:
                 continue
@@ -462,11 +680,31 @@ class FarmNodeServer(CompileServer):
             task.add_done_callback(self._repl_tasks.discard)
 
     async def _push_replica(self, peer: str, payload: dict[str, Any]) -> None:
-        try:
-            await self._peer_request(peer, payload)
-            self.replicas_pushed += 1
-        except ServiceError:
+        """One replica push: a single bounded retry (with jitter) before
+        giving up, so one transient peer hiccup does not leave R unmet
+        until the next anti-entropy sweep."""
+        if (
+            self.drop_replica_push_rate
+            and self._rng.random() < self.drop_replica_push_rate
+        ):
+            # Injected chaos: the push is lost in transit, silently --
+            # exactly the failure mode anti-entropy exists to repair.
+            self.replica_pushes_dropped += 1
             self.replica_push_failures += 1
+            return
+        for attempt in (0, 1):
+            try:
+                await self._peer_request(peer, payload)
+                self.replicas_pushed += 1
+                return
+            except ServiceError:
+                if attempt:
+                    self.replica_push_failures += 1
+                    return
+                self.replica_push_retries += 1
+                await asyncio.sleep(
+                    self.push_retry_delay * (0.5 + self._rng.random())
+                )
 
     async def _read_repair(
         self, req: dict[str, Any], digest: str, owners: list[str]
@@ -509,13 +747,122 @@ class FarmNodeServer(CompileServer):
                 self.read_repair_failures += 1
                 continue
             self.cache.put(digest, doc)
+            self._specs.setdefault(digest, dict(req["topology"]))
             self.read_repairs += 1
             return
+
+    # -- anti-entropy ---------------------------------------------------
+    async def _anti_entropy_loop(self) -> None:
+        assert self.anti_entropy_interval is not None
+        try:
+            while True:
+                await asyncio.sleep(self.anti_entropy_interval)
+                try:
+                    await self._anti_entropy_sweep()
+                except Exception:  # noqa: BLE001 - the loop must survive
+                    pass
+        except asyncio.CancelledError:
+            pass
+
+    async def _anti_entropy_sweep(self) -> dict[str, Any]:
+        """One pull round: adopt owned-but-missing replicas from peers.
+
+        For every peer inventory entry whose placement key (the lineage
+        root for amend epochs, the digest itself otherwise) this node
+        owns, a local miss -- or a payload-hash mismatch -- triggers a
+        fetch that is hash + semantically re-verified exactly like read
+        repair before adoption.  Entries without a known topology spec
+        are never adopted blind.  Amend head metadata rides along so a
+        future takeover has resume state even when the head push itself
+        was lost.
+        """
+        async with self._sweep_lock:
+            self.anti_entropy_rounds += 1
+            repaired = failures = 0
+            for peer in list(self.shard_map.nodes):
+                if peer == self.name:
+                    continue
+                try:
+                    reply = await self._peer_request(peer, {"op": "digests"})
+                except ServiceError:
+                    failures += 1
+                    continue
+                heads = reply.get("amend_heads")
+                if isinstance(heads, dict):
+                    for head in heads.values():
+                        if isinstance(head, dict):
+                            self._adopt_head(head)
+                for entry in reply.get("inventory") or ():
+                    if not isinstance(entry, dict):
+                        continue
+                    digest = str(entry.get("digest") or "")
+                    remote_hash = entry.get("payload_sha256")
+                    if not digest or not isinstance(remote_hash, str):
+                        continue
+                    owner_key = str(entry.get("root") or digest)
+                    if self.name not in self.shard_map.owners(owner_key):
+                        continue
+                    local = self.cache.peek(digest)
+                    if local is not None and artifact_digest(local) == remote_hash:
+                        continue
+                    spec = entry.get("topology_spec") or self._specs.get(digest)
+                    if not isinstance(spec, dict):
+                        continue
+                    outcome = await self._repair_from(peer, digest, spec, local)
+                    if outcome is True:
+                        repaired += 1
+                    elif outcome is False:
+                        failures += 1
+            self.replicas_repaired += repaired
+            return {
+                "repaired": repaired,
+                "failures": failures,
+                "rounds": self.anti_entropy_rounds,
+            }
+
+    async def _repair_from(
+        self,
+        peer: str,
+        digest: str,
+        spec: dict[str, Any],
+        local: dict[str, Any] | None,
+    ) -> bool | None:
+        """Fetch + verify + adopt one replica (True/False/None=skipped)."""
+        try:
+            reply = await self._peer_request(
+                peer, {"op": "fetch", "digest": digest}
+            )
+        except ServiceError:
+            return False
+        doc = reply.get("artifact")
+        if not isinstance(doc, dict):
+            return None  # the peer lost it between inventory and fetch
+        try:
+            if artifact_digest(doc) != reply.get("payload_sha256"):
+                raise ProtocolError("replica hash mismatch")
+            artifact_verifier(topology_from_spec(spec))(doc)
+        except Exception:
+            return False
+        if local is not None and not (
+            "registers" in doc and "registers" not in local
+        ):
+            # Both copies verified but hashes differ: the one
+            # legitimate cause is the in-place registers upgrade (same
+            # digest, superset document).  Anything else keeps the
+            # local copy -- adopting would just flap between replicas.
+            return None
+        self.cache.put(digest, doc)
+        self._specs[digest] = dict(spec)
+        return True
 
     async def _peer_request(
         self, peer: str, payload: dict[str, Any]
     ) -> dict[str, Any]:
         """One request/reply round trip to a peer node (fresh conn)."""
+        if self.peer_filter is not None and not self.peer_filter(self.name, peer):
+            raise TransportError(
+                f"peer {peer!r} unreachable from {self.name!r}: partitioned"
+            )
         host, port = self.shard_map.endpoint(peer)
         try:
             reader, writer = await asyncio.open_connection(
@@ -565,9 +912,20 @@ class FarmNodeServer(CompileServer):
             "replicas_pushed": self.replicas_pushed,
             "replicas_received": self.replicas_received,
             "replica_push_failures": self.replica_push_failures,
+            "replica_push_retries": self.replica_push_retries,
+            "replica_pushes_dropped": self.replica_pushes_dropped,
+            "replicas_repaired": self.replicas_repaired,
+            "anti_entropy_rounds": self.anti_entropy_rounds,
+            "amend_takeovers": self.amend_takeovers,
+            "amend_heads": len(self._amend_heads),
             "read_repairs": self.read_repairs,
             "read_repair_failures": self.read_repair_failures,
         }
+        return out
+
+    def _health(self) -> dict[str, Any]:
+        out = super()._health()
+        out["farm"] = {"name": self.name, "map_version": self.shard_map.version}
         return out
 
 
@@ -590,6 +948,16 @@ class ShardRouter:
     owner.  A ``wrong_shard`` reply from a node with an *older* map
     gets the router's map pushed and one retry -- the router is the
     authority, nodes converge to it.
+
+    With ``probe_interval`` set the router also probes **actively**: a
+    background loop sends ``health`` to every member; ``suspect_after``
+    consecutive probe failures demote the node (dead nodes are detected
+    even when no request happens to hit them).  Demoted and departed
+    nodes keep being probed at their last known endpoint, and a node
+    that answers alive-and-ready again is **rejoined**: re-admitted
+    under a bumped map that is pushed farm-wide, then told to ``repair``
+    -- one targeted anti-entropy sweep that pulls every artifact the
+    new map assigns to it.
     """
 
     def __init__(
@@ -602,6 +970,10 @@ class ShardRouter:
         node_timeout: float = 120.0,
         max_attempts: int = 6,
         pool_idle: int = 8,
+        probe_interval: float | None = None,
+        probe_timeout: float = 1.0,
+        suspect_after: int = 2,
+        rejoin: bool = True,
     ) -> None:
         self.shard_map = shard_map
         self.host, self.port = host, port
@@ -609,15 +981,30 @@ class ShardRouter:
         self.node_timeout = float(node_timeout)
         self.max_attempts = int(max_attempts)
         self.pool_idle = int(pool_idle)
+        self.probe_interval = float(probe_interval) if probe_interval else None
+        self.probe_timeout = float(probe_timeout)
+        self.suspect_after = max(1, int(suspect_after))
+        self.rejoin = bool(rejoin)
         self._server: asyncio.AbstractServer | None = None
         self._pools: dict[
             str, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]
         ] = {}
         self._demote_lock = asyncio.Lock()
+        self._probe_task: asyncio.Task | None = None
+        #: name -> consecutive probe-failure count (the suspect state).
+        self._suspect: dict[str, int] = {}
+        #: name -> last known endpoint of nodes no longer in the map --
+        #: fed by every demotion and skew adoption, drained by rejoin.
+        self._departed: dict[str, dict[str, Any]] = {}
         self.requests_served = 0
         self.forwarded = 0
         self.rerouted = 0
         self.failovers = 0
+        self.probe_rounds = 0
+        self.probes_sent = 0
+        self.probe_failures = 0
+        self.probe_demotions = 0
+        self.rejoins = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -629,9 +1016,15 @@ class ShardRouter:
             self._handle_client, host=self.host, port=self.port,
             limit=MAX_LINE_BYTES,
         )
+        if self.probe_interval:
+            self._probe_task = asyncio.ensure_future(self._probe_loop())
         return self
 
     async def stop(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            await asyncio.gather(self._probe_task, return_exceptions=True)
+            self._probe_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -760,24 +1153,148 @@ class ShardRouter:
                     except ProtocolError:
                         new = None
                     if new is not None and new.version > self.shard_map.version:
-                        self.shard_map = new
+                        self._adopt_map(new)
                         continue
                 await self._push_map(target)
                 continue
             return reply_line
         raise last_error
 
+    # -- membership -----------------------------------------------------
+    def _adopt_map(self, new: ShardMap) -> None:
+        """Switch maps, retiring state of every removed node.
+
+        Used by *every* membership change -- demote, rejoin, and skew
+        adoption in :meth:`_forward` -- so a node leaving the map can
+        never leave idle pooled connections open until process exit.
+        Removed nodes keep their last known endpoint in ``_departed``
+        so the probe loop can offer them rejoin.
+        """
+        removed = set(self.shard_map.nodes) - set(new.nodes)
+        for name in removed:
+            self._departed.setdefault(name, dict(self.shard_map.nodes[name]))
+            self._suspect.pop(name, None)
+            for _, writer in self._pools.pop(name, []):
+                writer.close()
+        self.shard_map = new
+
     async def _demote(self, name: str) -> None:
         """A node died on us: remove it, bump the map, reshard the rest."""
         async with self._demote_lock:
             if name not in self.shard_map.nodes:
                 return  # a concurrent request already demoted it
-            self.shard_map = self.shard_map.without(name)
+            self._adopt_map(self.shard_map.without(name))
             self.failovers += 1
-            for _, writer in self._pools.pop(name, []):
-                writer.close()
             for peer in list(self.shard_map.nodes):
                 await self._push_map(peer)
+
+    async def _rejoin(self, name: str, endpoint: dict[str, Any]) -> None:
+        """Re-admit a probed-alive departed node.
+
+        Map bump first (pushed farm-wide, including to the rejoined
+        node, whose own stale map loses the version race), then one
+        targeted ``repair``: the node pulls every artifact the new map
+        assigns to it, restoring replication factor for its key ranges
+        without waiting for a periodic sweep.
+        """
+        async with self._demote_lock:
+            if name in self.shard_map.nodes:
+                return
+            self._adopt_map(self.shard_map.with_node(name, endpoint))
+            self._departed.pop(name, None)
+            self._suspect.pop(name, None)
+            self.rejoins += 1
+        for peer in list(self.shard_map.nodes):
+            await self._push_map(peer)
+        try:
+            await self._node_request_raw(name, b'{"op": "repair"}\n')
+        except ServiceError:
+            pass  # the node's own anti-entropy loop will catch it up
+
+    # -- active health probing ------------------------------------------
+    async def _probe_loop(self) -> None:
+        assert self.probe_interval is not None
+        try:
+            while True:
+                await asyncio.sleep(self.probe_interval)
+                try:
+                    await self.probe_round()
+                except Exception:  # noqa: BLE001 - the loop must survive
+                    pass
+        except asyncio.CancelledError:
+            pass
+
+    async def probe_round(self) -> dict[str, Any]:
+        """One membership pass: probe members, then offer rejoins.
+
+        A member failing ``suspect_after`` consecutive probes is
+        demoted -- the suspect state tolerates one dropped probe
+        without churning the map.  Departed nodes are probed at their
+        last known endpoint; alive **and ready** gets them rejoined
+        (a draining node answers health ok but not ready, and must not
+        be re-admitted).
+        """
+        self.probe_rounds += 1
+        for name in list(self.shard_map.nodes):
+            try:
+                host, port = self.shard_map.endpoint(name)
+            except KeyError:
+                continue  # demoted by a concurrent request mid-round
+            self.probes_sent += 1
+            alive, _ready = await self._probe_endpoint(host, port)
+            if alive:
+                self._suspect.pop(name, None)
+                continue
+            self.probe_failures += 1
+            count = self._suspect.get(name, 0) + 1
+            self._suspect[name] = count
+            if count >= self.suspect_after:
+                self.probe_demotions += 1
+                await self._demote(name)
+        if self.rejoin:
+            for name, endpoint in list(self._departed.items()):
+                if name in self.shard_map.nodes:
+                    self._departed.pop(name, None)
+                    continue
+                self.probes_sent += 1
+                alive, ready = await self._probe_endpoint(
+                    str(endpoint["host"]), int(endpoint["port"])
+                )
+                if alive and ready:
+                    await self._rejoin(name, endpoint)
+        return {
+            "suspect": dict(self._suspect),
+            "departed": sorted(self._departed),
+        }
+
+    async def _probe_endpoint(self, host: str, port: int) -> tuple[bool, bool]:
+        """One ``health`` probe -> ``(alive, ready)``.  Never raises."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=MAX_LINE_BYTES),
+                timeout=self.probe_timeout,
+            )
+        except (OSError, asyncio.TimeoutError, TimeoutError):
+            return False, False
+        try:
+            writer.write(b'{"op": "health"}\n')
+            await writer.drain()
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.probe_timeout
+            )
+            reply = json.loads(line)
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                return False, False
+            return True, bool(reply.get("ready"))
+        except (asyncio.TimeoutError, TimeoutError, ConnectionResetError,
+                BrokenPipeError, OSError, ValueError):
+            return False, False
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
 
     async def _push_map(self, name: str) -> None:
         """Best-effort ``reshard`` push; a dead target demotes on use."""
@@ -864,6 +1381,14 @@ class ShardRouter:
                 k: v for k, v in reply.items()
                 if k not in ("id", "ok", "op", "idem")
             }
+        farm_docs = [
+            doc["farm"] for doc in per_node.values()
+            if isinstance(doc.get("farm"), dict)
+        ]
+
+        def _total(field: str) -> int:
+            return sum(int(d.get(field, 0) or 0) for d in farm_docs)
+
         out = {
             "nodes": per_node,
             "farm": sum_stats(list(per_node.values())),
@@ -875,6 +1400,27 @@ class ShardRouter:
                 "failovers": self.failovers,
                 "map_version": self.shard_map.version,
                 "live_nodes": len(self.shard_map.nodes),
+                "probe_rounds": self.probe_rounds,
+                "probes_sent": self.probes_sent,
+                "probe_failures": self.probe_failures,
+                "probe_demotions": self.probe_demotions,
+                "rejoins": self.rejoins,
+                "suspect": dict(self._suspect),
+                "departed": sorted(self._departed),
+            },
+            # Farm-wide replication posture in one block, so
+            # under-replication (push failures nobody retried) is
+            # visible without digging through per-node breakdowns.
+            "replication": {
+                "pushed": _total("replicas_pushed"),
+                "received": _total("replicas_received"),
+                "push_failures": _total("replica_push_failures"),
+                "push_retries": _total("replica_push_retries"),
+                "pushes_dropped": _total("replica_pushes_dropped"),
+                "repaired": _total("replicas_repaired"),
+                "anti_entropy_rounds": _total("anti_entropy_rounds"),
+                "read_repairs": _total("read_repairs"),
+                "amend_takeovers": _total("amend_takeovers"),
             },
             "shard_map": self.shard_map.as_dict(),
         }
@@ -1116,6 +1662,11 @@ class Farm:
         amend_streams: int | None = None,
         host: str = "127.0.0.1",
         node_timeout: float = 120.0,
+        anti_entropy_interval: float | None = None,
+        probe_interval: float | None = None,
+        probe_timeout: float = 1.0,
+        suspect_after: int = 2,
+        chaos_seed: int | None = None,
     ) -> None:
         if nodes < 1:
             raise ValueError(f"a farm needs at least one node, got {nodes}")
@@ -1128,9 +1679,65 @@ class Farm:
         self.amend_streams = amend_streams
         self.host = host
         self.node_timeout = float(node_timeout)
+        self.anti_entropy_interval = anti_entropy_interval
+        self.probe_interval = probe_interval
+        self.probe_timeout = float(probe_timeout)
+        self.suspect_after = int(suspect_after)
+        self.chaos_seed = chaos_seed
         self.nodes: dict[str, FarmNodeServer] = {}
         self.dead: dict[str, FarmNodeServer] = {}
         self.router: ShardRouter | None = None
+        #: original endpoint of every node ever started, so a killed
+        #: node can be restarted on the same address (rejoin scenario).
+        self.endpoints: dict[str, tuple[str, int]] = {}
+        #: one-way blocked (src, dst) node pairs (chaos partitions);
+        #: every node's ``peer_filter`` consults this shared table.
+        self.partitions: set[tuple[str, str]] = set()
+        self._router_endpoint: tuple[str, int] | None = None
+
+    # -- chaos: partitions ----------------------------------------------
+    def _peer_allowed(self, src: str, dst: str) -> bool:
+        return (src, dst) not in self.partitions
+
+    def partition(self, src: str, dst: str, *, both_ways: bool = False) -> None:
+        """Block peer traffic ``src -> dst`` (one-way by default)."""
+        self.partitions.add((src, dst))
+        if both_ways:
+            self.partitions.add((dst, src))
+
+    def heal(self, src: str | None = None, dst: str | None = None) -> None:
+        """Heal partitions: all, all touching ``src``, or one pair."""
+        if src is None:
+            self.partitions.clear()
+        elif dst is None:
+            self.partitions = {
+                p for p in self.partitions if src not in p
+            }
+        else:
+            self.partitions.discard((src, dst))
+
+    def _make_node(
+        self, name: str, index: int, shard_map: ShardMap, port: int
+    ) -> FarmNodeServer:
+        cache = ArtifactCache(
+            self.cache_dir / name if self.cache_dir is not None else None
+        )
+        return FarmNodeServer(
+            name=name,
+            shard_map=shard_map,
+            cache=cache,
+            workers=self.workers,
+            host=self.host,
+            port=port,
+            scheduler=self.scheduler,
+            policy=self.policy,
+            amend_streams=self.amend_streams,
+            anti_entropy_interval=self.anti_entropy_interval,
+            peer_filter=self._peer_allowed,
+            chaos_seed=(
+                None if self.chaos_seed is None else self.chaos_seed + index
+            ),
+        )
 
     async def start(self) -> "Farm":
         # Two-phase: bind every node on an ephemeral port first, then
@@ -1138,25 +1745,15 @@ class Farm:
         placeholder = ShardMap({}, replication=self.replication)
         for i in range(self.num_nodes):
             name = f"node{i}"
-            cache = ArtifactCache(
-                self.cache_dir / name if self.cache_dir is not None else None
-            )
-            node = FarmNodeServer(
-                name=name,
-                shard_map=placeholder,
-                cache=cache,
-                workers=self.workers,
-                host=self.host,
-                port=0,
-                scheduler=self.scheduler,
-                policy=self.policy,
-                amend_streams=self.amend_streams,
-            )
+            node = self._make_node(name, i, placeholder, port=0)
             await node.start()
             self.nodes[name] = node
         endpoints = {
             name: {"host": node.address[0], "port": node.address[1]}
             for name, node in self.nodes.items()
+        }
+        self.endpoints = {
+            name: (ep["host"], ep["port"]) for name, ep in endpoints.items()
         }
         shard_map = ShardMap(endpoints, replication=self.replication)
         for node in self.nodes.values():
@@ -1166,8 +1763,12 @@ class Farm:
             host=self.host,
             default_scheduler=self.scheduler,
             node_timeout=self.node_timeout,
+            probe_interval=self.probe_interval,
+            probe_timeout=self.probe_timeout,
+            suspect_after=self.suspect_after,
         )
         await self.router.start()
+        self._router_endpoint = tuple(self.router.address)
         return self
 
     @property
@@ -1188,6 +1789,62 @@ class Farm:
         self.dead[name] = node
         await node.kill()
         return node
+
+    async def restart_node(self, name: str) -> FarmNodeServer:
+        """Restart a killed node on its original endpoint.
+
+        The restart is process-death faithful: a disk-backed cache is
+        reopened (crash recovery runs), a memory-only cache comes back
+        *empty*, and the node carries the stale map it died with.
+        Nothing tells the router -- re-admission happens through the
+        probe loop's rejoin path, which is exactly what this method
+        exists to exercise.
+        """
+        old = self.dead.pop(name)
+        index = int(name.removeprefix("node")) if name.startswith("node") else 0
+        host, port = self.endpoints[name]
+        node = self._make_node(name, index, old.shard_map, port=port)
+        await node.start()
+        self.nodes[name] = node
+        return node
+
+    async def kill_router(self) -> None:
+        """Abruptly stop the router (chaos): in-flight requests die."""
+        assert self.router is not None, "farm not started"
+        router = self.router
+        self.router = None
+        await router.stop()
+
+    async def restart_router(self, shard_map: ShardMap | None = None) -> ShardRouter:
+        """Bring a fresh router up on the original port.
+
+        The router is stateless by design: the replacement starts from
+        the given map (default: the v1 map over every *original* node)
+        and converges through the usual skew machinery -- nodes with a
+        newer map hand it over on the first ``wrong_shard``, dead nodes
+        are re-demoted on first use or probe.
+        """
+        assert self._router_endpoint is not None, "farm not started"
+        if shard_map is None:
+            shard_map = ShardMap(
+                {
+                    name: {"host": host, "port": port}
+                    for name, (host, port) in self.endpoints.items()
+                },
+                replication=self.replication,
+            )
+        self.router = ShardRouter(
+            shard_map,
+            host=self.host,
+            port=self._router_endpoint[1],
+            default_scheduler=self.scheduler,
+            node_timeout=self.node_timeout,
+            probe_interval=self.probe_interval,
+            probe_timeout=self.probe_timeout,
+            suspect_after=self.suspect_after,
+        )
+        await self.router.start()
+        return self.router
 
     async def shutdown(self) -> None:
         if self.router is not None:

@@ -172,6 +172,7 @@ class CompileServer:
         self.policy = policy if policy is not None else ServerPolicy()
         self._server: asyncio.AbstractServer | None = None
         self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+        self._conns: set[asyncio.StreamWriter] = set()
         self._inflight: dict[str, asyncio.Future] = {}
         self._pending: set[asyncio.Future] = set()
         self._shutdown = asyncio.Event()
@@ -248,6 +249,26 @@ class CompileServer:
         finally:
             self._shutdown.set()
 
+    async def kill(self) -> None:
+        """Crash, don't drain: stop listening, cut every connection.
+
+        The chaos-harness faithful version of a process loss -- clients
+        and peers see resets and half-finished frames, never a goodbye.
+        In-flight work is abandoned, the worker pool is killed.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._conns):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._shutdown.set()
+
     async def _restart_workers(self) -> None:
         """Replace a pool with a hung worker (deadline enforcement).
 
@@ -288,6 +309,9 @@ class CompileServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Track live connections so kill() can cut them abruptly -- a
+        # crashed server does not drain.
+        self._conns.add(writer)
         try:
             while True:
                 try:
@@ -323,6 +347,7 @@ class CompileServer:
             # callback into callback-exception noise).
             pass
         finally:
+            self._conns.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -168,7 +168,7 @@ class TestAmendRegistry:
         assert reg.stats() == {
             "streams": 1, "max_streams": reg.max_streams,
             "opened": 1, "amends": 1, "conflicts": 1,
-            "evictions": 0, "resumes": 0, "resets": 0,
+            "evictions": 0, "resumes": 0, "resets": 0, "takeovers": 0,
         }
 
 

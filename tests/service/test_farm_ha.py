@@ -1,0 +1,468 @@
+"""Tests for the farm's self-healing layer: probe-loop membership,
+anti-entropy repair, amend-stream failover, and chaos partitions."""
+
+import asyncio
+
+import pytest
+
+from repro.service.amend import amend_epoch_digest, parse_rows
+from repro.service.client import AsyncCompileClient
+from repro.service.errors import EpochConflict
+from repro.service.farm import Farm, ShardMap, route_digest
+
+TORUS4 = {"kind": "torus", "width": 4}
+RING16 = {"pattern": "ring", "nodes": 16}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_farm(fn, **farm_kwargs):
+    farm_kwargs.setdefault("workers", 0)
+    farm = Farm(**farm_kwargs)
+    await farm.start()
+    try:
+        return await fn(farm)
+    finally:
+        await farm.shutdown()
+
+
+async def drain_pushes(farm):
+    """Fire-and-forget replica pushes must land before any audit."""
+    for node in list(farm.nodes.values()):
+        if node._repl_tasks:
+            await asyncio.gather(*node._repl_tasks, return_exceptions=True)
+
+
+# ----------------------------------------------------------------------
+# membership: with_node, reshard races
+# ----------------------------------------------------------------------
+
+class TestShardMapWithNode:
+    def test_with_node_bumps_version_and_readmits(self):
+        base = ShardMap(
+            {"node0": {"host": "127.0.0.1", "port": 1},
+             "node1": {"host": "127.0.0.1", "port": 2}},
+            replication=2, version=4,
+        )
+        smaller = base.without("node1")
+        back = smaller.with_node("node1", {"host": "127.0.0.1", "port": 2})
+        assert back.version == 6
+        assert set(back.nodes) == {"node0", "node1"}
+        # Same membership => same placement as the original ring.
+        assert back.owners("a" * 64) == base.owners("a" * 64)
+
+
+class TestReshardRace:
+    """Adopt-if-newer must converge on v+1 whichever order v and v+1
+    arrive, including when they arrive concurrently."""
+
+    def maps(self, farm):
+        base = farm.router.shard_map  # version 1
+        v2 = base.without("node2")
+        v3 = v2.with_node(
+            "node2",
+            {"host": farm.endpoints["node2"][0],
+             "port": farm.endpoints["node2"][1]},
+        )
+        assert v2.version == 2 and v3.version == 3
+        return v2, v3
+
+    def test_newer_then_stale(self):
+        async def go(farm):
+            v2, v3 = self.maps(farm)
+            node = farm.nodes["node0"]
+            async with AsyncCompileClient(*node.address, retry=None) as c:
+                first = await c.request(
+                    {"op": "reshard", "shard_map": v3.as_dict()}
+                )
+                second = await c.request(
+                    {"op": "reshard", "shard_map": v2.as_dict()}
+                )
+            assert first["adopted"] is True and first["version"] == 3
+            assert second["adopted"] is False and second["version"] == 3
+            assert node.shard_map.version == 3
+        run(with_farm(go, nodes=3, replication=2))
+
+    def test_stale_then_newer(self):
+        async def go(farm):
+            v2, v3 = self.maps(farm)
+            node = farm.nodes["node0"]
+            async with AsyncCompileClient(*node.address, retry=None) as c:
+                first = await c.request(
+                    {"op": "reshard", "shard_map": v2.as_dict()}
+                )
+                second = await c.request(
+                    {"op": "reshard", "shard_map": v3.as_dict()}
+                )
+            assert first["adopted"] is True and first["version"] == 2
+            assert second["adopted"] is True and second["version"] == 3
+            assert node.shard_map.version == 3
+        run(with_farm(go, nodes=3, replication=2))
+
+    def test_concurrent_pushes_converge(self):
+        async def go(farm):
+            v2, v3 = self.maps(farm)
+            node = farm.nodes["node0"]
+
+            async def push(m):
+                async with AsyncCompileClient(*node.address, retry=None) as c:
+                    return await c.request(
+                        {"op": "reshard", "shard_map": m.as_dict()}
+                    )
+
+            await asyncio.gather(push(v2), push(v3))
+            assert node.shard_map.version == 3
+        run(with_farm(go, nodes=3, replication=2))
+
+
+# ----------------------------------------------------------------------
+# replica push retry + failure surfacing (satellite)
+# ----------------------------------------------------------------------
+
+class TestPushRetry:
+    def test_partitioned_push_retries_then_fails_and_is_surfaced(self):
+        async def go(farm):
+            req = {"op": "compile", "topology": TORUS4, "pattern": RING16}
+            digest = route_digest(req)
+            first, second = farm.router.shard_map.owners(digest)
+            for node in farm.nodes.values():
+                node.push_retry_delay = 0.01
+            farm.partition(first, second)
+            async with AsyncCompileClient(
+                *farm.nodes[first].address, retry=None
+            ) as c:
+                reply = await c.request(dict(req))
+            assert reply["cache"] == "miss"
+            await drain_pushes(farm)
+            node = farm.nodes[first]
+            assert node.replica_push_retries == 1
+            assert node.replica_push_failures == 1
+            assert digest not in farm.nodes[second].cache
+            # Surfaced in the router's aggregated stats.
+            async with AsyncCompileClient(*farm.router_address) as c:
+                stats = await c.request({"op": "stats"})
+            repl = stats["replication"]
+            assert repl["push_retries"] == 1
+            assert repl["push_failures"] == 1
+            # Heal + one repair sweep on the starved owner closes R.
+            farm.heal()
+            async with AsyncCompileClient(
+                *farm.nodes[second].address, retry=None
+            ) as c:
+                swept = await c.request({"op": "repair"})
+            assert swept["repaired"] >= 1
+            assert digest in farm.nodes[second].cache
+        run(with_farm(go, nodes=3, replication=2))
+
+
+# ----------------------------------------------------------------------
+# router connection hygiene on membership change (satellite)
+# ----------------------------------------------------------------------
+
+class TestDemotePoolCleanup:
+    def test_adopt_map_closes_removed_nodes_pool(self):
+        async def go(farm):
+            router = farm.router
+            conn = await router._acquire("node1")
+            router._release("node1", conn)
+            assert router._pools.get("node1")
+            writer = router._pools["node1"][0][1]
+            await router._demote("node1")
+            assert "node1" not in router._pools
+            assert writer.is_closing()
+            # The departed node's endpoint is remembered for rejoin.
+            assert "node1" in router._departed
+        run(with_farm(go, nodes=3, replication=2))
+
+    def test_skew_adoption_also_retires_pools(self):
+        async def go(farm):
+            router = farm.router
+            conn = await router._acquire("node2")
+            router._release("node2", conn)
+            writer = router._pools["node2"][0][1]
+            newer = router.shard_map.without("node2")
+            router._adopt_map(newer)
+            assert "node2" not in router._pools
+            assert writer.is_closing()
+        run(with_farm(go, nodes=3, replication=2))
+
+
+# ----------------------------------------------------------------------
+# active health probing: suspect -> dead -> rejoin
+# ----------------------------------------------------------------------
+
+class TestProbeMembership:
+    def test_probe_demotes_after_suspect_threshold(self):
+        async def go(farm):
+            await farm.kill_node("node1")
+            state = await farm.router.probe_round()
+            # One failed probe: suspect, not yet dead.
+            assert state["suspect"].get("node1") == 1
+            assert "node1" in farm.router.shard_map.nodes
+            await farm.router.probe_round()
+            assert "node1" not in farm.router.shard_map.nodes
+            assert farm.router.probe_demotions == 1
+            assert farm.router.shard_map.version == 2
+            # Survivors were pushed the demoted map.
+            for node in farm.nodes.values():
+                assert node.shard_map.version == 2
+        run(with_farm(go, nodes=3, replication=2, probe_timeout=0.2))
+
+    def test_alive_node_recovers_from_suspicion(self):
+        async def go(farm):
+            router = farm.router
+            router._suspect["node0"] = 1  # one historic dropped probe
+            await router.probe_round()
+            assert router._suspect == {}
+            assert "node0" in router.shard_map.nodes
+        run(with_farm(go, nodes=3, replication=2, probe_timeout=0.2))
+
+    def test_restarted_node_rejoins_and_repairs(self):
+        async def go(farm):
+            # Seed an artifact and let replication land.
+            async with farm.client() as c:
+                reply = await c.compile(TORUS4, pattern=RING16)
+            digest = reply["digest"]
+            await drain_pushes(farm)
+            victim = farm.router.shard_map.owners(digest)[0]
+            await farm.kill_node(victim)
+            for _ in range(2):
+                await farm.router.probe_round()
+            assert victim not in farm.router.shard_map.nodes
+
+            # Fresh process, empty cache, stale map: one probe round
+            # must rejoin it and its targeted repair must restore the
+            # artifact it owns, without any client traffic.
+            await farm.restart_node(victim)
+            assert digest not in farm.nodes[victim].cache
+            await farm.router.probe_round()
+            assert victim in farm.router.shard_map.nodes
+            assert farm.router.rejoins == 1
+            assert farm.router.shard_map.version == 3
+            # All three nodes (rejoiner included) adopted the map.
+            for node in farm.nodes.values():
+                assert node.shard_map.version == 3
+            assert digest in farm.nodes[victim].cache
+            assert farm.nodes[victim].replicas_repaired >= 1
+
+            # And it serves its owned digest directly: no router hop.
+            req = {"op": "compile", "topology": TORUS4, "pattern": RING16}
+            async with AsyncCompileClient(
+                *farm.nodes[victim].address, retry=None
+            ) as c:
+                served = await c.request(dict(req))
+            assert served["cache"] == "hit"
+            assert served["digest"] == digest
+        run(with_farm(go, nodes=3, replication=2, probe_timeout=0.2))
+
+    def test_draining_node_is_not_rejoined(self):
+        async def go(farm):
+            router = farm.router
+            node = farm.nodes["node2"]
+            # Manufacture the departed state without killing the node,
+            # then make it unready: alive-but-draining must stay out.
+            await router._demote("node2")
+            node._shutdown.set()
+            await router.probe_round()
+            assert "node2" not in router.shard_map.nodes
+            assert router.rejoins == 0
+            assert "node2" in router._departed
+        run(with_farm(go, nodes=3, replication=2, probe_timeout=0.2))
+
+
+# ----------------------------------------------------------------------
+# anti-entropy: digests inventory + repair sweeps
+# ----------------------------------------------------------------------
+
+class TestAntiEntropy:
+    def test_digests_inventory_carries_spec_and_hash(self):
+        async def go(farm):
+            async with farm.client() as c:
+                reply = await c.compile(TORUS4, pattern=RING16)
+            digest = reply["digest"]
+            holder = next(
+                node for node in farm.nodes.values()
+                if digest in node.cache
+            )
+            async with AsyncCompileClient(*holder.address, retry=None) as c:
+                inv = await c.request({"op": "digests"})
+            entries = {e["digest"]: e for e in inv["inventory"]}
+            assert digest in entries
+            entry = entries[digest]
+            assert entry["payload_sha256"]
+            assert entry["topology_spec"] == TORUS4
+        run(with_farm(go, nodes=3, replication=2))
+
+    def test_repair_sweep_restores_dropped_replica(self):
+        async def go(farm):
+            for node in farm.nodes.values():
+                node.drop_replica_push_rate = 1.0  # every push lost
+            async with farm.client() as c:
+                reply = await c.compile(TORUS4, pattern=RING16)
+            digest = reply["digest"]
+            await drain_pushes(farm)
+            for node in farm.nodes.values():
+                node.drop_replica_push_rate = 0.0
+            owners = farm.router.shard_map.owners(digest)
+            starved = [
+                name for name in owners
+                if digest not in farm.nodes[name].cache
+            ]
+            assert len(starved) == 1  # the serving owner kept its copy
+            node = farm.nodes[starved[0]]
+            async with AsyncCompileClient(*node.address, retry=None) as c:
+                swept = await c.request({"op": "repair"})
+            assert swept["ok"] and swept["repaired"] == 1
+            assert digest in node.cache
+            assert node.replicas_repaired == 1
+            assert node.anti_entropy_rounds == 1
+            # Idempotent: a second sweep finds nothing missing.
+            async with AsyncCompileClient(*node.address, retry=None) as c:
+                again = await c.request({"op": "repair"})
+            assert again["repaired"] == 0
+        run(with_farm(go, nodes=3, replication=2, chaos_seed=7))
+
+    def test_sweep_never_adopts_unverifiable_artifact(self):
+        async def go(farm):
+            # A peer advertising a digest with no topology spec (e.g. a
+            # replica it adopted before specs existed) must be skipped,
+            # not adopted blind.
+            req = {"op": "compile", "topology": TORUS4, "pattern": RING16}
+            digest = route_digest(req)
+            first, second = farm.router.shard_map.owners(digest)
+            async with AsyncCompileClient(
+                *farm.nodes[first].address, retry=None
+            ) as c:
+                await c.request(dict(req))
+            await drain_pushes(farm)
+            farm.nodes[second].cache._memory.pop(digest, None)
+            farm.nodes[first]._specs.pop(digest, None)
+            farm.nodes[second]._specs.pop(digest, None)
+            async with AsyncCompileClient(
+                *farm.nodes[second].address, retry=None
+            ) as c:
+                swept = await c.request({"op": "repair"})
+            assert swept["repaired"] == 0
+            assert digest not in farm.nodes[second].cache
+        run(with_farm(go, nodes=3, replication=2))
+
+
+# ----------------------------------------------------------------------
+# amend-stream failover
+# ----------------------------------------------------------------------
+
+class TestAmendFailover:
+    PAIRS = [[i, (i + 1) % 16] for i in range(8)]
+
+    def test_takeover_continues_unbroken_chain(self):
+        async def go(farm):
+            client = farm.client()
+            await client.connect()
+            try:
+                opened = await client.amend(TORUS4, pairs=self.PAIRS)
+                root, chain = opened["root"], opened["digest"]
+                assert chain == root  # epoch 0 digest is the root
+                epoch = opened["epoch"]
+                for e in range(3):
+                    add = [[e, (e + 5) % 16, 1, 3]]
+                    reply = await client.amend(root=root, epoch=epoch, add=add)
+                    expect = amend_epoch_digest(
+                        chain, parse_rows(add, what="add"), []
+                    )
+                    assert reply["digest"] == expect
+                    chain, epoch = reply["digest"], reply["epoch"]
+
+                primary = farm.router.shard_map.owners(root)[0]
+                await drain_pushes(farm)  # heads must reach the replicas
+                await farm.kill_node(primary)
+                for _ in range(2):
+                    await farm.router.probe_round()
+                assert primary not in farm.router.shard_map.nodes
+
+                # The next amend lands on the new owner, which resumes
+                # the stream from the replicated head: same chain.
+                add = [[9, 2, 1, 3]]
+                reply = await client.amend(root=root, epoch=epoch, add=add)
+                expect = amend_epoch_digest(
+                    chain, parse_rows(add, what="add"), []
+                )
+                assert reply["digest"] == expect
+                stale_epoch, chain, epoch = (
+                    epoch, reply["digest"], reply["epoch"]
+                )
+                new_owner = farm.router.shard_map.owners(root)[0]
+                assert farm.nodes[new_owner].amend_takeovers == 1
+                assert farm.nodes[new_owner].amends.takeovers == 1
+
+                # A racer replaying the consumed epoch gets the typed
+                # conflict naming the winning head: no fork, no reset.
+                with pytest.raises(EpochConflict) as excinfo:
+                    await client.amend(
+                        root=root, epoch=stale_epoch, add=[[4, 11, 1, 3]]
+                    )
+                assert excinfo.value.current_epoch == epoch
+                assert excinfo.value.current_digest == chain
+
+                # And the stream keeps going on the survivor.
+                reply = await client.amend(
+                    root=root, epoch=epoch, add=[[5, 12, 1, 3]]
+                )
+                assert reply["epoch"] == epoch + 1
+            finally:
+                await client.close()
+        run(with_farm(go, nodes=3, replication=2, probe_timeout=0.2))
+
+
+# ----------------------------------------------------------------------
+# chaos partitions (Farm-level injection)
+# ----------------------------------------------------------------------
+
+class TestPartitions:
+    def test_one_way_partition_blocks_only_peer_traffic(self):
+        async def go(farm):
+            req = {"op": "compile", "topology": TORUS4, "pattern": RING16}
+            digest = route_digest(req)
+            first, second = farm.router.shard_map.owners(digest)
+            farm.partition(first, second)
+            assert not farm._peer_allowed(first, second)
+            assert farm._peer_allowed(second, first)  # one-way
+            # Client traffic (router -> node) is unaffected.
+            async with AsyncCompileClient(*farm.router_address) as c:
+                reply = await c.request(dict(req))
+            assert reply["ok"] and reply["digest"] == digest
+            farm.heal(first, second)
+            assert farm._peer_allowed(first, second)
+        run(with_farm(go, nodes=3, replication=2))
+
+    def test_heal_variants(self):
+        farm = Farm(3)
+        farm.partition("node0", "node1", both_ways=True)
+        farm.partition("node0", "node2")
+        farm.heal("node0", "node1")
+        assert farm.partitions == {("node1", "node0"), ("node0", "node2")}
+        farm.heal("node2")
+        assert farm.partitions == {("node1", "node0")}
+        farm.heal()
+        assert farm.partitions == set()
+
+
+# ----------------------------------------------------------------------
+# the scripted HA campaign (small, deterministic)
+# ----------------------------------------------------------------------
+
+class TestHaCampaign:
+    def test_all_gates_hold(self):
+        from repro.service.chaos import run_farm_ha_campaign
+
+        report = run_farm_ha_campaign(
+            16, nodes=3, replication=2, seed=11, amend_steps=3,
+        )
+        assert report["ok"], report["gates"]
+        assert report["corrupted"] == []
+        assert report["untyped_failures"] == []
+        assert report["availability"] == 1.0
+        assert report["restore_sweeps"] <= 3
+        assert report["replication_stats"]["amend_takeovers"] >= 1
+        assert report["router"]["rejoins"] >= 1
