@@ -147,6 +147,7 @@ RULES: dict[str, tuple[str, Callable[[float, float], bool]]] = {
     "max_failed": ("failed", lambda v, lim: v <= lim),
     "min_availability": ("availability", lambda v, lim: v >= lim),
     "max_restore_sweeps": ("restore_sweeps", lambda v, lim: v <= lim),
+    "max_promote_seconds": ("promote_seconds", lambda v, lim: v <= lim),
     "max_corrupt": ("corrupt", lambda v, lim: v <= lim),
     "max_gates_failed": ("gates_failed", lambda v, lim: v <= lim),
 }
@@ -689,14 +690,17 @@ def run_farm_case(params: dict) -> dict[str, object]:
 def run_ha_case(params: dict) -> dict[str, object]:
     """Farm self-healing under a scripted kill/rejoin schedule.
 
-    Runs the five-phase HA chaos campaign (replica-push loss, one-way
-    partition, kill-primary-mid-amend-stream, rejoin, router restart)
+    Runs the seven-phase HA chaos campaign (replica-push loss, one-way
+    partition, kill-primary-mid-amend-stream, rejoin, router restart,
+    leader-router kill against an HA pair, graceful drain under load)
     and reports ``availability`` (fraction of scored requests answered
     correctly -- a typed refusal of a stale amend counts as correct
     service), ``restore_sweeps`` (worst-case anti-entropy sweeps to
     return every tracked digest to replication factor R), ``corrupt``
-    (gates at zero: a wrong-bytes reply is never acceptable) and
-    ``gates_failed`` (the campaign's own pass/fail conjuncts).
+    (gates at zero: a wrong-bytes reply is never acceptable),
+    ``promote_seconds`` (measured standby-promotion time after the
+    leader kill) and ``gates_failed`` (the campaign's own pass/fail
+    conjuncts).
     """
     from repro.service.chaos import run_farm_ha_campaign
 
@@ -725,6 +729,12 @@ def run_ha_case(params: dict) -> dict[str, object]:
         "repaired": report["replication_stats"]["repaired"],
         "amend_takeovers": report["replication_stats"]["amend_takeovers"],
         "rejoins": report["router"]["rejoins"],
+        "promote_seconds": report["promote_seconds"],
+        "drain_handoffs": report["replication_stats"]["drain_handoffs"],
+        "drain_adoptions": report["replication_stats"]["drain_adoptions"],
+        "drain_repush_retries": (
+            report["replication_stats"]["drain_repush_retries"]
+        ),
         "seconds": elapsed,
     }
 

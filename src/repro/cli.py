@@ -223,6 +223,15 @@ def _print_trace(args) -> None:
     )
 
 
+def _parse_endpoints(spec: str) -> list[tuple[str, int]]:
+    """``host:p1,host:p2`` -> endpoint list (host defaults to loopback)."""
+    endpoints = []
+    for part in spec.split(","):
+        host, _, port = part.strip().rpartition(":")
+        endpoints.append((host or "127.0.0.1", int(port)))
+    return endpoints
+
+
 def _compile_artifact(args) -> None:
     from repro.compiler.recognition import recognize
     from repro.compiler.serialize import save_artifact, schedule_from_dict
@@ -230,6 +239,28 @@ def _compile_artifact(args) -> None:
     from repro.topology.torus import Torus2D
 
     topo = Torus2D(args.width, args.height)
+    if args.routers:
+        # Remote compile through the farm's router endpoint list: the
+        # client rotates to a surviving router on any transport failure.
+        from repro.service.client import CompileClient
+
+        topology = {"kind": "torus", "width": args.width,
+                    "height": args.height}
+        with CompileClient(endpoints=_parse_endpoints(args.routers)) as cc:
+            reply = cc.compile(
+                topology, pattern=json.loads(args.spec),
+                scheduler=args.algorithm,
+            )
+        print(
+            f"compiled remotely via {args.routers} "
+            f"({args.algorithm}, cache {reply.get('cache', '?')}, "
+            f"{cc.failovers} router failover(s))"
+        )
+        if args.output:
+            schedule, _ = schedule_from_dict(topo, reply["schedule"])
+            save_artifact(args.output, topo, schedule, name=args.spec)
+            print(f"wrote {args.output}")
+        return
     requests = recognize(json.loads(args.spec))
     cache = ArtifactCache(args.cache) if args.cache else None
     result = compile_pattern(
@@ -605,6 +636,16 @@ def _print_farm_ha(args) -> None:
         ("rejoin", phases["rejoin"]["node"],
          f"{phases['rejoin']['owned_digests']} owned digests, "
          f"{phases['rejoin']['missing_after']} still missing"),
+        ("leader promote", phases["promote"]["promoted_router"],
+         f"{phases['promote']['promote_seconds']:.2f}s to epoch "
+         f"{phases['promote']['epoch']}, stale pushes fenced "
+         f"{phases['promote']['node_stale_epoch_rejections']}x"),
+        ("graceful drain", phases["drain"]["node"],
+         f"{phases['drain']['streams_handed_off']} streams handed off, "
+         f"{phases['drain']['adoptions']} adopted, "
+         f"{phases['drain']['replicas_repushed']} replicas repushed "
+         f"({phases['drain']['repush_retries']} retries), "
+         f"{len(phases['drain']['under_replicated'])} under-replicated"),
         ("anti-entropy", repl["repaired"],
          f"repaired over {repl['anti_entropy_rounds']} rounds; "
          f"push retries {repl['retries']}"),
@@ -617,7 +658,7 @@ def _print_farm_ha(args) -> None:
         rows,
         title=(
             f"Farm HA campaign: drop/partition/kill-primary/rejoin/"
-            f"router-restart (seed {args.seed}) -- "
+            f"router-restart/leader-kill/drain (seed {args.seed}) -- "
             + ("ALL GATES HOLD" if report["ok"] else "GATE VIOLATED")
         ),
     ))
@@ -982,6 +1023,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="artifact cache directory (reused across runs)")
     pc.add_argument("--width", type=int, default=8)
     pc.add_argument("--height", type=int, default=8)
+    pc.add_argument("--routers", default=None, metavar="HOST:P1,HOST:P2",
+                    help="compile remotely via a farm router endpoint "
+                         "list (fails over to a surviving router)")
     pc.set_defaults(fn=_compile_artifact)
 
     pv = sub.add_parser("serve", help="run the batch compile server")

@@ -422,6 +422,15 @@ class AmendRegistry:
         """The live stream for ``root``, if any (no LRU touch, no resume)."""
         return self._streams.get(root)
 
+    def live_roots(self) -> list[str]:
+        """Roots with a *live* stream, LRU-oldest first (no touch).
+
+        What a graceful drain iterates: every stream that would be
+        lost with the node, in a stable order, without perturbing the
+        LRU state mid-handoff.
+        """
+        return list(self._streams)
+
     def knows(self, root: str) -> bool:
         """True when the registry can answer for ``root`` by itself --
         the stream is live or tombstoned for its own resume path."""

@@ -34,6 +34,7 @@ import random
 import signal
 import subprocess
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -692,6 +693,351 @@ async def _restore_replication(
     return sweeps, under
 
 
+async def _run_router_ha_phases(
+    report: dict[str, Any],
+    gates: dict[str, bool],
+    baseline: list[str],
+    all_combos: list[dict[str, Any]],
+    *,
+    nodes: int,
+    replication: int,
+    seed: int,
+) -> None:
+    """Phases F and G: router HA pair promotion + graceful drain.
+
+    Runs against a fresh two-router farm (lease-arbitrated leadership)
+    so the earlier single-router phases keep their exact semantics.
+    Phase F kills the *leader* router mid-campaign: the standby must
+    promote within the lease timeout, bump the map epoch, and keep the
+    endpoint-list clients serving byte-identical replies; the deposed
+    leader's late (higher-version, lower-epoch) map push must be
+    refused with a typed ``stale_epoch`` by both a node and the
+    promoted standby.  Phase G drains the primary of a live amend
+    stream that also uniquely owns artifacts: concurrent warm readers
+    must see zero typed errors, the stream must continue on the new
+    owner through proactive adoption (``amend_takeovers`` unchanged),
+    and every uniquely-owned artifact must land on all successor
+    owners.
+    """
+    from repro.service.amend import amend_epoch_digest, parse_rows
+    from repro.service.errors import StaleEpoch, WrongShard
+    from repro.service.farm import AsyncFarmClient, Farm, ShardMap
+
+    ha = Farm(
+        nodes, replication=replication, workers=0,
+        policy=ServerPolicy(max_pending=64, retry_after=0.05),
+        routers=2, lease_ttl=0.6, lease_interval=0.15,
+        chaos_seed=seed ^ 0x51AB,
+    )
+    await ha.start()
+    endpoints = ha.router_addresses
+    client = ha.client()
+    tracked: dict[int, str] = {}
+
+    async def drive(cl: AsyncFarmClient, which: int) -> bool:
+        report["attempted"] += 1
+        try:
+            reply = await cl.request({"op": "compile", **all_combos[which]})
+        except ServiceError as exc:
+            report["typed_failures"][exc.code] = (
+                report["typed_failures"].get(exc.code, 0) + 1
+            )
+            return False
+        except Exception as exc:  # noqa: BLE001 - the invariant itself
+            report["untyped_failures"].append(repr(exc))
+            return False
+        if _reply_bytes(reply) == baseline[which]:
+            report["completed"] += 1
+            tracked[which] = str(reply["digest"])
+            return True
+        report["corrupted"].append(
+            {"request": f"ha-{which}", "digest": reply.get("digest")}
+        )
+        return False
+
+    async def settle_pushes() -> None:
+        for node in list(ha.nodes.values()):
+            if node._repl_tasks:
+                await asyncio.gather(
+                    *node._repl_tasks, return_exceptions=True
+                )
+
+    try:
+        await client.connect()
+
+        # -- phase F: kill the *leader* router mid-campaign ------------
+        # Warm-up traffic with every replica push silently dropped, so
+        # each artifact stays uniquely owned by the node that compiled
+        # it -- the inventory phase G's drain re-replication must save.
+        for node in ha.nodes.values():
+            node.drop_replica_push_rate = 1.0
+        for which in range(6):
+            await drive(client, which)
+        for node in ha.nodes.values():
+            node.drop_replica_push_rate = 0.0
+
+        leader = ha.leader
+        assert leader is not None
+        standby = next(r for r in ha.routers.values() if r is not leader)
+        deposed_map = leader.shard_map
+        t0 = time.monotonic()
+        await ha.kill_router()  # SIGKILL-equivalent: no goodbye, no handoff
+        deadline = t0 + 10 * ha.lease_ttl
+        while not standby.is_leader and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        promote_seconds = time.monotonic() - t0
+        promoted = (
+            standby.is_leader
+            and standby.shard_map.epoch == deposed_map.epoch + 1
+        )
+
+        # Mid-promotion traffic from a *fresh* client handed the full
+        # endpoint list: its first connect hits the dead leader and
+        # must rotate to the survivor transparently.
+        served = True
+        fresh = AsyncFarmClient(endpoints, default_scheduler=ha.scheduler)
+        try:
+            await fresh.connect()
+            for which in range(6, 10):
+                served = await drive(fresh, which) and served
+        finally:
+            await fresh.close()
+
+        # The deposed leader's late map push: higher version, lower
+        # epoch.  Both a node and the promoted standby must answer
+        # with the typed stale_epoch -- version count buys it nothing.
+        stale = ShardMap.from_dict({
+            **deposed_map.as_dict(),
+            "version": standby.shard_map.version + 10,
+        })
+        node0 = next(iter(ha.nodes.values()))
+        fenced_by_node = fenced_by_standby = False
+        report["attempted"] += 1
+        try:
+            host, port = node0.address
+            async with AsyncCompileClient(host, port, retry=None) as direct:
+                await direct.request(
+                    {"op": "reshard", "shard_map": stale.as_dict()}
+                )
+        except StaleEpoch as exc:
+            fenced_by_node = exc.current_epoch == standby.shard_map.epoch
+            report["completed"] += 1  # the typed refusal is the contract
+        except ServiceError as exc:
+            report["typed_failures"][exc.code] = (
+                report["typed_failures"].get(exc.code, 0) + 1
+            )
+        dead_leader = ha.dead_routers[leader.name]
+        dead_leader.shard_map = stale
+        report["attempted"] += 1
+        try:
+            await dead_leader.push_map_peer(*standby.address)
+        except StaleEpoch:
+            fenced_by_standby = True
+            report["completed"] += 1
+        except ServiceError as exc:
+            report["typed_failures"][exc.code] = (
+                report["typed_failures"].get(exc.code, 0) + 1
+            )
+        report["phases"]["promote"] = {
+            "killed_router": leader.name,
+            "promoted_router": standby.name,
+            "promote_seconds": round(promote_seconds, 3),
+            "epoch": standby.shard_map.epoch,
+            "promotions": standby.promotions,
+            "node_stale_epoch_rejections": sum(
+                n.stale_epoch_rejections for n in ha.nodes.values()
+            ),
+        }
+        report["promote_seconds"] = round(promote_seconds, 3)
+        gates["standby_promoted"] = promoted
+        gates["promote_within_lease"] = promote_seconds <= 5 * ha.lease_ttl
+        gates["deposed_push_fenced"] = fenced_by_node and fenced_by_standby
+        gates["router_failover_served"] = served
+
+        # -- phase G: graceful drain under load ------------------------
+        torus = {"kind": "torus", "width": 4}
+        open_pairs = [[i, (i + 3) % 16] for i in range(8)]
+        report["attempted"] += 1
+        reply = await client.amend(torus, pairs=open_pairs)
+        report["completed"] += 1
+        root = str(reply["root"])
+        chain = str(reply["digest"])
+        epoch = int(reply["epoch"])
+        lineage_ok = chain == root
+
+        async def step(e: int) -> bool:
+            """One epoch update checked against the client-side chain."""
+            nonlocal chain, epoch, lineage_ok
+            add = [[e % 16, (e + 7) % 16, 1, 2]]
+            report["attempted"] += 1
+            try:
+                reply = await client.amend(root=root, epoch=epoch, add=add)
+            except ServiceError as exc:
+                report["typed_failures"][exc.code] = (
+                    report["typed_failures"].get(exc.code, 0) + 1
+                )
+                return False
+            expect = amend_epoch_digest(
+                chain, parse_rows(add, what="add"), []
+            )
+            if str(reply["digest"]) != expect:
+                lineage_ok = False
+                report["corrupted"].append(
+                    {"request": f"ha-amend-{e}",
+                     "digest": reply.get("digest")}
+                )
+            else:
+                report["completed"] += 1
+            chain = str(reply["digest"])
+            epoch = int(reply["epoch"])
+            return True
+
+        for e in range(4):
+            await step(e)
+        await settle_pushes()  # epoch artifacts + resume heads must land
+
+        assert ha.leader is not None
+        target = ha.leader.shard_map.owners(root)[0]
+        target_node = ha.nodes[target]
+        live_streams = len(target_node.amends.live_roots())
+
+        def uniquely_owned() -> list[str]:
+            return [
+                d for d in set(tracked.values())
+                if d in target_node.cache.digests()
+                and not any(
+                    d in other.cache.digests()
+                    for name, other in ha.nodes.items() if name != target
+                )
+            ]
+
+        # The drain target must uniquely own at least one artifact; if
+        # the warm-up spread missed it, compile extra seeded patterns
+        # directly against it (pushes still dropped = unique by
+        # construction).  Setup traffic, not scored.
+        unique = uniquely_owned()
+        if not unique:
+            target_node.drop_replica_push_rate = 1.0
+            host, port = target_node.address
+            async with AsyncCompileClient(host, port, retry=None) as direct:
+                for combo in _farm_extra_combos(seed ^ 0xD0A1, count=10):
+                    try:
+                        reply = await direct.request(
+                            {"op": "compile", **combo}
+                        )
+                    except WrongShard:
+                        continue  # not this node's shard: try the next
+                    tracked[len(all_combos) + len(tracked)] = str(
+                        reply["digest"]
+                    )
+                    break
+            target_node.drop_replica_push_rate = 0.0
+            unique = uniquely_owned()
+        target_held = sorted(
+            set(tracked.values()) & set(target_node.cache.digests())
+        )
+        takeovers_before = sum(
+            n.amend_takeovers for n in ha.nodes.values()
+        )
+
+        # Concurrent warm readers on their own connections: zero typed
+        # errors allowed anywhere in the drain window.
+        warm_whiches = sorted(tracked)[:4]
+        warm_errors: list[str] = []
+        warm_stop = asyncio.Event()
+
+        async def warm_reader() -> None:
+            warm = ha.client()
+            try:
+                await warm.connect()
+                i = 0
+                while not warm_stop.is_set():
+                    which = warm_whiches[i % len(warm_whiches)]
+                    i += 1
+                    if which >= len(all_combos):
+                        continue  # setup-only digest: no scored combo
+                    report["attempted"] += 1
+                    try:
+                        reply = await warm.request(
+                            {"op": "compile", **all_combos[which]}
+                        )
+                    except ServiceError as exc:
+                        warm_errors.append(exc.code)
+                        report["typed_failures"][exc.code] = (
+                            report["typed_failures"].get(exc.code, 0) + 1
+                        )
+                        continue
+                    if _reply_bytes(reply) == baseline[which]:
+                        report["completed"] += 1
+                    else:
+                        report["corrupted"].append(
+                            {"request": f"warm-{which}",
+                             "digest": reply.get("digest")}
+                        )
+                    await asyncio.sleep(0)
+            finally:
+                await warm.close()
+
+        reader = asyncio.create_task(warm_reader())
+        await asyncio.sleep(0.02)
+        drain_task = asyncio.create_task(ha.drain_node(target))
+        await asyncio.sleep(0.01)
+        # An amend racing the drain: it parks on the draining primary
+        # until the handoff lands, then follows the typed redirect to
+        # the *already adopted* stream -- no epoch lost, no takeover.
+        racing_ok = await step(4)
+        await drain_task
+        warm_stop.set()
+        await reader
+
+        post_drain_ok = await step(5)  # first clean post-drain amend
+        for e in range(6, 8):
+            await step(e)
+        takeovers_after = sum(
+            n.amend_takeovers for n in ha.nodes.values()
+        )
+        adoptions = sum(n.drain_adoptions for n in ha.nodes.values())
+        smap = ha.leader.shard_map
+        under_drain = [
+            d for d in target_held
+            if any(
+                d not in ha.nodes[o].cache.digests()
+                for o in smap.owners(d)
+            )
+        ]
+        drained_node = ha.drained[target]
+        report["phases"]["drain"] = {
+            "node": target,
+            "live_streams": live_streams,
+            "unique_artifacts": len(unique),
+            "streams_handed_off": drained_node.drain_handoffs,
+            "adoptions": adoptions,
+            "replicas_repushed": drained_node.drain_repushes,
+            "repush_retries": ha.leader.drain_repush_retries,
+            "warm_typed_errors": warm_errors,
+            "under_replicated": under_drain,
+        }
+        gates["drain_scenario_armed"] = live_streams >= 1 and len(unique) >= 1
+        gates["drain_zero_typed_errors"] = not warm_errors
+        gates["drain_stream_adopted"] = (
+            racing_ok and post_drain_ok and adoptions >= 1
+            and takeovers_after == takeovers_before
+        )
+        gates["drain_replication_closed"] = not under_drain
+        gates["drain_lineage_unbroken"] = lineage_ok
+
+        report["replication_stats"]["drain_handoffs"] = (
+            drained_node.drain_handoffs
+        )
+        report["replication_stats"]["drain_adoptions"] = adoptions
+        report["replication_stats"]["drain_repush_retries"] = (
+            ha.leader.drain_repush_retries
+        )
+    finally:
+        await client.close()
+        await ha.shutdown()
+
+
 async def _run_farm_ha_campaign_async(
     requests: int,
     *,
@@ -1019,6 +1365,15 @@ async def _run_farm_ha_campaign_async(
         await client.close()
         await farm.shutdown()
 
+    # -- phases F + G: router HA pair + graceful drain -----------------
+    # A fresh two-router farm (short lease so promotion is observable
+    # in test time): leader kill -> standby promotion under epoch
+    # fencing, then a graceful drain of a loaded primary.
+    await _run_router_ha_phases(
+        report, gates, baseline, all_combos,
+        nodes=nodes, replication=replication, seed=seed,
+    )
+
     gates["no_corruption"] = not report["corrupted"]
     gates["no_untyped_failures"] = not report["untyped_failures"]
     report["availability"] = (
@@ -1044,20 +1399,28 @@ def run_farm_ha_campaign(
 ) -> dict[str, Any]:
     """High-availability chaos: the farm must heal everything it loses.
 
-    Five scripted phases against an in-process farm -- silent replica-
-    push loss, a one-way peer partition, kill-the-primary mid-amend-
-    stream, restart-and-rejoin of the dead node, and a router
-    kill/restart -- each gated on the byte-identical-or-typed-error
-    invariant plus its own recovery criterion: replication factor R
-    restored within ``max_restore_sweeps`` anti-entropy sweeps, the
-    amend stream continued on the new owner with an unbroken client-
-    verified epoch digest chain (a stale racer gets a typed
-    :class:`~repro.service.errors.EpochConflict` naming the winning
-    head, never a fork), the rejoined node serving its owned digests
-    without a router hop, and the replacement router converging from
-    a stale map.  ``ok`` is the conjunction of every gate; the report's
-    ``availability`` is the fraction of scored requests that completed
-    (a typed refusal of a stale amend counts as correct service).
+    Seven scripted phases -- silent replica-push loss, a one-way peer
+    partition, kill-the-primary mid-amend-stream, restart-and-rejoin
+    of the dead node, and a router kill/restart against an in-process
+    farm, then a leader-router kill and a graceful drain against a
+    two-router HA farm -- each gated on the byte-identical-or-typed-
+    error invariant plus its own recovery criterion: replication
+    factor R restored within ``max_restore_sweeps`` anti-entropy
+    sweeps, the amend stream continued on the new owner with an
+    unbroken client-verified epoch digest chain (a stale racer gets a
+    typed :class:`~repro.service.errors.EpochConflict` naming the
+    winning head, never a fork), the rejoined node serving its owned
+    digests without a router hop, the replacement router converging
+    from a stale map, the standby promoting within the lease timeout
+    with the deposed leader's late map push fenced by a typed
+    :class:`~repro.service.errors.StaleEpoch`, and a loaded node
+    draining with zero typed errors for warm readers, its amend
+    streams proactively adopted, and its uniquely-owned artifacts
+    re-replicated.  ``ok`` is the conjunction of every gate; the
+    report's ``availability`` is the fraction of scored requests that
+    completed (a typed refusal of a stale amend counts as correct
+    service) and ``promote_seconds`` is the measured leader-failover
+    time.
     """
     return asyncio.run(_run_farm_ha_campaign_async(
         requests,

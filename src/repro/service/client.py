@@ -194,6 +194,36 @@ class _ResilientBase:
         self.breaker = breaker
         #: lifetime retries this client performed.
         self.retries = 0
+        #: lifetime endpoint rotations (router HA failovers).
+        self.failovers = 0
+
+    def _init_endpoints(
+        self,
+        host: str,
+        port: int,
+        endpoints: list[tuple[str, int]] | None,
+    ) -> None:
+        """Fix the endpoint rotation: ``endpoints`` (a router HA list)
+        wins over the single ``host``/``port`` pair."""
+        self.endpoints: list[tuple[str, int]] = [
+            (str(h), int(p)) for h, p in (endpoints or [(host, port)])
+        ]
+        self._endpoint_index = 0
+        self.host, self.port = self.endpoints[0]
+
+    def _rotate_endpoint(self) -> None:
+        """Aim the next connect at the next endpoint in the list.
+
+        Called on every transport/timeout failure: an idempotent retry
+        lands on the survivor immediately; a non-retryable op (amend)
+        still surfaces its typed error, but the *next* request fails
+        over instead of hammering the dead endpoint.
+        """
+        if len(self.endpoints) <= 1:
+            return
+        self._endpoint_index = (self._endpoint_index + 1) % len(self.endpoints)
+        self.host, self.port = self.endpoints[self._endpoint_index]
+        self.failovers += 1
 
     def _admit(self) -> None:
         """Breaker gate; counts fast-fails into the perf counters."""
@@ -242,27 +272,37 @@ class AsyncCompileClient(_ResilientBase):
         timeout: float | None = None,
         retry: RetryPolicy | None = RetryPolicy(),
         breaker: CircuitBreaker | None = None,
+        endpoints: list[tuple[str, int]] | None = None,
     ) -> None:
         super().__init__(retry, breaker)
-        self.host, self.port, self.socket_path = host, port, socket_path
+        self._init_endpoints(host, port, endpoints)
+        self.socket_path = socket_path
         self.timeout = timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._next_id = 0
 
     async def connect(self) -> "AsyncCompileClient":
-        try:
-            if self.socket_path is not None:
-                self._reader, self._writer = await asyncio.open_unix_connection(
-                    self.socket_path, limit=MAX_LINE_BYTES
-                )
-            else:
-                self._reader, self._writer = await asyncio.open_connection(
-                    self.host, self.port, limit=MAX_LINE_BYTES
-                )
-        except OSError as exc:
-            raise TransportError(f"connect failed: {exc}") from exc
-        return self
+        last: TransportError | None = None
+        for _ in range(len(self.endpoints)):
+            try:
+                if self.socket_path is not None:
+                    self._reader, self._writer = (
+                        await asyncio.open_unix_connection(
+                            self.socket_path, limit=MAX_LINE_BYTES
+                        )
+                    )
+                else:
+                    self._reader, self._writer = await asyncio.open_connection(
+                        self.host, self.port, limit=MAX_LINE_BYTES
+                    )
+                return self
+            except OSError as exc:
+                last = TransportError(f"connect failed: {exc}")
+                last.__cause__ = exc
+                self._rotate_endpoint()
+        assert last is not None
+        raise last
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -315,6 +355,9 @@ class AsyncCompileClient(_ResilientBase):
                 reply = await self._request_once(req)
             except ServiceError as exc:
                 self._record(exc)
+                if isinstance(exc, (TransportError, ServiceTimeout)):
+                    await self.close()
+                    self._rotate_endpoint()
                 pause = self._plan_retry(req, exc, attempt, slept)
                 if pause is None:
                     raise
@@ -407,31 +450,43 @@ class CompileClient(_ResilientBase):
         timeout: float | None = 60.0,
         retry: RetryPolicy | None = RetryPolicy(),
         breaker: CircuitBreaker | None = None,
+        endpoints: list[tuple[str, int]] | None = None,
     ) -> None:
         super().__init__(retry, breaker)
-        self.host, self.port, self.socket_path = host, port, socket_path
+        self._init_endpoints(host, port, endpoints)
+        self.socket_path = socket_path
         self.timeout = timeout
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
 
     def connect(self) -> "CompileClient":
-        try:
-            if self.socket_path is not None:
-                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.settimeout(self.timeout)
-                sock.connect(self.socket_path)
-            else:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
-                )
-        except socket.timeout as exc:
-            raise ServiceTimeout(f"connect timed out: {exc}") from exc
-        except OSError as exc:
-            raise TransportError(f"connect failed: {exc}") from exc
-        self._sock = sock
-        self._file = sock.makefile("rb")
-        return self
+        last: ServiceError | None = None
+        for _ in range(len(self.endpoints)):
+            try:
+                if self.socket_path is not None:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(self.socket_path)
+                else:
+                    sock = socket.create_connection(
+                        (self.host, self.port), timeout=self.timeout
+                    )
+            except socket.timeout as exc:
+                last = ServiceTimeout(f"connect timed out: {exc}")
+                last.__cause__ = exc
+                self._rotate_endpoint()
+                continue
+            except OSError as exc:
+                last = TransportError(f"connect failed: {exc}")
+                last.__cause__ = exc
+                self._rotate_endpoint()
+                continue
+            self._sock = sock
+            self._file = sock.makefile("rb")
+            return self
+        assert last is not None
+        raise last
 
     def wait_until_ready(self, deadline: float = 10.0, interval: float = 0.05) -> "CompileClient":
         """Connect, retrying until the server is accepting or ``deadline``.
@@ -496,6 +551,9 @@ class CompileClient(_ResilientBase):
                 reply = self._request_once(req)
             except ServiceError as exc:
                 self._record(exc)
+                if isinstance(exc, (TransportError, ServiceTimeout)):
+                    self.close()
+                    self._rotate_endpoint()
                 pause = self._plan_retry(req, exc, attempt, slept)
                 if pause is None:
                     raise

@@ -18,6 +18,7 @@ class                     code            exit code
 :class:`CircuitOpen`      circuit_open    75
 :class:`EpochConflict`    epoch_conflict  75
 :class:`WrongShard`       wrong_shard     75
+:class:`StaleEpoch`       stale_epoch     75
 ========================  ==============  =========
 
 :class:`ServiceTimeout` also subclasses the builtin ``TimeoutError``
@@ -151,6 +152,33 @@ class WrongShard(ServiceError):
         self.owners = list(owners) if owners is not None else []
 
 
+class StaleEpoch(ServiceError):
+    """A map push (or drain) carried a deposed leader's epoch.
+
+    The shard map's fencing token is ``(epoch, version)`` -- the leader
+    incarnation epoch dominates the version -- so a deposed leader that
+    keeps bumping its own map version can never overwrite the map a
+    promoted standby published under a higher epoch.  The reply carries
+    the receiver's ``current_epoch``/``current_version`` so the sender
+    can prove to itself it was deposed.  Not retryable: replaying the
+    same stale map loses again, by design.
+    """
+
+    code = "stale_epoch"
+    exit_code = EX_TEMPFAIL
+
+    def __init__(
+        self,
+        message: str = "shard map epoch is stale (deposed leader)",
+        *,
+        current_epoch: int = 0,
+        current_version: int = 0,
+    ):
+        super().__init__(message)
+        self.current_epoch = int(current_epoch)
+        self.current_version = int(current_version)
+
+
 class CircuitOpen(ServiceError):
     """The client's circuit breaker is open: fast-fail without I/O."""
 
@@ -164,7 +192,7 @@ CODE_TO_ERROR: dict[str, type[ServiceError]] = {
     for cls in (
         ServiceError, ServerError, ProtocolError, ServiceTimeout,
         Overloaded, TransportError, CircuitOpen, EpochConflict,
-        WrongShard,
+        WrongShard, StaleEpoch,
     )
 }
 
@@ -192,6 +220,13 @@ def error_fields(exc: BaseException) -> dict[str, Any]:
         if exc.current_digest:
             out["current_digest"] = exc.current_digest
         return out
+    if isinstance(exc, StaleEpoch):
+        return {
+            "error": str(exc) or exc.code,
+            "error_type": exc.code,
+            "current_epoch": exc.current_epoch,
+            "current_version": exc.current_version,
+        }
     if isinstance(exc, WrongShard):
         out: dict[str, Any] = {
             "error": str(exc) or exc.code,
@@ -227,6 +262,12 @@ def reply_error(reply: dict[str, Any]) -> ServiceError:
             message,
             current_epoch=int(reply.get("current_epoch", 0)),
             current_digest=str(reply.get("current_digest", "")),
+        )
+    if cls is StaleEpoch:
+        return StaleEpoch(
+            message,
+            current_epoch=int(reply.get("current_epoch", 0)),
+            current_version=int(reply.get("current_version", 0)),
         )
     if cls is WrongShard:
         return WrongShard(

@@ -87,6 +87,7 @@ import bisect
 import hashlib
 import json
 import random
+import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -105,6 +106,7 @@ from repro.service.errors import (
     ServerError,
     ServiceError,
     ServiceTimeout,
+    StaleEpoch,
     TransportError,
     WrongShard,
     error_fields,
@@ -185,7 +187,12 @@ class ShardMap:
 
     Immutable in practice -- membership changes produce a *new* map
     with a higher version (:meth:`without`), and every component adopts
-    whichever map it has seen with the highest version.
+    whichever map it has seen with the dominant **fencing token**
+    ``(epoch, version)``.  The epoch is the *leader incarnation*: it
+    only moves when a standby router promotes itself, and it dominates
+    the version lexicographically, so a deposed leader that keeps
+    bumping versions under its old epoch can never win a map race
+    against the promoted standby's successor maps.
     """
 
     def __init__(
@@ -194,13 +201,24 @@ class ShardMap:
         *,
         replication: int = 2,
         version: int = 1,
+        epoch: int = 1,
         vnodes: int = DEFAULT_VNODES,
     ) -> None:
         self.nodes = {str(k): dict(v) for k, v in nodes.items()}
         self.replication = int(replication)
         self.version = int(version)
+        self.epoch = int(epoch)
         self.vnodes = int(vnodes)
         self._ring = HashRing(self.nodes, vnodes=self.vnodes)
+
+    @property
+    def token(self) -> tuple[int, int]:
+        """The fencing token: epoch dominates version."""
+        return (self.epoch, self.version)
+
+    def dominates(self, other: "ShardMap") -> bool:
+        """True when this map wins the adoption race against ``other``."""
+        return self.token > other.token
 
     def owners(self, digest: str) -> list[str]:
         return self._ring.owners(digest, self.replication)
@@ -210,27 +228,44 @@ class ShardMap:
         return str(ep["host"]), int(ep["port"])
 
     def without(self, name: str) -> "ShardMap":
-        """A successor map (version + 1) with ``name`` removed."""
+        """A successor map (version + 1, same epoch) with ``name`` removed."""
         nodes = {k: v for k, v in self.nodes.items() if k != name}
         return ShardMap(
             nodes, replication=self.replication,
-            version=self.version + 1, vnodes=self.vnodes,
+            version=self.version + 1, epoch=self.epoch, vnodes=self.vnodes,
         )
 
     def with_node(self, name: str, endpoint: dict[str, Any]) -> "ShardMap":
-        """A successor map (version + 1) with ``name`` (re-)admitted."""
+        """A successor map (version + 1, same epoch) with ``name`` admitted."""
         nodes = {k: dict(v) for k, v in self.nodes.items()}
         nodes[str(name)] = {
             "host": str(endpoint["host"]), "port": int(endpoint["port"]),
         }
         return ShardMap(
             nodes, replication=self.replication,
-            version=self.version + 1, vnodes=self.vnodes,
+            version=self.version + 1, epoch=self.epoch, vnodes=self.vnodes,
+        )
+
+    def with_epoch(self, epoch: int) -> "ShardMap":
+        """A successor map under a new leader incarnation.
+
+        The version still bumps so the token strictly increases even
+        against maps the old leader published after our last sync.
+        """
+        if int(epoch) <= self.epoch:
+            raise ValueError(
+                f"new epoch {epoch} must exceed current {self.epoch}"
+            )
+        return ShardMap(
+            {k: dict(v) for k, v in self.nodes.items()},
+            replication=self.replication,
+            version=self.version + 1, epoch=int(epoch), vnodes=self.vnodes,
         )
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "version": self.version,
+            "epoch": self.epoch,
             "replication": self.replication,
             "vnodes": self.vnodes,
             "nodes": {k: dict(v) for k, v in self.nodes.items()},
@@ -244,6 +279,9 @@ class ShardMap:
             data["nodes"],
             replication=int(data.get("replication", 2)),
             version=int(data.get("version", 1)),
+            # Pre-fencing maps carry no epoch: they belong to the first
+            # leader incarnation by definition.
+            epoch=int(data.get("epoch", 1)),
             vnodes=int(data.get("vnodes", DEFAULT_VNODES)),
         )
 
@@ -362,7 +400,27 @@ class FarmNodeServer(CompileServer):
         self._repl_tasks: set[asyncio.Task] = set()
         self._ae_task: asyncio.Task | None = None
         self._sweep_lock = asyncio.Lock()
+        #: router lease this node granted: {"router", "epoch", "expires"}.
+        self._lease: dict[str, Any] | None = None
+        #: highest lease epoch ever granted -- the node-side fence: a
+        #: claim below this floor is refused no matter what.
+        self._lease_epoch_floor = 0
+        #: graceful-drain state machine: ``draining`` refuses new amends
+        #: (they wait on ``_drain_done`` so the redirect lands *after*
+        #: the streams were handed off), ``_drain_map`` is the successor
+        #: map the redirect carries.
+        self.draining = False
+        self._drain_map: ShardMap | None = None
+        self._drain_done = asyncio.Event()
+        self._amends_inflight = 0
         self.wrong_shard = 0
+        self.stale_epoch_rejections = 0
+        self.lease_grants = 0
+        self.lease_refusals = 0
+        self.drain_handoffs = 0
+        self.drain_adoptions = 0
+        self.drain_repushes = 0
+        self.drain_repush_retries = 0
         self.replicas_pushed = 0
         self.replicas_received = 0
         self.replica_push_failures = 0
@@ -432,6 +490,10 @@ class FarmNodeServer(CompileServer):
             return self._reply(
                 req, op="repair", **await self._anti_entropy_sweep()
             )
+        if op == "lease":
+            return self._lease_verb(req)
+        if op == "drain":
+            return await self._drain(req)
         if op in ("compile", "amend"):
             if op == "compile":
                 key = super()._compile_key(req)
@@ -440,6 +502,19 @@ class FarmNodeServer(CompileServer):
                 key = None
                 digest = route_digest(
                     req, default_scheduler=self.service.default_scheduler
+                )
+            if op == "amend" and self.draining:
+                # Park the caller until the proactive handoff has
+                # landed, *then* redirect: the retry must hit a stream
+                # the new primary has already adopted, not a gap the
+                # pull-based takeover would have to fill.
+                await self._drain_done.wait()
+                drain_map = self._drain_map or self.shard_map
+                raise WrongShard(
+                    f"node {self.name!r} is draining; its amend streams "
+                    "have been handed off",
+                    shard_map=drain_map.as_dict(),
+                    owners=drain_map.owners(digest),
                 )
             owners = self.shard_map.owners(digest)
             if self.name not in owners:
@@ -466,9 +541,13 @@ class FarmNodeServer(CompileServer):
             # amend: this node is an owner.  If the stream's previous
             # primary died, reconstruct it from the replicated epoch
             # artifact *before* the registry is consulted.
-            if "root" in req:
-                self._maybe_takeover(str(req["root"]))
-            reply = await super()._handle_op(op, req)
+            if "root" in req and self._maybe_takeover(str(req["root"])):
+                self.amend_takeovers += 1
+            self._amends_inflight += 1
+            try:
+                reply = await super()._handle_op(op, req)
+            finally:
+                self._amends_inflight -= 1
             if reply.get("ok"):
                 self._replicate_amend_epoch(reply)
             return reply
@@ -482,13 +561,210 @@ class FarmNodeServer(CompileServer):
 
     def _reshard(self, req: dict[str, Any]) -> dict[str, Any]:
         new = ShardMap.from_dict(req.get("shard_map"))
-        adopted = new.version > self.shard_map.version
+        if new.epoch < self.shard_map.epoch:
+            # A deposed leader's late push: no matter how many version
+            # bumps it accumulated, a lower epoch is fenced out with a
+            # *typed* refusal so the sender learns it was deposed.
+            self.stale_epoch_rejections += 1
+            raise StaleEpoch(
+                f"map epoch {new.epoch} < {self.shard_map.epoch}: "
+                f"sender was deposed",
+                current_epoch=self.shard_map.epoch,
+                current_version=self.shard_map.version,
+            )
+        adopted = new.dominates(self.shard_map)
         if adopted:
             self.shard_map = new
         return self._reply(
             req, op="reshard", adopted=adopted,
             version=self.shard_map.version,
+            epoch=self.shard_map.epoch,
         )
+
+    # -- router leases (leadership arbitration) -------------------------
+    def _lease_verb(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Grant/renew/refuse one router's leadership lease.
+
+        The nodes *are* the quorum: a router that collects grants from
+        a majority of live nodes is the leader.  Per-node rules:
+
+        * a live lease is never preempted -- only its own holder can
+          renew it (same epoch) or re-claim under a higher epoch;
+        * a fresh claim (no lease, lapsed lease, or the holder itself)
+          must beat the node's epoch floor -- the highest epoch this
+          node has ever granted -- so a deposed leader can never win a
+          grant back with its old epoch.
+        """
+        router = str(req.get("router") or "")
+        epoch = int(req.get("epoch") or 0)
+        ttl = float(req.get("ttl") or 0.0)
+        if not router or epoch < 1 or ttl <= 0:
+            raise ProtocolError(
+                "lease request needs 'router', 'epoch' >= 1 and 'ttl' > 0"
+            )
+        now = time.monotonic()
+        current = self._lease
+        held = current is not None and current["expires"] > now
+        granted = False
+        if held and current["router"] == router and epoch == current["epoch"]:
+            granted = True  # renewal
+        elif epoch > self._lease_epoch_floor and (
+            not held or current["router"] == router
+        ):
+            granted = True  # fresh claim (or self re-claim under a new epoch)
+        if granted:
+            self._lease = {"router": router, "epoch": epoch,
+                           "expires": now + ttl}
+            self._lease_epoch_floor = max(self._lease_epoch_floor, epoch)
+            self.lease_grants += 1
+        else:
+            self.lease_refusals += 1
+        holder = self._lease if self._lease is not None else {}
+        return self._reply(
+            req, op="lease", granted=granted,
+            holder=holder.get("router"),
+            holder_epoch=int(holder.get("epoch", 0)),
+            epoch_floor=self._lease_epoch_floor,
+            # The standby syncs its map off lease replies, so a
+            # promotion starts from the freshest membership any node
+            # has seen -- no leader->standby channel required.
+            shard_map=self.shard_map.as_dict(),
+        )
+
+    # -- graceful drain -------------------------------------------------
+    async def _drain(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Hand everything off, then step out of the map.
+
+        Driven by the leader router with the successor map (this node
+        removed) in hand.  Order matters:
+
+        1. flip ``draining`` -- new amends park on ``_drain_done``;
+        2. quiesce: wait for in-flight amends to settle, so every
+           stream is frozen at its true head before it moves;
+        3. **proactive amend handoff**: push each live stream's latest
+           epoch artifact + resume head to the successor owners with
+           ``adopt`` set, so the new primary installs the stream into
+           its registry *now* (no pull-based takeover window);
+        4. re-replicate: push every owned artifact the successor map
+           re-homes to its new owners (bounded-retry pushes -- a dead
+           peer cannot wedge the drain);
+        5. adopt the successor map and release the parked amends into
+           typed redirects that land on already-adopted streams.
+        """
+        successor = ShardMap.from_dict(req.get("shard_map"))
+        if successor.epoch < self.shard_map.epoch:
+            self.stale_epoch_rejections += 1
+            raise StaleEpoch(
+                f"drain map epoch {successor.epoch} < "
+                f"{self.shard_map.epoch}: sender was deposed",
+                current_epoch=self.shard_map.epoch,
+                current_version=self.shard_map.version,
+            )
+        if self.name in successor.nodes:
+            raise ProtocolError(
+                f"drain successor map still contains {self.name!r}"
+            )
+        self.draining = True
+        self._drain_map = successor
+        self._drain_done.clear()
+        while self._amends_inflight:
+            await asyncio.sleep(0.005)
+        retries_before = self.replica_push_retries
+        handoffs = await self._drain_handoff_streams(successor)
+        repushed = await self._drain_repush_artifacts(successor)
+        self.drain_repush_retries += (
+            self.replica_push_retries - retries_before
+        )
+        self.shard_map = successor
+        self._drain_done.set()
+        return self._reply(
+            req, op="drain", draining=True,
+            streams_handed_off=handoffs,
+            replicas_repushed=repushed,
+            repush_retries=self.drain_repush_retries,
+            epoch=self.shard_map.epoch,
+            version=self.shard_map.version,
+        )
+
+    async def _drain_handoff_streams(self, successor: ShardMap) -> int:
+        """Push + adopt every live amend stream at its successor owners."""
+        handoffs = 0
+        for root in self.amends.live_roots():
+            stream = self.amends.peek(root)
+            if stream is None:
+                continue
+            try:
+                spec = topology_to_spec(stream.topology)
+            except TopologySpecError:
+                continue  # unspeccable: the registry tombstone stands
+            digest = str(stream.digest)
+            doc = self.cache.get(digest)
+            if doc is None:
+                continue
+            head = {
+                "root": root, "epoch": int(stream.epoch), "digest": digest,
+                "scheduler": stream.scheduler, "kernel": stream.kernel,
+                "topology_spec": spec,
+            }
+            payload = {
+                "op": "store", "digest": digest, "artifact": doc,
+                "payload_sha256": artifact_digest(doc),
+                "topology_spec": spec, "amend_head": head,
+                "adopt": True,
+            }
+            pushed = False
+            for peer in successor.owners(root):
+                if peer == self.name:
+                    continue
+                await self._push_replica(peer, payload)
+                pushed = True
+            if pushed:
+                handoffs += 1
+                self.drain_handoffs += 1
+        return handoffs
+
+    async def _drain_repush_artifacts(self, successor: ShardMap) -> int:
+        """Re-replicate artifacts the successor map takes away from us.
+
+        Every digest this node holds whose placement key it owned under
+        the old map is pushed to *every* successor owner -- not just
+        the newly assigned ones, because an old co-owner may have
+        silently lost its push and this is the last chance to close
+        that gap before the unique copy leaves with us.  Stores are
+        idempotent, so over-pushing costs bandwidth, never correctness.
+        Uses the same bounded-retry push as normal replication: a dead
+        peer costs one retry, never an unbounded stall while draining.
+        """
+        repushed = 0
+        for digest in sorted(self.cache.digests()):
+            doc = self.cache.peek(digest)
+            if doc is None:
+                continue
+            lineage = doc.get("lineage")
+            key = (
+                str(lineage.get("root", "")) or digest
+                if isinstance(lineage, dict) else digest
+            )
+            old_owners = self.shard_map.owners(key)
+            if self.name not in old_owners:
+                continue
+            targets = [
+                peer for peer in successor.owners(key) if peer != self.name
+            ]
+            if not targets:
+                continue
+            payload: dict[str, Any] = {
+                "op": "store", "digest": digest, "artifact": doc,
+                "payload_sha256": artifact_digest(doc),
+            }
+            spec = self._specs.get(digest)
+            if spec is not None:
+                payload["topology_spec"] = spec
+            for peer in targets:
+                await self._push_replica(peer, payload)
+                self.drain_repushes += 1
+                repushed += 1
+        return repushed
 
     def _fetch(self, req: dict[str, Any]) -> dict[str, Any]:
         digest = str(req.get("digest") or "")
@@ -525,9 +801,21 @@ class FarmNodeServer(CompileServer):
         self.cache.put(digest, doc)
         self.replicas_received += 1
         head = req.get("amend_head")
+        adopted = False
         if isinstance(head, dict):
             self._adopt_head(head)
-        return self._reply(req, op="store", digest=digest, stored=True)
+            if req.get("adopt"):
+                # Proactive drain handoff: install the stream into the
+                # registry *now*, so the draining node's redirected
+                # amend lands on a live stream -- not on the pull-based
+                # takeover path (which only runs, and counts, when a
+                # primary died without saying goodbye).
+                adopted = self._maybe_takeover(str(head.get("root") or ""))
+                if adopted:
+                    self.drain_adoptions += 1
+        return self._reply(
+            req, op="store", digest=digest, stored=True, adopted=adopted
+        )
 
     def _digests(self, req: dict[str, Any]) -> dict[str, Any]:
         """Local inventory for anti-entropy: digest, payload hash, and
@@ -576,29 +864,32 @@ class FarmNodeServer(CompileServer):
             "topology_spec": head.get("topology_spec"),
         }
 
-    def _maybe_takeover(self, root: str) -> None:
+    def _maybe_takeover(self, root: str) -> bool:
         """Resume a replicated amend stream this node now owns.
 
         Runs when an amend update names a root the local registry has
-        never served (the old primary died).  The replicated head
-        metadata points at the latest epoch artifact; the stream is
-        rebuilt through :meth:`AmendStream.resume` -- which re-routes
-        and re-validates the stored schedule -- and adopted into the
-        registry, continuing the stored lineage.  Epoch optimistic
-        concurrency then works exactly as before the failover: a stale
-        racer gets a typed ``EpochConflict``, never a fork.
+        never served (the old primary died) -- and, with a different
+        counter, when a draining primary hands its streams off.  The
+        replicated head metadata points at the latest epoch artifact;
+        the stream is rebuilt through :meth:`AmendStream.resume` --
+        which re-routes and re-validates the stored schedule -- and
+        adopted into the registry, continuing the stored lineage.
+        Epoch optimistic concurrency then works exactly as before the
+        failover: a stale racer gets a typed ``EpochConflict``, never a
+        fork.  Returns whether a stream was adopted; the caller owns
+        the bookkeeping (``amend_takeovers`` vs ``drain_adoptions``).
         """
-        if self.amends.knows(root):
-            return  # live, or tombstoned for the registry's own resume
+        if not root or self.amends.knows(root):
+            return False  # live, or tombstoned for the registry's resume
         head = self._amend_heads.get(root)
         if head is None:
-            return
+            return False
         spec = head.get("topology_spec")
         if not isinstance(spec, dict):
-            return
+            return False
         doc = self.cache.get(head["digest"])
         if doc is None or not isinstance(doc.get("lineage"), dict):
-            return
+            return False
         try:
             stream = AmendStream.resume(
                 topology_from_spec(spec), doc,
@@ -606,12 +897,12 @@ class FarmNodeServer(CompileServer):
                 cache=self.cache,
             )
         except Exception:
-            return  # unresumable artifact: the registry's typed
-            #         "unknown amend root" answer stands
+            return False  # unresumable artifact: the registry's typed
+            #              "unknown amend root" answer stands
         if stream.root != root or stream.digest != head["digest"]:
-            return  # head metadata does not match the artifact's lineage
+            return False  # head metadata disagrees with the lineage
         self.amends.adopt(stream)
-        self.amend_takeovers += 1
+        return True
 
     def _replicate_amend_epoch(self, reply: dict[str, Any]) -> None:
         """Push the new epoch artifact + resume metadata to co-owners.
@@ -903,12 +1194,25 @@ class FarmNodeServer(CompileServer):
         return reply
 
     # -- stats ----------------------------------------------------------
+    def _ready(self) -> bool:
+        # A draining node still answers (warm reads, parked amends)
+        # but must never be re-admitted by a probing router.
+        return not self.draining and super()._ready()
+
     def _stats(self) -> dict[str, Any]:
         out = super()._stats()
+        lease = self._lease or {}
         out["farm"] = {
             "name": self.name,
             "map_version": self.shard_map.version,
+            "map_epoch": self.shard_map.epoch,
+            "draining": self.draining,
             "wrong_shard": self.wrong_shard,
+            "stale_epoch_rejections": self.stale_epoch_rejections,
+            "lease_grants": self.lease_grants,
+            "lease_refusals": self.lease_refusals,
+            "lease_holder": lease.get("router"),
+            "lease_epoch": int(lease.get("epoch", 0)),
             "replicas_pushed": self.replicas_pushed,
             "replicas_received": self.replicas_received,
             "replica_push_failures": self.replica_push_failures,
@@ -918,6 +1222,10 @@ class FarmNodeServer(CompileServer):
             "anti_entropy_rounds": self.anti_entropy_rounds,
             "amend_takeovers": self.amend_takeovers,
             "amend_heads": len(self._amend_heads),
+            "drain_handoffs": self.drain_handoffs,
+            "drain_adoptions": self.drain_adoptions,
+            "drain_repushes": self.drain_repushes,
+            "drain_repush_retries": self.drain_repush_retries,
             "read_repairs": self.read_repairs,
             "read_repair_failures": self.read_repair_failures,
         }
@@ -925,7 +1233,12 @@ class FarmNodeServer(CompileServer):
 
     def _health(self) -> dict[str, Any]:
         out = super()._health()
-        out["farm"] = {"name": self.name, "map_version": self.shard_map.version}
+        out["farm"] = {
+            "name": self.name,
+            "map_version": self.shard_map.version,
+            "map_epoch": self.shard_map.epoch,
+            "draining": self.draining,
+        }
         return out
 
 
@@ -958,12 +1271,28 @@ class ShardRouter:
     under a bumped map that is pushed farm-wide, then told to ``repair``
     -- one targeted anti-entropy sweep that pulls every artifact the
     new map assigns to it.
+
+    **Leadership.**  Routers come in active/standby pairs with no
+    external coordinator: the *nodes* arbitrate.  Each router runs
+    :meth:`lease_round`, asking every node to grant (or renew) a
+    leadership lease under its incarnation ``epoch``; grants from a
+    majority of reachable members make (or keep) it the leader.  Only
+    the leader mutates membership -- demote, rejoin, drain, map pushes
+    -- while a standby probes passively and syncs its map off the
+    lease replies.  When the leader's lease lapses (crash, partition),
+    the standby's next claim -- under ``observed epoch + 1`` -- wins,
+    it bumps the map epoch (:meth:`ShardMap.with_epoch`) and re-pushes
+    the authoritative map farm-wide.  The deposed leader's later
+    pushes are fenced: every node (and the standby, via its own
+    ``reshard`` verb) answers a typed ``stale_epoch``.
     """
 
     def __init__(
         self,
         shard_map: ShardMap,
         *,
+        name: str = "router0",
+        role: str = "leader",
         host: str = "127.0.0.1",
         port: int = 0,
         default_scheduler: str = "combined",
@@ -974,8 +1303,15 @@ class ShardRouter:
         probe_timeout: float = 1.0,
         suspect_after: int = 2,
         rejoin: bool = True,
+        peers: list[tuple[str, int]] | None = None,
+        lease_interval: float | None = None,
+        lease_ttl: float = 2.0,
     ) -> None:
+        if role not in ("leader", "standby"):
+            raise ValueError(f"router role must be leader/standby, got {role!r}")
         self.shard_map = shard_map
+        self.name = str(name)
+        self.role = role
         self.host, self.port = host, port
         self.default_scheduler = default_scheduler
         self.node_timeout = float(node_timeout)
@@ -985,17 +1321,42 @@ class ShardRouter:
         self.probe_timeout = float(probe_timeout)
         self.suspect_after = max(1, int(suspect_after))
         self.rejoin = bool(rejoin)
+        #: peer router endpoints (the other half of the HA pair) --
+        #: best-effort reshard pushes keep their maps converged.
+        self.peers: list[tuple[str, int]] = [
+            (str(h), int(p)) for h, p in (peers or [])
+        ]
+        self.lease_interval = (
+            float(lease_interval) if lease_interval else None
+        )
+        self.lease_ttl = float(lease_ttl)
+        #: this router's leadership incarnation.  A solo router (no
+        #: lease machinery configured) is born leader at the map epoch;
+        #: a standby has no incarnation until it promotes.
+        self.epoch = shard_map.epoch if role == "leader" else 0
+        #: highest incarnation epoch observed anywhere (lease replies,
+        #: adopted maps) -- a promotion claims one above this.
+        self._observed_epoch = max(self.epoch, shard_map.epoch)
+        self._lease_acquired: float | None = None
         self._server: asyncio.AbstractServer | None = None
         self._pools: dict[
             str, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]
         ] = {}
+        #: live inbound client connections, aborted on stop() so a
+        #: "killed" router is process-death faithful: connected clients
+        #: see a reset, never a half-alive zombie that keeps routing.
+        self._conns: set[asyncio.StreamWriter] = set()
         self._demote_lock = asyncio.Lock()
         self._probe_task: asyncio.Task | None = None
+        self._lease_task: asyncio.Task | None = None
         #: name -> consecutive probe-failure count (the suspect state).
         self._suspect: dict[str, int] = {}
         #: name -> last known endpoint of nodes no longer in the map --
         #: fed by every demotion and skew adoption, drained by rejoin.
         self._departed: dict[str, dict[str, Any]] = {}
+        #: nodes gracefully drained out -- never offered rejoin even if
+        #: their endpoint answers probes while shutting down.
+        self._drained: set[str] = set()
         self.requests_served = 0
         self.forwarded = 0
         self.rerouted = 0
@@ -1005,6 +1366,22 @@ class ShardRouter:
         self.probe_failures = 0
         self.probe_demotions = 0
         self.rejoins = 0
+        self.promotions = 0
+        self.stepdowns = 0
+        self.lease_rounds = 0
+        self.drains = 0
+        self.stale_epoch_rejections = 0
+        self.drain_repush_retries = 0
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role == "leader"
+
+    @property
+    def lease_age_seconds(self) -> float | None:
+        if self._lease_acquired is None:
+            return None
+        return time.monotonic() - self._lease_acquired
 
     @property
     def address(self) -> tuple[str, int]:
@@ -1018,17 +1395,26 @@ class ShardRouter:
         )
         if self.probe_interval:
             self._probe_task = asyncio.ensure_future(self._probe_loop())
+        if self.lease_interval:
+            self._lease_task = asyncio.ensure_future(self._lease_loop())
         return self
 
     async def stop(self) -> None:
-        if self._probe_task is not None:
-            self._probe_task.cancel()
-            await asyncio.gather(self._probe_task, return_exceptions=True)
-            self._probe_task = None
+        for attr in ("_probe_task", "_lease_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                await asyncio.gather(task, return_exceptions=True)
+                setattr(self, attr, None)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._conns):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._conns.clear()
         for conns in self._pools.values():
             for _, writer in conns:
                 writer.close()
@@ -1038,6 +1424,7 @@ class ShardRouter:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._conns.add(writer)
         try:
             while True:
                 try:
@@ -1064,6 +1451,7 @@ class ShardRouter:
         except asyncio.CancelledError:
             pass
         finally:
+            self._conns.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -1097,6 +1485,15 @@ class ShardRouter:
                 )
             if op == "shutdown":
                 return await self._shutdown_farm(req)
+            if op == "reshard":
+                return self._local_reply(
+                    req, op="reshard", **self._reshard_verb(req)
+                )
+            if op == "drain":
+                return self._local_reply(
+                    req, op="drain",
+                    **await self.drain_node(str(req.get("node") or "")),
+                )
             if op in ("compile", "amend"):
                 return await self._forward(line, req)
             raise ProtocolError(f"unknown op {op!r}")
@@ -1117,19 +1514,28 @@ class ShardRouter:
         if not line.endswith(b"\n"):
             line += b"\n"
         last_error: ServiceError = ServerError("no live farm nodes")
+        failed: set[str] = set()
         for attempt in range(self.max_attempts):
             digest = route_digest(
                 req, default_scheduler=self.default_scheduler
             )
-            owners = self.shard_map.owners(digest)
+            owners = [
+                o for o in self.shard_map.owners(digest) if o not in failed
+            ]
             if not owners:
-                raise ServerError("no live farm nodes")
+                raise last_error
             target = owners[0]
             try:
                 reply_line = await self._node_request_raw(target, line)
             except (TransportError, ServiceTimeout) as exc:
                 last_error = exc
-                await self._demote(target)
+                if self.is_leader:
+                    await self._demote(target)
+                else:
+                    # A standby must not mutate membership: route this
+                    # request around the dead node and leave the demote
+                    # to the leader (or to our own promotion).
+                    failed.add(target)
                 continue
             self.forwarded += 1
             try:
@@ -1152,7 +1558,7 @@ class ShardRouter:
                         new = ShardMap.from_dict(node_map)
                     except ProtocolError:
                         new = None
-                    if new is not None and new.version > self.shard_map.version:
+                    if new is not None and new.dominates(self.shard_map):
                         self._adopt_map(new)
                         continue
                 await self._push_map(target)
@@ -1177,9 +1583,17 @@ class ShardRouter:
             for _, writer in self._pools.pop(name, []):
                 writer.close()
         self.shard_map = new
+        self._observed_epoch = max(self._observed_epoch, new.epoch)
+        if new.epoch > self.epoch and self.is_leader:
+            # The map we just adopted was published under a higher
+            # leader incarnation: we were deposed and only now found
+            # out.  Stop mutating membership immediately.
+            self._step_down()
 
     async def _demote(self, name: str) -> None:
         """A node died on us: remove it, bump the map, reshard the rest."""
+        if not self.is_leader:
+            return  # standbys never mutate membership
         async with self._demote_lock:
             if name not in self.shard_map.nodes:
                 return  # a concurrent request already demoted it
@@ -1197,6 +1611,8 @@ class ShardRouter:
         assigns to it, restoring replication factor for its key ranges
         without waiting for a periodic sweep.
         """
+        if not self.is_leader:
+            return
         async with self._demote_lock:
             if name in self.shard_map.nodes:
                 return
@@ -1248,12 +1664,12 @@ class ShardRouter:
             self.probe_failures += 1
             count = self._suspect.get(name, 0) + 1
             self._suspect[name] = count
-            if count >= self.suspect_after:
+            if count >= self.suspect_after and self.is_leader:
                 self.probe_demotions += 1
                 await self._demote(name)
-        if self.rejoin:
+        if self.rejoin and self.is_leader:
             for name, endpoint in list(self._departed.items()):
-                if name in self.shard_map.nodes:
+                if name in self.shard_map.nodes or name in self._drained:
                     self._departed.pop(name, None)
                     continue
                 self.probes_sent += 1
@@ -1295,6 +1711,219 @@ class ShardRouter:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    # -- leadership (node-arbitrated leases) ----------------------------
+    async def _lease_loop(self) -> None:
+        assert self.lease_interval is not None
+        try:
+            while True:
+                await asyncio.sleep(self.lease_interval)
+                try:
+                    await self.lease_round()
+                except Exception:  # noqa: BLE001 - the loop must survive
+                    pass
+        except asyncio.CancelledError:
+            pass
+
+    async def lease_round(self) -> dict[str, Any]:
+        """One leadership pass: renew (leader) or claim (standby).
+
+        Asks every map member for a lease under this router's epoch --
+        a standby claims one above the highest epoch it has observed,
+        so its claim beats every node's epoch floor the moment the old
+        lease lapses.  Grants from a majority of members keep (or win)
+        leadership; a leader that loses the majority steps down, a
+        standby that wins it promotes -- bumping the map epoch and
+        re-pushing the authoritative map farm-wide.  Lease replies
+        carry each node's map, so a standby converges on membership
+        without any leader-to-standby channel.
+        """
+        self.lease_rounds += 1
+        claim = self.epoch if self.is_leader else self._observed_epoch + 1
+        payload = json.dumps({
+            "op": "lease", "router": self.name,
+            "epoch": claim, "ttl": self.lease_ttl,
+        }).encode() + b"\n"
+        grants = 0
+        members = list(self.shard_map.nodes)
+        for node in members:
+            try:
+                line = await self._node_request_raw(node, payload)
+                reply = json.loads(line)
+            except (ServiceError, ValueError):
+                continue
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                continue
+            self._observed_epoch = max(
+                self._observed_epoch, int(reply.get("holder_epoch") or 0)
+            )
+            node_map = reply.get("shard_map")
+            if isinstance(node_map, dict):
+                try:
+                    new = ShardMap.from_dict(node_map)
+                except ProtocolError:
+                    new = None
+                if new is not None and new.dominates(self.shard_map):
+                    self._adopt_map(new)
+            if reply.get("granted"):
+                grants += 1
+        majority = len(members) // 2 + 1 if members else 1
+        held = grants >= majority
+        if self.is_leader and not held:
+            self._step_down()
+        elif held and not self.is_leader:
+            await self._promote(claim)
+        elif held and self._lease_acquired is None:
+            self._lease_acquired = time.monotonic()
+        return {
+            "role": self.role, "epoch": self.epoch, "claimed": claim,
+            "grants": grants, "members": len(members), "held": held,
+        }
+
+    def _step_down(self) -> None:
+        if self.role != "leader":
+            return
+        self.role = "standby"
+        self.stepdowns += 1
+        self._lease_acquired = None
+
+    async def _promote(self, epoch: int) -> None:
+        """Won a majority as standby: take over under a fresh epoch."""
+        self.role = "leader"
+        self.epoch = int(epoch)
+        self._observed_epoch = max(self._observed_epoch, self.epoch)
+        self.promotions += 1
+        self._lease_acquired = time.monotonic()
+        if self.epoch > self.shard_map.epoch:
+            # Publish membership under the new incarnation: every map
+            # the deposed leader pushes from here on compares lower.
+            self.shard_map = self.shard_map.with_epoch(self.epoch)
+        await self._broadcast_map()
+
+    async def _broadcast_map(self) -> None:
+        """Best-effort reshard push to every node and peer router."""
+        for peer in list(self.shard_map.nodes):
+            await self._push_map(peer)
+        for host, port in self.peers:
+            try:
+                await self.push_map_peer(host, port)
+            except (ServiceError, OSError):
+                pass
+
+    async def push_map_peer(self, host: str, port: int) -> dict[str, Any]:
+        """Push this router's map to a peer router.
+
+        Unlike the fire-and-forget node pushes this *raises* the typed
+        reply error -- a deposed leader pushing to the promoted peer
+        gets the :class:`StaleEpoch` it needs to learn its fate.
+        """
+        payload = {"op": "reshard", "shard_map": self.shard_map.as_dict()}
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"peer router {host}:{port} unreachable: {exc}"
+            ) from exc
+        try:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.node_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            raise ServiceTimeout(
+                f"peer router {host}:{port} gave no reply"
+            ) from None
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise TransportError(
+                f"peer router {host}:{port} connection failed: {exc}"
+            ) from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            raise ProtocolError(
+                f"peer router {host}:{port} malformed reply"
+            ) from None
+        if not isinstance(reply, dict):
+            raise ProtocolError(f"peer router {host}:{port} malformed reply")
+        if not reply.get("ok"):
+            raise reply_error(reply)
+        return reply
+
+    def _reshard_verb(self, req: dict[str, Any]) -> dict[str, Any]:
+        """A peer router pushed its map at us: adopt or fence."""
+        new = ShardMap.from_dict(req.get("shard_map"))
+        if new.epoch < self.shard_map.epoch:
+            self.stale_epoch_rejections += 1
+            raise StaleEpoch(
+                f"map epoch {new.epoch} < {self.shard_map.epoch}: "
+                f"sender was deposed",
+                current_epoch=self.shard_map.epoch,
+                current_version=self.shard_map.version,
+            )
+        adopted = new.dominates(self.shard_map)
+        if adopted:
+            self._adopt_map(new)
+        return {
+            "adopted": adopted,
+            "epoch": self.shard_map.epoch,
+            "version": self.shard_map.version,
+        }
+
+    # -- graceful drain -------------------------------------------------
+    async def drain_node(self, name: str) -> dict[str, Any]:
+        """Gracefully remove one node: handoff first, map change after.
+
+        Leader-only.  The node is sent the ``drain`` verb with the
+        successor map (itself removed) and does the heavy lifting --
+        quiesce, proactive amend-stream handoff, re-replication -- see
+        :meth:`FarmNodeServer._drain`.  Only once the node confirms is
+        the successor map adopted and broadcast, so warm traffic keeps
+        being served by the (still owning, still caching) node for the
+        whole handoff window: zero typed-error blips.
+        """
+        if not self.is_leader:
+            raise ServerError(
+                f"router {self.name!r} is standby; drain via the leader"
+            )
+        async with self._demote_lock:
+            if name not in self.shard_map.nodes:
+                raise ProtocolError(f"unknown farm node {name!r}")
+            successor = self.shard_map.without(name)
+            line = json.dumps(
+                {"op": "drain", "shard_map": successor.as_dict()}
+            ).encode() + b"\n"
+            reply_line = await self._node_request_raw(name, line)
+            try:
+                reply = json.loads(reply_line)
+            except ValueError:
+                raise ProtocolError(
+                    f"node {name!r} malformed drain reply"
+                ) from None
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                raise reply_error(reply if isinstance(reply, dict) else {})
+            self._drained.add(name)
+            self._adopt_map(successor)
+            self._departed.pop(name, None)
+            self.drains += 1
+            self.drain_repush_retries += int(reply.get("repush_retries") or 0)
+        await self._broadcast_map()
+        return {
+            "node": name,
+            "streams_handed_off": int(reply.get("streams_handed_off") or 0),
+            "replicas_repushed": int(reply.get("replicas_repushed") or 0),
+            "repush_retries": int(reply.get("repush_retries") or 0),
+            "epoch": self.shard_map.epoch,
+            "version": self.shard_map.version,
+        }
 
     async def _push_map(self, name: str) -> None:
         """Best-effort ``reshard`` push; a dead target demotes on use."""
@@ -1394,17 +2023,28 @@ class ShardRouter:
             "farm": sum_stats(list(per_node.values())),
             "down": down,
             "router": {
+                "name": self.name,
+                "role": self.role,
+                "epoch": self.epoch,
                 "requests": self.requests_served,
                 "forwarded": self.forwarded,
                 "rerouted": self.rerouted,
                 "failovers": self.failovers,
                 "map_version": self.shard_map.version,
+                "map_epoch": self.shard_map.epoch,
                 "live_nodes": len(self.shard_map.nodes),
                 "probe_rounds": self.probe_rounds,
                 "probes_sent": self.probes_sent,
                 "probe_failures": self.probe_failures,
                 "probe_demotions": self.probe_demotions,
                 "rejoins": self.rejoins,
+                "lease_rounds": self.lease_rounds,
+                "lease_age_seconds": self.lease_age_seconds,
+                "promotions": self.promotions,
+                "stepdowns": self.stepdowns,
+                "drains": self.drains,
+                "drained": sorted(self._drained),
+                "stale_epoch_rejections": self.stale_epoch_rejections,
                 "suspect": dict(self._suspect),
                 "departed": sorted(self._departed),
             },
@@ -1421,6 +2061,14 @@ class ShardRouter:
                 "anti_entropy_rounds": _total("anti_entropy_rounds"),
                 "read_repairs": _total("read_repairs"),
                 "amend_takeovers": _total("amend_takeovers"),
+                "drain_handoffs": _total("drain_handoffs"),
+                "drain_adoptions": _total("drain_adoptions"),
+                # Drained nodes leave the map (and the per-node
+                # breakdown) the moment they finish, so the router
+                # accumulates their retry spend from the drain replies.
+                "drain_repush_retries": (
+                    self.drain_repush_retries + _total("drain_repush_retries")
+                ),
             },
             "shard_map": self.shard_map.as_dict(),
         }
@@ -1457,6 +2105,12 @@ class AsyncFarmClient:
     us the node's newer map and the request is re-aimed in-line; a
     node that cannot be reached at all falls back to the router --
     which performs failover -- and the map is re-fetched afterwards.
+
+    ``router_address`` may be a single ``(host, port)`` pair or a
+    *list* of them (the router HA pair): the embedded router client
+    rotates to the next endpoint on every transport/timeout failure,
+    so idempotent verbs transparently retry on the surviving router
+    while ``amend`` surfaces its typed error (never auto-retried).
     """
 
     #: bounded in-line redirects before deferring to the router.
@@ -1464,17 +2118,28 @@ class AsyncFarmClient:
 
     def __init__(
         self,
-        router_address: tuple[str, int],
+        router_address: tuple[str, int] | list[tuple[str, int]],
         *,
         shard_map: ShardMap | None = None,
         timeout: float | None = None,
         default_scheduler: str = "combined",
     ) -> None:
-        self.router_address = (str(router_address[0]), int(router_address[1]))
+        if (
+            isinstance(router_address, tuple)
+            and len(router_address) == 2
+            and not isinstance(router_address[0], (tuple, list))
+        ):
+            addresses = [router_address]
+        else:
+            addresses = list(router_address)
+        self.router_addresses = [(str(h), int(p)) for h, p in addresses]
+        self.router_address = self.router_addresses[0]
         self.shard_map = shard_map
         self.timeout = timeout
         self.default_scheduler = default_scheduler
-        self._router = AsyncCompileClient(*self.router_address, timeout=timeout)
+        self._router = AsyncCompileClient(
+            timeout=timeout, endpoints=self.router_addresses
+        )
         self._nodes: dict[str, AsyncCompileClient] = {}
         self._next_id = 0
         self.direct = 0
@@ -1506,7 +2171,7 @@ class AsyncFarmClient:
         return self.shard_map
 
     def _adopt(self, new: ShardMap) -> None:
-        if self.shard_map is not None and new.version <= self.shard_map.version:
+        if self.shard_map is not None and not new.dominates(self.shard_map):
             return
         self.shard_map = new
         self.map_refreshes += 1
@@ -1564,7 +2229,7 @@ class AsyncFarmClient:
                         break
                     if (
                         self.shard_map is None
-                        or newer.version > self.shard_map.version
+                        or newer.dominates(self.shard_map)
                     ):
                         self._adopt(newer)
                         continue
@@ -1666,10 +2331,15 @@ class Farm:
         probe_interval: float | None = None,
         probe_timeout: float = 1.0,
         suspect_after: int = 2,
+        routers: int = 1,
+        lease_interval: float | None = None,
+        lease_ttl: float = 2.0,
         chaos_seed: int | None = None,
     ) -> None:
         if nodes < 1:
             raise ValueError(f"a farm needs at least one node, got {nodes}")
+        if routers < 1:
+            raise ValueError(f"a farm needs at least one router, got {routers}")
         self.num_nodes = int(nodes)
         self.replication = max(1, min(int(replication), self.num_nodes))
         self.workers = workers
@@ -1683,10 +2353,18 @@ class Farm:
         self.probe_interval = probe_interval
         self.probe_timeout = float(probe_timeout)
         self.suspect_after = int(suspect_after)
+        self.num_routers = int(routers)
+        self.lease_interval = lease_interval
+        self.lease_ttl = float(lease_ttl)
         self.chaos_seed = chaos_seed
         self.nodes: dict[str, FarmNodeServer] = {}
         self.dead: dict[str, FarmNodeServer] = {}
+        self.drained: dict[str, FarmNodeServer] = {}
         self.router: ShardRouter | None = None
+        #: every live router (the HA pair), keyed by name; ``router``
+        #: stays the primary handle tests and benches talk to.
+        self.routers: dict[str, ShardRouter] = {}
+        self.dead_routers: dict[str, ShardRouter] = {}
         #: original endpoint of every node ever started, so a killed
         #: node can be restarted on the same address (rejoin scenario).
         self.endpoints: dict[str, tuple[str, int]] = {}
@@ -1758,27 +2436,63 @@ class Farm:
         shard_map = ShardMap(endpoints, replication=self.replication)
         for node in self.nodes.values():
             node.shard_map = shard_map
-        self.router = ShardRouter(
-            shard_map,
-            host=self.host,
-            default_scheduler=self.scheduler,
-            node_timeout=self.node_timeout,
-            probe_interval=self.probe_interval,
-            probe_timeout=self.probe_timeout,
-            suspect_after=self.suspect_after,
-        )
-        await self.router.start()
+        lease_interval = self.lease_interval
+        if self.num_routers > 1 and lease_interval is None:
+            lease_interval = self.lease_ttl / 3
+        for i in range(self.num_routers):
+            router = ShardRouter(
+                shard_map,
+                name=f"router{i}",
+                role="leader" if i == 0 else "standby",
+                host=self.host,
+                default_scheduler=self.scheduler,
+                node_timeout=self.node_timeout,
+                probe_interval=self.probe_interval,
+                probe_timeout=self.probe_timeout,
+                suspect_after=self.suspect_after,
+                lease_interval=(
+                    lease_interval if self.num_routers > 1 else None
+                ),
+                lease_ttl=self.lease_ttl,
+            )
+            await router.start()
+            self.routers[router.name] = router
+        for router in self.routers.values():
+            router.peers = [
+                tuple(peer.address) for peer in self.routers.values()
+                if peer is not router
+            ]
+        self.router = self.routers["router0"]
         self._router_endpoint = tuple(self.router.address)
+        if self.num_routers > 1:
+            # Establish the initial lease so the leader's authority is
+            # held, not just assumed -- a standby can only promote once
+            # this lease actually lapses.
+            await self.router.lease_round()
         return self
+
+    @property
+    def leader(self) -> ShardRouter | None:
+        """The live router currently holding leadership (if any)."""
+        for router in self.routers.values():
+            if router.is_leader:
+                return router
+        return None
 
     @property
     def router_address(self) -> tuple[str, int]:
         assert self.router is not None, "farm not started"
         return self.router.address
 
+    @property
+    def router_addresses(self) -> list[tuple[str, int]]:
+        """Every live router endpoint -- the client's failover list."""
+        return [tuple(r.address) for r in self.routers.values()]
+
     def client(self, **kwargs: Any) -> AsyncFarmClient:
+        addresses = self.router_addresses
         return AsyncFarmClient(
-            self.router_address,
+            addresses if len(addresses) > 1 else self.router_address,
             default_scheduler=self.scheduler,
             **kwargs,
         )
@@ -1808,11 +2522,37 @@ class Farm:
         self.nodes[name] = node
         return node
 
+    async def drain_node(self, name: str) -> FarmNodeServer:
+        """Gracefully drain one node out of the farm, then stop it.
+
+        The leader router drives the handoff (see
+        :meth:`ShardRouter.drain_node`); only after it confirms --
+        streams adopted by the new owners, under-replicated artifacts
+        re-pushed, successor map broadcast -- is the node's process
+        actually shut down.
+        """
+        leader = self.leader or self.router
+        assert leader is not None, "farm not started"
+        await leader.drain_node(name)
+        node = self.nodes.pop(name)
+        self.drained[name] = node
+        await node.shutdown()
+        return node
+
     async def kill_router(self) -> None:
-        """Abruptly stop the router (chaos): in-flight requests die."""
+        """Abruptly stop the serving router (chaos): in-flight dies.
+
+        With an HA pair this kills the router ``self.router`` points at
+        (the original leader unless re-pointed) and re-aims the handle
+        at a survivor -- whose promotion still has to be *earned*
+        through :meth:`ShardRouter.lease_round` once the dead leader's
+        lease lapses.
+        """
         assert self.router is not None, "farm not started"
         router = self.router
-        self.router = None
+        self.routers.pop(router.name, None)
+        self.dead_routers[router.name] = router
+        self.router = next(iter(self.routers.values()), None)
         await router.stop()
 
     async def restart_router(self, shard_map: ShardMap | None = None) -> ShardRouter:
@@ -1833,8 +2573,13 @@ class Farm:
                 },
                 replication=self.replication,
             )
-        self.router = ShardRouter(
+        self.dead_routers.pop("router0", None)
+        router = ShardRouter(
             shard_map,
+            name="router0",
+            # Coming back next to a live peer means coming back as a
+            # standby: leadership has to be re-won through the lease.
+            role="standby" if self.routers else "leader",
             host=self.host,
             port=self._router_endpoint[1],
             default_scheduler=self.scheduler,
@@ -1842,15 +2587,30 @@ class Farm:
             probe_interval=self.probe_interval,
             probe_timeout=self.probe_timeout,
             suspect_after=self.suspect_after,
+            lease_interval=(
+                (self.lease_interval or self.lease_ttl / 3)
+                if self.num_routers > 1 else None
+            ),
+            lease_ttl=self.lease_ttl,
         )
-        await self.router.start()
-        return self.router
+        await router.start()
+        self.routers["router0"] = router
+        for peer in self.routers.values():
+            peer.peers = [
+                tuple(other.address) for other in self.routers.values()
+                if other is not peer
+            ]
+        self.router = router
+        return router
 
     async def shutdown(self) -> None:
-        if self.router is not None:
-            await self.router.stop()
-            self.router = None
+        for router in list(self.routers.values()):
+            await router.stop()
+        self.routers.clear()
+        self.router = None
         for node in self.nodes.values():
             await node.shutdown()
         self.nodes.clear()
         self.dead.clear()
+        self.drained.clear()
+        self.dead_routers.clear()
